@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation — barrier synchronization. The paper's trace-driven
+ * simulation free-runs the per-thread traces: no synchronization is
+ * modeled, so the sequential sharing it measures partly relies on
+ * threads drifting apart in time. This bench regenerates workloads
+ * with explicit inter-phase barriers (the structure the real programs
+ * had) and shows the conclusions are robust to the choice: coherence
+ * traffic stays orders of magnitude below static sharing counts, and
+ * LOAD-BAL still beats sharing-based placement.
+ */
+
+#include <cstdio>
+
+#include "analysis/static_analysis.h"
+#include "core/algorithms.h"
+#include "sim/machine.h"
+#include "util/format.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+int
+main()
+{
+    using namespace tsp;
+    using placement::Algorithm;
+    const uint32_t scale = workload::defaultScale();
+
+    std::printf("Ablation: free-running traces vs. barrier-phased "
+                "traces (scale 1/%u)\n\n",
+                scale);
+
+    util::TextTable table;
+    table.setHeader({"application", "sync", "exec LOAD-BAL",
+                     "exec SHARE-REFS", "SHARE-REFS/LOAD-BAL",
+                     "dyn traffic % refs", "barrier wait %"});
+    for (workload::AppId app :
+         {workload::AppId::Water, workload::AppId::MP3D,
+          workload::AppId::Grav}) {
+        for (bool barriers : {false, true}) {
+            workload::AppProfile p = workload::profile(app);
+            p.barriers = barriers;
+            auto traces = workload::generateTraces(p, scale);
+            auto an = analysis::StaticAnalysis::analyze(traces);
+
+            // 4 processors, everything resident.
+            uint32_t procs = 4;
+            uint32_t ctxs = static_cast<uint32_t>(
+                (p.threads + procs - 1) / procs);
+            sim::SimConfig cfg;
+            cfg.processors = procs;
+            cfg.contexts = ctxs;
+            cfg.cacheBytes = workload::scaledCacheBytes(app, scale);
+
+            util::Rng rng(9);
+            auto loadBal = placement::place(Algorithm::LoadBal, an,
+                                            procs, rng);
+            auto shareRefs = placement::place(Algorithm::ShareRefs,
+                                              an, procs, rng);
+            auto lbStats = sim::simulate(cfg, traces, loadBal);
+            auto srStats = sim::simulate(cfg, traces, shareRefs);
+
+            uint64_t barrierWait = 0, busy = 0;
+            for (const auto &ps : lbStats.procs) {
+                barrierWait += ps.barrierCycles;
+                busy += ps.busyCycles;
+            }
+            table.addRow({
+                workload::appName(app),
+                barriers ? "barriers" : "free-run",
+                util::fmtThousands(static_cast<int64_t>(
+                    lbStats.executionTime())),
+                util::fmtThousands(static_cast<int64_t>(
+                    srStats.executionTime())),
+                util::fmtFixed(
+                    static_cast<double>(srStats.executionTime()) /
+                        static_cast<double>(lbStats.executionTime()),
+                    3),
+                util::fmtPercent(
+                    static_cast<double>(
+                        lbStats.dynamicSharingTraffic()) /
+                        static_cast<double>(lbStats.totalMemRefs()),
+                    2),
+                util::fmtPercent(busy ? static_cast<double>(
+                                            barrierWait) /
+                                            static_cast<double>(busy)
+                                      : 0.0,
+                                 1),
+            });
+        }
+        table.addSeparator();
+    }
+    table.print();
+    std::printf("\nexpected: with explicit barriers, runtime coherence "
+                "traffic remains a sub-percent share of references, "
+                "and SHARE-REFS vs LOAD-BAL stays within a few percent "
+                "of its free-running ratio (no systematic sharing win "
+                "appears) — the paper's free-running methodology did "
+                "not bias its negative result. Barrier wait is summed "
+                "per context, so it can exceed 100%% of busy time.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation — false sharing. Footnote 1: the paper's static metrics
+ * count distinct addresses, excluding false sharing, and its programs
+ * had been written (or compiler-restructured, Pverify/Topopt [12]) so
+ * that false-sharing misses were only ~0.2-5.8% of data misses. Our
+ * generators block-align the per-thread shared pools by default,
+ * reproducing that restructuring; this bench packs the pools at word
+ * granularity instead and measures the coherence traffic the
+ * restructuring saves.
+ */
+
+#include <cstdio>
+
+#include "analysis/static_analysis.h"
+#include "sim/coherence_probe.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+int
+main()
+{
+    using namespace tsp;
+    const uint32_t scale = workload::defaultScale();
+
+    std::printf("Ablation: false sharing — block-aligned (restructured)"
+                " vs. word-packed shared pools, 1 thread/processor, "
+                "scale 1/%u\n\n",
+                scale);
+
+    util::TextTable table;
+    table.setHeader({"application", "layout", "invalidation misses",
+                     "invalidations", "dynamic traffic",
+                     "traffic % of refs"});
+    for (workload::AppId app :
+         {workload::AppId::Pverify, workload::AppId::Topopt,
+          workload::AppId::Grav, workload::AppId::Patch}) {
+        for (bool aligned : {true, false}) {
+            workload::AppProfile p = workload::profile(app);
+            p.alignSharedPools = aligned;
+            auto traces = workload::generateTraces(p, scale);
+
+            sim::SimConfig base;
+            base.cacheBytes = workload::scaledCacheBytes(app, scale);
+            auto probe = sim::measureCoherenceTraffic(traces, base);
+            const auto &stats = probe.stats;
+
+            table.addRow({
+                workload::appName(app),
+                aligned ? "block-aligned" : "word-packed",
+                util::fmtThousands(static_cast<int64_t>(
+                    stats.totalMissCount(sim::MissKind::Invalidation))),
+                util::fmtThousands(static_cast<int64_t>(
+                    stats.totalInvalidationsSent())),
+                util::fmtThousands(static_cast<int64_t>(
+                    stats.dynamicSharingTraffic())),
+                util::fmtPercent(
+                    static_cast<double>(stats.dynamicSharingTraffic()) /
+                        static_cast<double>(stats.totalMemRefs()),
+                    2),
+            });
+        }
+        table.addSeparator();
+    }
+    table.print();
+    std::printf("\nexpected: word-packed pools put unrelated threads' "
+                "data in the same cache blocks, inflating invalidation "
+                "traffic at pool boundaries; block alignment (the "
+                "restructuring of [12]) removes it. The paper reports "
+                "post-restructuring false sharing of only 1.5-1.7%% of "
+                "data misses for Pverify/Topopt.\n");
+    return 0;
+}

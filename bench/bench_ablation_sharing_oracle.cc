@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation — the sharing oracle. A stronger form of the paper's
+ * negative result: even the *provably maximal* thread-balanced
+ * sharing capture (exhaustive search, core/optimal.h) does not buy
+ * execution time over LOAD-BAL, because the misses it can remove are
+ * a negligible share of the reference stream.
+ *
+ * Runs on the 8-thread applications (the oracle is exponential).
+ */
+
+#include <cstdio>
+
+#include "core/optimal.h"
+#include "experiment/lab.h"
+#include "sim/machine.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "workload/suite.h"
+
+int
+main()
+{
+    using namespace tsp;
+    using placement::Algorithm;
+    const uint32_t scale = workload::defaultScale();
+    experiment::Lab lab(scale);
+
+    std::printf("Ablation: exhaustively optimal sharing capture vs. "
+                "LOAD-BAL (scale 1/%u)\n\n",
+                scale);
+
+    util::TextTable table;
+    table.setHeader({"application", "procs", "greedy capture %",
+                     "oracle capture %", "oracle exec / LOAD-BAL",
+                     "greedy exec / LOAD-BAL"});
+    for (workload::AppId app :
+         {workload::AppId::Water, workload::AppId::MP3D,
+          workload::AppId::BarnesHut, workload::AppId::Cholesky}) {
+        const auto &an = lab.analysis(app);
+        if (an.threadCount() > placement::maxOracleThreads)
+            continue;
+        double totalSharing = an.sharedRefs().total();
+
+        for (uint32_t procs : {2u, 4u}) {
+            auto oracle =
+                placement::optimalSharingCapture(an.sharedRefs(),
+                                                 procs);
+            auto greedy = lab.placementFor(app, Algorithm::ShareRefs,
+                                           procs);
+            double greedyCapture = 0.0;
+            for (const auto &cluster : greedy.clusters())
+                greedyCapture += an.sharedRefs().withinSum(cluster);
+
+            experiment::MachinePoint point{
+                procs,
+                static_cast<uint32_t>(
+                    (an.threadCount() + procs - 1) / procs)};
+            sim::SimConfig cfg = lab.configFor(app, point);
+            uint64_t oracleExec =
+                sim::simulate(cfg, lab.traces(app), oracle.map)
+                    .executionTime();
+            uint64_t greedyExec =
+                sim::simulate(cfg, lab.traces(app), greedy)
+                    .executionTime();
+            uint64_t loadBalExec =
+                lab.run(app, Algorithm::LoadBal, point).executionTime;
+
+            table.addRow({
+                workload::appName(app),
+                std::to_string(procs),
+                util::fmtPercent(greedyCapture / totalSharing, 1),
+                util::fmtPercent(oracle.value / totalSharing, 1),
+                util::fmtFixed(static_cast<double>(oracleExec) /
+                                   static_cast<double>(loadBalExec),
+                               3),
+                util::fmtFixed(static_cast<double>(greedyExec) /
+                                   static_cast<double>(loadBalExec),
+                               3),
+            });
+        }
+    }
+    table.print();
+    std::printf("\nexpected: the greedy engine captures nearly all the "
+                "sharing the oracle can, yet execution times stay "
+                "within a few percent of LOAD-BAL either way — maximal "
+                "sharing capture does not purchase performance.\n");
+    return 0;
+}

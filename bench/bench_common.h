@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: the
+ * execution-time figure renderer (Figures 2-4) and scale banner.
+ */
+
+#ifndef TSP_BENCH_BENCH_COMMON_H
+#define TSP_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "experiment/lab.h"
+#include "experiment/report.h"
+#include "experiment/studies.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "workload/suite.h"
+
+namespace tsp::bench {
+
+/** Print the standard banner: workload scale and app configuration. */
+inline void
+banner(const std::string &what, experiment::Lab &lab,
+       workload::AppId app)
+{
+    const auto &p = workload::profile(app);
+    std::printf("%s\n", what.c_str());
+    std::printf("workload: %s (%u threads, mean length %s, scale 1/%u,"
+                " cache %s)\n\n",
+                p.name.c_str(), p.threads,
+                util::fmtCompact(static_cast<double>(p.meanLength))
+                    .c_str(),
+                lab.scale(),
+                util::fmtBytes(workload::scaledCacheBytes(
+                                   app, lab.scale()))
+                    .c_str());
+}
+
+/**
+ * Render an execution-time figure (the layout of Figures 2-4): one
+ * row per placement algorithm, one column per (processors, contexts)
+ * machine point, each cell the execution time normalized to RANDOM at
+ * that point. When TSP_OUT names a directory, also writes
+ * <csvName>.csv there.
+ */
+inline void
+printExecTimeFigure(const std::string &title, experiment::Lab &lab,
+                    workload::AppId app,
+                    const std::string &csvName = "")
+{
+    auto points = experiment::execTimeStudy(
+        lab, app, placement::figureAlgorithms());
+
+    if (!csvName.empty()) {
+        if (auto dir = experiment::outputDirectory()) {
+            std::string path = *dir + "/" + csvName + ".csv";
+            experiment::writeExecTimeCsv(path, points);
+            std::printf("(wrote %s)\n", path.c_str());
+        }
+    }
+
+    // Column order: machine points in sweep order.
+    std::vector<std::string> cols;
+    std::map<std::string, size_t> colIndex;
+    for (const auto &pt : points) {
+        std::string label = pt.point.label();
+        if (!colIndex.count(label)) {
+            colIndex[label] = cols.size();
+            cols.push_back(label);
+        }
+    }
+
+    util::TextTable table(title);
+    std::vector<std::string> header{"algorithm"};
+    header.insert(header.end(), cols.begin(), cols.end());
+    table.setHeader(header);
+
+    for (placement::Algorithm alg : placement::figureAlgorithms()) {
+        std::vector<std::string> row{placement::algorithmName(alg)};
+        row.resize(1 + cols.size());
+        for (const auto &pt : points) {
+            if (pt.alg != alg)
+                continue;
+            row[1 + colIndex[pt.point.label()]] =
+                util::fmtFixed(pt.normalizedToRandom, 3);
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\n(execution time normalized to RANDOM; < 1.000 is "
+                "faster than RANDOM)\n");
+}
+
+} // namespace tsp::bench
+
+#endif // TSP_BENCH_BENCH_COMMON_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 2 — execution time for LocusRoute, all placement algorithms,
+ * normalized to RANDOM, across the processors/contexts sweep.
+ *
+ * Paper's shape: LOAD-BAL runs 17-42% faster than RANDOM (thread
+ * length deviation 14.6%); the sharing-based algorithms do not
+ * reliably beat RANDOM and never beat LOAD-BAL.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace tsp;
+    experiment::Lab lab(workload::defaultScale());
+    workload::AppId app = workload::AppId::LocusRoute;
+
+    bench::banner("Figure 2: Execution time for LocusRoute "
+                  "(normalized to RANDOM)",
+                  lab, app);
+    bench::printExecTimeFigure("Figure 2", lab, app, "fig2_locusroute");
+    std::printf("\npaper reports: LOAD-BAL 17%%-42%% faster than "
+                "RANDOM depending on configuration; sharing-based "
+                "placement never better than LOAD-BAL.\n");
+    return 0;
+}

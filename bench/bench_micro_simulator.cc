@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Micro-benchmarks of the event-driven simulator: references per
+ * second across processor counts, context counts and cache sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/load_balance.h"
+#include "core/random_placement.h"
+#include "sim/machine.h"
+#include "trace/address_space.h"
+#include "util/rng.h"
+#include "workload/app_profile.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace tsp;
+
+/** A moderately sharing-heavy app reused across iterations. */
+const trace::TraceSet &
+benchTraces()
+{
+    static const trace::TraceSet set = [] {
+        workload::AppProfile p;
+        p.name = "microbench";
+        p.threads = 16;
+        p.meanLength = 60000;
+        p.lengthDevPct = 30.0;
+        p.sharedRefFrac = 0.6;
+        p.refsPerSharedAddr = 25.0;
+        p.globalFrac = 0.8;
+        p.neighborFrac = 0.2;
+        p.globalWriteMode = workload::GlobalWriteMode::Migratory;
+        p.seed = 77;
+        return workload::generateTraces(p, 1);
+    }();
+    return set;
+}
+
+void
+BM_SimulateProcessors(benchmark::State &state)
+{
+    const auto &traces = benchTraces();
+    uint32_t procs = static_cast<uint32_t>(state.range(0));
+    sim::SimConfig cfg;
+    cfg.processors = procs;
+    cfg.contexts = (16 + procs - 1) / procs;
+    cfg.cacheBytes = 32 * 1024;
+
+    util::Rng rng(1);
+    auto map = placement::randomPlacement(16, procs, rng);
+    uint64_t refs = 0;
+    for (auto _ : state) {
+        auto stats = sim::simulate(cfg, traces, map);
+        refs += stats.totalMemRefs();
+        benchmark::DoNotOptimize(stats.executionTime());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(refs));
+    state.SetLabel("memory references/s");
+}
+BENCHMARK(BM_SimulateProcessors)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_SimulateCacheSize(benchmark::State &state)
+{
+    const auto &traces = benchTraces();
+    sim::SimConfig cfg;
+    cfg.processors = 4;
+    cfg.contexts = 4;
+    cfg.cacheBytes = static_cast<uint64_t>(state.range(0)) * 1024;
+
+    util::Rng rng(2);
+    auto map = placement::randomPlacement(16, 4, rng);
+    uint64_t refs = 0;
+    for (auto _ : state) {
+        auto stats = sim::simulate(cfg, traces, map);
+        refs += stats.totalMemRefs();
+        benchmark::DoNotOptimize(stats.totalMisses());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(refs));
+}
+BENCHMARK(BM_SimulateCacheSize)->Arg(8)->Arg(32)->Arg(64)->Arg(8192);
+
+void
+BM_LoadBalancedSimulation(benchmark::State &state)
+{
+    const auto &traces = benchTraces();
+    sim::SimConfig cfg;
+    cfg.processors = 8;
+    cfg.contexts = 2;
+    cfg.cacheBytes = 32 * 1024;
+    auto map =
+        placement::loadBalancedPlacement(traces.threadLengths(), 8);
+    for (auto _ : state) {
+        auto stats = sim::simulate(cfg, traces, map);
+        benchmark::DoNotOptimize(stats.executionTime());
+    }
+}
+BENCHMARK(BM_LoadBalancedSimulation);
+
+} // namespace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 2 — measured characteristics: pairwise and N-way sharing
+ * (mean, Dev%), references per shared address, percentage of shared
+ * references, and simulated thread length (mean, Dev%), computed by
+ * the same static analysis the placement algorithms consume.
+ */
+
+#include <cstdio>
+
+#include "experiment/lab.h"
+#include "experiment/report.h"
+#include "experiment/studies.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "workload/suite.h"
+#include "workload/validate.h"
+
+int
+main()
+{
+    using namespace tsp;
+    const uint32_t scale = workload::defaultScale();
+    experiment::Lab lab(scale);
+
+    std::printf("Table 2: Measured characteristics (workload scale "
+                "1/%u; sharing counts in refs)\n\n",
+                scale);
+
+    util::TextTable table;
+    table.setHeader({"application", "pairwise mean", "dev%",
+                     "n-way mean", "dev%", "refs/shared addr", "dev%",
+                     "shared refs %", "length mean", "dev%"});
+    bool separated = false;
+    std::vector<analysis::CharacteristicsRow> rows;
+    for (workload::AppId app : workload::allApps()) {
+        const auto &p = workload::profile(app);
+        if (p.grain == workload::Grain::Medium && !separated) {
+            table.addSeparator();
+            separated = true;
+        }
+        auto row = experiment::table2Row(lab, app);
+        rows.push_back(row);
+        table.addRow({
+            row.app,
+            util::fmtCompact(row.pairwiseMean),
+            util::fmtFixed(row.pairwiseDevPct, 1),
+            util::fmtCompact(row.nwayMean),
+            util::fmtFixed(row.nwayDevPct, 1),
+            util::fmtFixed(row.refsPerSharedAddrMean, 0),
+            util::fmtFixed(row.refsPerSharedAddrDevPct, 1),
+            util::fmtFixed(row.sharedRefsPct, 1),
+            util::fmtCompact(row.lengthMean),
+            util::fmtFixed(row.lengthDevPct, 1),
+        });
+    }
+    table.print();
+    if (auto dir = experiment::outputDirectory()) {
+        std::string path = *dir + "/table2_characteristics.csv";
+        experiment::writeTable2Csv(path, rows);
+        std::printf("(wrote %s)\n", path.c_str());
+    }
+
+    // Self-check the generators against their calibration targets.
+    std::printf("\ngenerator calibration check (against Table 2 "
+                "targets):\n");
+    int ok = 0, bad = 0;
+    for (workload::AppId app : workload::allApps()) {
+        auto report = workload::validateTraces(
+            workload::profile(app), lab.traces(app), scale);
+        if (report.allOk()) {
+            ++ok;
+        } else {
+            ++bad;
+            std::printf("%s", report.render().c_str());
+        }
+    }
+    std::printf("%d/%d applications within tolerance\n", ok, ok + bad);
+    return bad == 0 ? 0 : 1;
+}

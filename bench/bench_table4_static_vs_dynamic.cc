@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 4 — statically counted sharing vs. dynamically measured
+ * coherence traffic, from the one-thread-per-processor measurement
+ * runs of Section 4.2.
+ *
+ * Paper's shape: runtime coherence traffic + compulsory misses are
+ * 0.01%-3.3% of references (coarse) and 0.01%-0.4% (medium) — one to
+ * three orders of magnitude below the static shared-reference counts.
+ */
+
+#include <cstdio>
+
+#include "experiment/lab.h"
+#include "experiment/report.h"
+#include "experiment/studies.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "workload/suite.h"
+
+int
+main()
+{
+    using namespace tsp;
+    const uint32_t scale = workload::defaultScale();
+    experiment::Lab lab(scale);
+
+    std::printf("Table 4: Static shared references vs. dynamic "
+                "coherence traffic (1 thread/processor, scale 1/%u)\n\n",
+                scale);
+
+    util::TextTable table;
+    table.setHeader({"application", "static pairwise total",
+                     "static % of refs", "dynamic traffic",
+                     "dynamic % of refs", "static/dynamic",
+                     "dyn pair dev%", "dyn pair abs dev"});
+    bool separated = false;
+    bool shapeHolds = true;
+    std::vector<experiment::Table4Row> rows;
+    for (workload::AppId app : workload::allApps()) {
+        const auto &p = workload::profile(app);
+        if (p.grain == workload::Grain::Medium && !separated) {
+            table.addSeparator();
+            separated = true;
+        }
+        auto row = experiment::table4Row(lab, app);
+        rows.push_back(row);
+        table.addRow({
+            row.app,
+            util::fmtCompact(row.staticTotal),
+            util::fmtFixed(row.staticPctOfRefs, 1),
+            util::fmtCompact(row.dynamicTotal),
+            util::fmtFixed(row.dynamicPctOfRefs, 2),
+            util::fmtRatio(row.staticOverDynamic, 0),
+            util::fmtFixed(row.dynamicPairDevPct, 1),
+            util::fmtFixed(row.dynamicPairAbsDev, 2),
+        });
+        if (row.staticOverDynamic < 10.0)
+            shapeHolds = false;
+    }
+    table.print();
+    if (auto dir = experiment::outputDirectory()) {
+        std::string path = *dir + "/table4_static_vs_dynamic.csv";
+        experiment::writeTable4Csv(path, rows);
+        std::printf("(wrote %s)\n", path.c_str());
+    }
+    std::printf("\npaper reports: dynamic measure 1-3 orders of "
+                "magnitude below the static counts; %s here.\n",
+                shapeHolds ? "every application is >=1 order below"
+                           : "WARNING: some application fell below one "
+                             "order of magnitude");
+    return 0;
+}

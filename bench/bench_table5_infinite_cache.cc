@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 5 — the "infinite" (8 MB) cache study of Section 4.3: for the
+ * six applications with the least-uniform measured sharing, execution
+ * time of (a) the best static sharing-based algorithm and (b) the
+ * dynamic coherence-traffic algorithm, normalized to LOAD-BAL.
+ *
+ * Paper's shape: even with conflict and capacity misses eliminated,
+ * the best sharing-based placement matches LOAD-BAL (wins of at most
+ * ~2%), and LOAD-BAL usually beats the coherence-traffic oracle.
+ */
+
+#include <cstdio>
+
+#include "experiment/lab.h"
+#include "experiment/report.h"
+#include "experiment/studies.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "workload/suite.h"
+
+int
+main()
+{
+    using namespace tsp;
+    using workload::AppId;
+    const uint32_t scale = workload::defaultScale();
+    experiment::Lab lab(scale);
+
+    std::printf("Table 5: Execution times normalized to LOAD-BAL with "
+                "an 8 MB cache (no conflict misses), scale 1/%u\n\n",
+                scale);
+
+    // The paper's six apps: three coarse, three medium, chosen for
+    // least-uniform sharing.
+    const std::vector<AppId> apps = {
+        AppId::Water, AppId::LocusRoute, AppId::Pverify,
+        AppId::Grav,  AppId::FFT,        AppId::Health,
+    };
+
+    util::TextTable table;
+    table.setHeader({"application", "processors",
+                     "best static sharing alg", "best static / LOAD-BAL",
+                     "coherence traffic / LOAD-BAL"});
+    std::vector<experiment::Table5Cell> allCells;
+    for (AppId app : apps) {
+        auto cells = experiment::table5Study(lab, app);
+        allCells.insert(allCells.end(), cells.begin(), cells.end());
+        for (const auto &cell : cells) {
+            table.addRow({
+                cell.app,
+                std::to_string(cell.processors),
+                placement::algorithmName(cell.bestStatic),
+                util::fmtFixed(cell.bestStaticVsLoadBal, 2),
+                util::fmtFixed(cell.coherenceVsLoadBal, 2),
+            });
+        }
+        table.addSeparator();
+    }
+    table.print();
+    if (auto dir = experiment::outputDirectory()) {
+        std::string path = *dir + "/table5_infinite_cache.csv";
+        experiment::writeTable5Csv(path, allCells);
+        std::printf("(wrote %s)\n", path.c_str());
+    }
+    std::printf("\npaper reports: best sharing-based within ~2%% of "
+                "LOAD-BAL everywhere (values ~0.98-1.11); LOAD-BAL as "
+                "good as or better than the coherence-traffic "
+                "algorithm.\n");
+    return 0;
+}

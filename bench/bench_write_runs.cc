@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Write-run / sharing-pattern profile of every suite application
+ * (Section 4.2's explanation of sequential sharing): classify each
+ * shared block as read-only, migratory (long write runs) or other,
+ * and report run-length statistics.
+ *
+ * Paper's anchor points: 73% of FFT's shared elements are migratory,
+ * accessed in long write runs; Barnes-Hut-style applications read
+ * widely and write locally (read-only shared dominates); "other
+ * Presto programs have similar sequential access patterns".
+ */
+
+#include <cstdio>
+
+#include "core/placement_map.h"
+#include "experiment/lab.h"
+#include "sim/machine.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "workload/suite.h"
+
+int
+main()
+{
+    using namespace tsp;
+    const uint32_t scale = workload::defaultScale();
+    experiment::Lab lab(scale);
+
+    std::printf("Sharing-pattern profile (write-run taxonomy), one "
+                "thread per processor, scale 1/%u\n\n",
+                scale);
+
+    util::TextTable table;
+    table.setHeader({"application", "shared blocks", "read-only %",
+                     "migratory %", "other %", "mean write run",
+                     "mean read run"});
+    bool separated = false;
+    for (workload::AppId app : workload::allApps()) {
+        const auto &p = workload::profile(app);
+        if (p.grain == workload::Grain::Medium && !separated) {
+            table.addSeparator();
+            separated = true;
+        }
+        const auto &traces = lab.traces(app);
+        if (traces.threadCount() > 128)
+            continue;
+
+        sim::SimConfig cfg;
+        cfg.processors = static_cast<uint32_t>(traces.threadCount());
+        cfg.contexts = 1;
+        cfg.cacheBytes = workload::scaledCacheBytes(app, scale);
+        cfg.profileSharing = true;
+
+        std::vector<uint32_t> identity(traces.threadCount());
+        for (uint32_t i = 0; i < identity.size(); ++i)
+            identity[i] = i;
+        auto stats = sim::simulate(
+            cfg, traces,
+            placement::PlacementMap(cfg.processors, identity));
+        const auto &prof = stats.sharingProfile;
+
+        double other = prof.sharedBlocks
+            ? static_cast<double>(prof.otherShared) /
+                  static_cast<double>(prof.sharedBlocks)
+            : 0.0;
+        table.addRow({
+            p.name,
+            std::to_string(prof.sharedBlocks),
+            util::fmtPercent(prof.readOnlyFraction(), 1),
+            util::fmtPercent(prof.migratoryFraction(), 1),
+            util::fmtPercent(other, 1),
+            util::fmtFixed(prof.writeRunLength.mean(), 1),
+            util::fmtFixed(prof.readRunLength.mean(), 1),
+        });
+    }
+    table.print();
+    std::printf("\npaper anchor: 73%% of FFT's shared elements are "
+                "migratory (long write runs); read-widely/write-locally "
+                "applications are dominated by read-only sharing. Long "
+                "runs are why runtime coherence traffic stays orders of "
+                "magnitude below static sharing counts.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Quickstart: the complete pipeline in ~60 lines.
+ *
+ *  1. Generate a small synthetic parallel application (traces).
+ *  2. Statically analyze the per-thread traces.
+ *  3. Build two placements: SHARE-REFS (sharing-based) and LOAD-BAL.
+ *  4. Simulate both on a 4-processor multithreaded machine.
+ *  5. Compare execution time and miss components.
+ */
+
+#include <cstdio>
+
+#include "analysis/static_analysis.h"
+#include "core/algorithms.h"
+#include "sim/machine.h"
+#include "util/format.h"
+#include "util/rng.h"
+#include "workload/app_profile.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace tsp;
+
+    // 1. A small application: 8 threads, 60%-shared references,
+    //    moderately imbalanced thread lengths.
+    workload::AppProfile app;
+    app.name = "quickstart-app";
+    app.threads = 8;
+    app.meanLength = 100'000;
+    app.lengthDevPct = 45.0;
+    app.sharedRefFrac = 0.6;
+    app.refsPerSharedAddr = 20.0;
+    app.globalFrac = 0.8;
+    app.neighborFrac = 0.2;
+    app.globalWriteMode = workload::GlobalWriteMode::Migratory;
+    app.seed = 2024;
+    trace::TraceSet traces = workload::generateTraces(app);
+    std::printf("generated %zu threads, %s instructions, %s data refs\n",
+                traces.threadCount(),
+                util::fmtCompact(static_cast<double>(
+                    traces.totalInstructions())).c_str(),
+                util::fmtCompact(static_cast<double>(
+                    traces.totalMemRefs())).c_str());
+
+    // 2. Static per-thread analysis (what a compiler could compute).
+    auto analysis = analysis::StaticAnalysis::analyze(traces);
+    std::printf("pairwise shared references (mean over pairs): %s\n",
+                util::fmtCompact(
+                    analysis.sharedRefs().pairSummary().mean())
+                    .c_str());
+
+    // 3. Two placements onto 4 processors.
+    util::Rng rng(1);
+    auto sharing = placement::place(placement::Algorithm::ShareRefs,
+                                    analysis, 4, rng);
+    auto loadBal = placement::place(placement::Algorithm::LoadBal,
+                                    analysis, 4, rng);
+    std::printf("SHARE-REFS placement: %s\n",
+                sharing.describe().c_str());
+    std::printf("LOAD-BAL   placement: %s\n",
+                loadBal.describe().c_str());
+
+    // 4. Simulate on a 4-processor, 2-contexts-per-processor machine.
+    sim::SimConfig cfg;
+    cfg.processors = 4;
+    cfg.contexts = 2;
+    cfg.cacheBytes = 32 * 1024;
+
+    auto simShare = sim::simulate(cfg, traces, sharing);
+    auto simLoad = sim::simulate(cfg, traces, loadBal);
+
+    // 5. Compare.
+    std::printf("\n%-12s %14s %12s %16s\n", "placement", "exec cycles",
+                "miss rate", "comp+inval misses");
+    auto report = [](const char *name, const sim::SimStats &s) {
+        std::printf("%-12s %14s %12s %16s\n", name,
+                    util::fmtThousands(static_cast<int64_t>(
+                        s.executionTime())).c_str(),
+                    util::fmtPercent(s.missRate()).c_str(),
+                    util::fmtThousands(static_cast<int64_t>(
+                        s.totalMissCount(sim::MissKind::Compulsory) +
+                        s.totalMissCount(sim::MissKind::Invalidation)))
+                        .c_str());
+    };
+    report("SHARE-REFS", simShare);
+    report("LOAD-BAL", simLoad);
+
+    std::printf("\nThe paper's finding in miniature: the sharing-based "
+                "placement does not reduce the\ncompulsory+invalidation "
+                "component, while load balancing reduces execution "
+                "time.\n");
+    return 0;
+}

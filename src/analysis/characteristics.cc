@@ -1,0 +1,51 @@
+#include "analysis/characteristics.h"
+
+#include "analysis/nway.h"
+#include "stats/summary.h"
+
+namespace tsp::analysis {
+
+CharacteristicsRow
+computeCharacteristics(const StaticAnalysis &analysis, util::Rng &rng)
+{
+    CharacteristicsRow row;
+    row.app = analysis.appName();
+    const size_t t = analysis.threadCount();
+
+    auto pair = analysis.sharedRefs().pairSummary();
+    row.pairwiseMean = pair.mean();
+    row.pairwiseDevPct = pair.devPercent();
+
+    if (t >= 2) {
+        auto nway = nwaySharing(analysis.sharedRefs(), 2,
+                                /*samples=*/32, rng);
+        row.nwayMean = nway.mean();
+        row.nwayDevPct = nway.devPercent();
+    }
+
+    stats::Summary refsPerAddr;
+    stats::Summary sharedPct;
+    stats::Summary length;
+    for (size_t i = 0; i < t; ++i) {
+        uint64_t sharedAddrs = analysis.threadSharedAddrs()[i];
+        uint64_t sharedRefs = analysis.threadSharedRefs()[i];
+        if (sharedAddrs > 0) {
+            refsPerAddr.add(static_cast<double>(sharedRefs) /
+                            static_cast<double>(sharedAddrs));
+        }
+        uint64_t refs = analysis.threadRefs()[i];
+        if (refs > 0) {
+            sharedPct.add(100.0 * static_cast<double>(sharedRefs) /
+                          static_cast<double>(refs));
+        }
+        length.add(static_cast<double>(analysis.threadLength()[i]));
+    }
+    row.refsPerSharedAddrMean = refsPerAddr.mean();
+    row.refsPerSharedAddrDevPct = refsPerAddr.devPercent();
+    row.sharedRefsPct = sharedPct.mean();
+    row.lengthMean = length.mean();
+    row.lengthDevPct = length.devPercent();
+    return row;
+}
+
+} // namespace tsp::analysis

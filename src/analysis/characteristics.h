@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The measured-characteristics row of Table 2, computed from a
+ * StaticAnalysis: pairwise and N-way sharing (mean, Dev%), references
+ * per shared address (mean, Dev%), percentage of shared references, and
+ * simulated thread length (mean, Dev%).
+ */
+
+#ifndef TSP_ANALYSIS_CHARACTERISTICS_H
+#define TSP_ANALYSIS_CHARACTERISTICS_H
+
+#include <string>
+
+#include "analysis/static_analysis.h"
+#include "util/rng.h"
+
+namespace tsp::analysis {
+
+/** One application's row of Table 2. */
+struct CharacteristicsRow
+{
+    std::string app;
+
+    double pairwiseMean = 0;     //!< mean shared refs per thread pair
+    double pairwiseDevPct = 0;
+
+    double nwayMean = 0;         //!< intra-cluster sharing at 2 procs
+    double nwayDevPct = 0;
+
+    double refsPerSharedAddrMean = 0;  //!< per-thread temporal locality
+    double refsPerSharedAddrDevPct = 0;
+
+    double sharedRefsPct = 0;    //!< % of data refs to shared addresses
+
+    double lengthMean = 0;       //!< thread length (instructions)
+    double lengthDevPct = 0;
+};
+
+/**
+ * Compute the Table 2 row for @p analysis. @p rng drives the partition
+ * sampling behind the N-way statistic.
+ */
+CharacteristicsRow computeCharacteristics(const StaticAnalysis &analysis,
+                                          util::Rng &rng);
+
+} // namespace tsp::analysis
+
+#endif // TSP_ANALYSIS_CHARACTERISTICS_H

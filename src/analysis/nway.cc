@@ -1,0 +1,34 @@
+#include "analysis/nway.h"
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsp::analysis {
+
+stats::Summary
+nwaySharing(const stats::PairMatrix &pairwise, size_t clusters,
+            size_t samples, util::Rng &rng)
+{
+    const size_t t = pairwise.size();
+    util::fatalIf(clusters == 0 || clusters > t,
+                  "invalid cluster count for N-way sharing");
+
+    std::vector<uint32_t> order(t);
+    std::iota(order.begin(), order.end(), 0u);
+
+    stats::Summary summary;
+    for (size_t s = 0; s < samples; ++s) {
+        rng.shuffle(order);
+        // Deal threads round-robin into thread-balanced clusters.
+        std::vector<std::vector<uint32_t>> groups(clusters);
+        for (size_t i = 0; i < t; ++i)
+            groups[i % clusters].push_back(order[i]);
+        for (const auto &group : groups)
+            summary.add(pairwise.withinSum(group));
+    }
+    return summary;
+}
+
+} // namespace tsp::analysis

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * N-way sharing: intra-cluster shared references when threads are
+ * grouped at the maximum threads-per-processor point (2 processors),
+ * the second extreme reported in Table 2. Because the exact grouping is
+ * placement-dependent, we report statistics over sampled thread-balanced
+ * partitions.
+ */
+
+#ifndef TSP_ANALYSIS_NWAY_H
+#define TSP_ANALYSIS_NWAY_H
+
+#include <cstddef>
+
+#include "stats/pair_matrix.h"
+#include "stats/summary.h"
+#include "util/rng.h"
+
+namespace tsp::analysis {
+
+/**
+ * Sample @p samples random thread-balanced partitions of the threads of
+ * @p pairwise into @p clusters clusters, and summarize the intra-cluster
+ * shared-reference totals (one observation per cluster per sample).
+ */
+stats::Summary nwaySharing(const stats::PairMatrix &pairwise,
+                           size_t clusters, size_t samples,
+                           util::Rng &rng);
+
+} // namespace tsp::analysis
+
+#endif // TSP_ANALYSIS_NWAY_H

@@ -1,0 +1,91 @@
+#include "analysis/static_analysis.h"
+
+#include <unordered_map>
+
+#include "analysis/thread_summary.h"
+#include "util/error.h"
+
+namespace tsp::analysis {
+
+namespace {
+
+/** One thread's accesses to one address, in the inverted index. */
+struct SharerEntry
+{
+    uint32_t tid;
+    uint64_t count;
+    bool wrote;
+};
+
+/** Per-address record in the inverted index built during analysis. */
+struct AddrInfo
+{
+    /** Every thread referencing this address. */
+    std::vector<SharerEntry> refs;
+};
+
+} // namespace
+
+StaticAnalysis
+StaticAnalysis::analyze(const trace::TraceSet &set)
+{
+    const size_t t = set.threadCount();
+    util::fatalIf(t == 0, "cannot analyze an empty trace set");
+
+    StaticAnalysis out;
+    out.name_ = set.name();
+    out.sharedRefs_ = stats::PairMatrix(t);
+    out.sharedAddrs_ = stats::PairMatrix(t);
+    out.writeSharedRefs_ = stats::PairMatrix(t);
+    out.threadLength_.resize(t);
+    out.threadRefs_.resize(t);
+    out.threadSharedRefs_.assign(t, 0);
+    out.threadSharedAddrs_.assign(t, 0);
+    out.threadPrivateAddrs_.assign(t, 0);
+
+    // Build the inverted per-address index from per-thread summaries.
+    std::unordered_map<uint64_t, AddrInfo> index;
+    for (size_t i = 0; i < t; ++i) {
+        ThreadSummary summary(set.thread(static_cast<uint32_t>(i)));
+        out.threadLength_[i] = summary.instructionCount();
+        out.threadRefs_[i] = summary.memRefCount();
+        out.totalRefs_ += summary.memRefCount();
+        out.totalInstructions_ += summary.instructionCount();
+        for (const auto &[addr, acc] : summary.accesses()) {
+            index[addr].refs.push_back({static_cast<uint32_t>(i),
+                                        acc.total(), acc.written()});
+        }
+    }
+
+    // Fold each address's sharer list into the pairwise matrices and the
+    // per-thread totals.
+    for (const auto &[addr, info] : index) {
+        (void)addr;
+        const auto &sharers = info.refs;
+        if (sharers.size() < 2) {
+            ++out.threadPrivateAddrs_[sharers.front().tid];
+            ++out.privateAddrCount_;
+            continue;
+        }
+        ++out.sharedAddrCount_;
+        for (const auto &entry : sharers) {
+            out.threadSharedRefs_[entry.tid] += entry.count;
+            ++out.threadSharedAddrs_[entry.tid];
+        }
+        for (size_t a = 0; a < sharers.size(); ++a) {
+            for (size_t b = a + 1; b < sharers.size(); ++b) {
+                const auto &ea = sharers[a];
+                const auto &eb = sharers[b];
+                double pairRefs = static_cast<double>(ea.count + eb.count);
+                out.sharedRefs_.add(ea.tid, eb.tid, pairRefs);
+                out.sharedAddrs_.add(ea.tid, eb.tid, 1.0);
+                if (ea.wrote || eb.wrote)
+                    out.writeSharedRefs_.add(ea.tid, eb.tid, pairRefs);
+            }
+        }
+    }
+
+    return out;
+}
+
+} // namespace tsp::analysis

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Whole-application static analysis: pairwise sharing matrices and
+ * per-thread sharing statistics, computed once per trace set and reused
+ * by every placement algorithm.
+ *
+ * Definitions (Sections 2 and 3.1):
+ *  - shared-references(t_a, t_b): references made by t_a and t_b to
+ *    their common (word) addresses;
+ *  - shared-addresses(t_a, t_b): the number of those common addresses;
+ *  - write-shared-references(t_a, t_b): like shared-references but
+ *    restricted to common addresses written by at least one of the two
+ *    (the data responsible for invalidations; used by MAX-WRITES);
+ *  - a globally *shared address* is one referenced by two or more
+ *    threads; all other addresses are private (used by MIN-PRIV).
+ */
+
+#ifndef TSP_ANALYSIS_STATIC_ANALYSIS_H
+#define TSP_ANALYSIS_STATIC_ANALYSIS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/pair_matrix.h"
+#include "trace/trace_set.h"
+
+namespace tsp::analysis {
+
+/**
+ * Immutable result of analyzing one application's trace set.
+ */
+class StaticAnalysis
+{
+  public:
+    /** Run the full analysis over @p set. */
+    static StaticAnalysis analyze(const trace::TraceSet &set);
+
+    /** Application name. */
+    const std::string &appName() const { return name_; }
+
+    /** Number of threads. */
+    size_t threadCount() const { return threadLength_.size(); }
+
+    /** shared-references(t_a, t_b) for all pairs. */
+    const stats::PairMatrix &sharedRefs() const { return sharedRefs_; }
+
+    /** Distinct common addresses per pair. */
+    const stats::PairMatrix &sharedAddrs() const { return sharedAddrs_; }
+
+    /** Write-shared references per pair (MAX-WRITES metric input). */
+    const stats::PairMatrix &
+    writeSharedRefs() const
+    {
+        return writeSharedRefs_;
+    }
+
+    /** Dynamic instruction length of each thread. */
+    const std::vector<uint64_t> &threadLength() const
+    {
+        return threadLength_;
+    }
+
+    /** Total data references of each thread. */
+    const std::vector<uint64_t> &threadRefs() const { return threadRefs_; }
+
+    /** Per-thread references to globally shared addresses. */
+    const std::vector<uint64_t> &
+    threadSharedRefs() const
+    {
+        return threadSharedRefs_;
+    }
+
+    /** Per-thread count of distinct globally shared addresses touched. */
+    const std::vector<uint64_t> &
+    threadSharedAddrs() const
+    {
+        return threadSharedAddrs_;
+    }
+
+    /** Per-thread count of private addresses (touched by nobody else). */
+    const std::vector<uint64_t> &
+    threadPrivateAddrs() const
+    {
+        return threadPrivateAddrs_;
+    }
+
+    /** Total data references in the application. */
+    uint64_t totalRefs() const { return totalRefs_; }
+
+    /** Total instructions in the application. */
+    uint64_t totalInstructions() const { return totalInstructions_; }
+
+    /** Distinct globally shared addresses in the application. */
+    uint64_t sharedAddrCount() const { return sharedAddrCount_; }
+
+    /** Sum of per-thread private address counts. */
+    uint64_t privateAddrCount() const { return privateAddrCount_; }
+
+  private:
+    StaticAnalysis() = default;
+
+    std::string name_;
+    stats::PairMatrix sharedRefs_;
+    stats::PairMatrix sharedAddrs_;
+    stats::PairMatrix writeSharedRefs_;
+    std::vector<uint64_t> threadLength_;
+    std::vector<uint64_t> threadRefs_;
+    std::vector<uint64_t> threadSharedRefs_;
+    std::vector<uint64_t> threadSharedAddrs_;
+    std::vector<uint64_t> threadPrivateAddrs_;
+    uint64_t totalRefs_ = 0;
+    uint64_t totalInstructions_ = 0;
+    uint64_t sharedAddrCount_ = 0;
+    uint64_t privateAddrCount_ = 0;
+};
+
+} // namespace tsp::analysis
+
+#endif // TSP_ANALYSIS_STATIC_ANALYSIS_H

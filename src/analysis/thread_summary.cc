@@ -1,0 +1,28 @@
+#include "analysis/thread_summary.h"
+
+namespace tsp::analysis {
+
+ThreadSummary::ThreadSummary(const trace::ThreadTrace &tt) : id_(tt.id())
+{
+    instructions_ = tt.instructionCount();
+    memRefs_ = tt.memRefCount();
+    accesses_.reserve(tt.memRefCount() / 8 + 16);
+    for (const auto &e : tt.events()) {
+        if (!e.isMemRef())
+            continue;
+        auto &acc = accesses_[e.address()];
+        if (e.isStore())
+            ++acc.writes;
+        else
+            ++acc.reads;
+    }
+}
+
+AddrAccess
+ThreadSummary::access(uint64_t addr) const
+{
+    auto it = accesses_.find(addr);
+    return it == accesses_.end() ? AddrAccess{} : it->second;
+}
+
+} // namespace tsp::analysis

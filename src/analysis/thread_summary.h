@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-thread static trace summary: the raw material of every
+ * sharing-based placement metric (Section 3.1). This mirrors what the
+ * paper extracts by statically analyzing MPtrace per-thread trace files
+ * (and what summary side-effect analysis in a compiler could
+ * approximate).
+ */
+
+#ifndef TSP_ANALYSIS_THREAD_SUMMARY_H
+#define TSP_ANALYSIS_THREAD_SUMMARY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "trace/thread_trace.h"
+
+namespace tsp::analysis {
+
+/**
+ * Per-address access counts for one thread.
+ */
+struct AddrAccess
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+
+    uint64_t total() const { return reads + writes; }
+    bool written() const { return writes > 0; }
+};
+
+/**
+ * Summary of one thread's trace: instruction length plus per-address
+ * read/write counts over *word* addresses. We count distinct addresses
+ * rather than cache lines, exactly as the paper does (footnote 1), so
+ * false sharing is excluded from static metrics.
+ */
+class ThreadSummary
+{
+  public:
+    /** Build a summary by scanning @p tt once. */
+    explicit ThreadSummary(const trace::ThreadTrace &tt);
+
+    /** Thread id. */
+    trace::ThreadId id() const { return id_; }
+
+    /** Total instructions (work + references). */
+    uint64_t instructionCount() const { return instructions_; }
+
+    /** Total data references. */
+    uint64_t memRefCount() const { return memRefs_; }
+
+    /** Distinct word addresses referenced. */
+    size_t distinctAddrs() const { return accesses_.size(); }
+
+    /** Reference counts for @p addr (zeros when never referenced). */
+    AddrAccess access(uint64_t addr) const;
+
+    /** The full per-address access map. */
+    const std::unordered_map<uint64_t, AddrAccess> &
+    accesses() const
+    {
+        return accesses_;
+    }
+
+  private:
+    trace::ThreadId id_;
+    uint64_t instructions_ = 0;
+    uint64_t memRefs_ = 0;
+    std::unordered_map<uint64_t, AddrAccess> accesses_;
+};
+
+} // namespace tsp::analysis
+
+#endif // TSP_ANALYSIS_THREAD_SUMMARY_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Registry of all placement algorithms evaluated in the paper, plus a
+ * single entry point that builds a placement for any of them.
+ */
+
+#ifndef TSP_CORE_ALGORITHMS_H
+#define TSP_CORE_ALGORITHMS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/static_analysis.h"
+#include "core/placement_map.h"
+#include "stats/pair_matrix.h"
+#include "util/rng.h"
+
+namespace tsp::placement {
+
+/**
+ * Every placement algorithm of Section 2 (plus the dynamic
+ * coherence-traffic algorithm of Section 4.2).
+ */
+enum class Algorithm {
+    ShareRefs,
+    ShareAddr,
+    MinPriv,
+    MinInvs,
+    MaxWrites,
+    MinShare,
+    ShareRefsLB,
+    ShareAddrLB,
+    MinPrivLB,
+    MinInvsLB,
+    MaxWritesLB,
+    MinShareLB,
+    LoadBal,
+    Random,
+    CoherenceTraffic,
+    CoherenceTrafficLB,
+};
+
+/** Display name matching the paper's, e.g. "SHARE-REFS+LB". */
+std::string algorithmName(Algorithm alg);
+
+/** Parse a display name back to an Algorithm; nullopt on no match. */
+std::optional<Algorithm> algorithmFromName(const std::string &name);
+
+/** True for algorithms whose combining criterion involves sharing. */
+bool isSharingBased(Algorithm alg);
+
+/** True for +LB variants (load-balance instead of thread-balance). */
+bool hasLoadBalanceCriterion(Algorithm alg);
+
+/** True for the two dynamic coherence-traffic algorithms. */
+bool needsCoherenceMatrix(Algorithm alg);
+
+/** All algorithms in presentation order. */
+const std::vector<Algorithm> &allAlgorithms();
+
+/** The six static sharing-based algorithms (no +LB). */
+const std::vector<Algorithm> &staticSharingAlgorithms();
+
+/** All twelve static sharing-based algorithms (with +LB variants). */
+const std::vector<Algorithm> &staticSharingAlgorithmsWithLB();
+
+/** The algorithm set the execution-time figures sweep. */
+const std::vector<Algorithm> &figureAlgorithms();
+
+/**
+ * Build the placement of @p alg for the analyzed application on
+ * @p processors processors.
+ *
+ * @param analysis  static analysis of the application's traces
+ * @param processors target processor count
+ * @param rng       consumed only by Random
+ * @param coherence measured thread-pair coherence traffic; required by
+ *                  (and only by) the CoherenceTraffic algorithms
+ */
+PlacementMap place(Algorithm alg,
+                   const analysis::StaticAnalysis &analysis,
+                   uint32_t processors, util::Rng &rng,
+                   const stats::PairMatrix *coherence = nullptr);
+
+} // namespace tsp::placement
+
+#endif // TSP_CORE_ALGORITHMS_H

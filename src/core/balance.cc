@@ -1,0 +1,148 @@
+#include "core/balance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bits.h"
+#include "util/error.h"
+
+namespace tsp::placement {
+
+namespace {
+
+/**
+ * DFS bin packing: place each cluster size into one of the remaining
+ * bins (capacities are floor or ceil thread counts) so every bin is
+ * filled exactly.
+ */
+bool
+packExact(std::vector<uint32_t> &sizes, std::vector<uint32_t> &binLeft,
+          size_t next)
+{
+    if (next == sizes.size()) {
+        return std::all_of(binLeft.begin(), binLeft.end(),
+                           [](uint32_t left) { return left == 0; });
+    }
+    uint32_t need = sizes[next];
+    uint32_t tried0 = UINT32_MAX, tried1 = UINT32_MAX;
+    for (size_t b = 0; b < binLeft.size(); ++b) {
+        // Only try one bin per distinct remaining capacity.
+        if (binLeft[b] == tried0 || binLeft[b] == tried1)
+            continue;
+        if (binLeft[b] < need) {
+            if (tried0 == UINT32_MAX)
+                tried0 = binLeft[b];
+            else
+                tried1 = binLeft[b];
+            continue;
+        }
+        if (tried0 == UINT32_MAX)
+            tried0 = binLeft[b];
+        else if (tried1 == UINT32_MAX)
+            tried1 = binLeft[b];
+        binLeft[b] -= need;
+        if (packExact(sizes, binLeft, next + 1))
+            return true;
+        binLeft[b] += need;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+threadBalanceFeasible(std::vector<uint32_t> sizes, uint32_t processors)
+{
+    util::fatalIf(processors == 0, "need >= 1 processor");
+    uint32_t t = std::accumulate(sizes.begin(), sizes.end(), 0u);
+    if (t == 0)
+        return true;
+    if (t < processors) {
+        // Some processors stay empty; every cluster must be a singleton.
+        return std::all_of(sizes.begin(), sizes.end(),
+                           [](uint32_t s) { return s == 1; });
+    }
+    if (sizes.size() < processors)
+        return false;  // merging only shrinks the cluster count
+
+    uint32_t lo = t / processors;
+    uint32_t hi = static_cast<uint32_t>(util::divCeil(t, processors));
+    uint32_t numHi = t % processors;  // bins that must hold ceil threads
+
+    std::vector<uint32_t> binLeft;
+    for (uint32_t b = 0; b < processors; ++b)
+        binLeft.push_back(b < numHi ? hi : lo);
+
+    // Largest-first ordering prunes the DFS dramatically.
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    if (!sizes.empty() && sizes.front() > hi)
+        return false;
+    return packExact(sizes, binLeft, 0);
+}
+
+ThreadBalanceConstraint::ThreadBalanceConstraint(uint32_t threads,
+                                                 uint32_t processors)
+    : processors_(processors),
+      ceilSize_(static_cast<uint32_t>(util::divCeil(threads, processors)))
+{
+    util::fatalIf(processors == 0, "need >= 1 processor");
+}
+
+bool
+ThreadBalanceConstraint::canMerge(const ClusterSet &cs, size_t a,
+                                  size_t b) const
+{
+    size_t merged = cs.size(a) + cs.size(b);
+    if (merged > ceilSize_)
+        return false;
+    std::vector<uint32_t> sizes;
+    sizes.reserve(cs.clusterCount() - 1);
+    for (size_t c = 0; c < cs.clusterCount(); ++c) {
+        if (c == a || c == b)
+            continue;
+        sizes.push_back(static_cast<uint32_t>(cs.size(c)));
+    }
+    sizes.push_back(static_cast<uint32_t>(merged));
+    return threadBalanceFeasible(std::move(sizes), processors_);
+}
+
+LoadBalanceConstraint::LoadBalanceConstraint(
+    const std::vector<uint64_t> &threadLength, uint32_t processors,
+    double slack)
+    : threadLength_(threadLength), slack_(slack)
+{
+    util::fatalIf(processors == 0, "need >= 1 processor");
+    uint64_t total = std::accumulate(threadLength.begin(),
+                                     threadLength.end(), uint64_t{0});
+    idealLoad_ = static_cast<double>(total) /
+                 static_cast<double>(processors);
+}
+
+uint64_t
+LoadBalanceConstraint::clusterLoad(const ClusterSet &cs, size_t c) const
+{
+    uint64_t load = 0;
+    for (uint32_t tid : cs.members(c))
+        load += threadLength_.at(tid);
+    return load;
+}
+
+bool
+LoadBalanceConstraint::canMerge(const ClusterSet &cs, size_t a,
+                                size_t b) const
+{
+    double merged = static_cast<double>(clusterLoad(cs, a) +
+                                        clusterLoad(cs, b));
+    return merged <= idealLoad_ * (1.0 + slack_);
+}
+
+bool
+LoadBalanceConstraint::relax()
+{
+    if (slack_ > 8.0)
+        return false;
+    slack_ = slack_ * 1.5 + 0.01;
+    return true;
+}
+
+} // namespace tsp::placement

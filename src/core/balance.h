@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Balance constraints governing which cluster merges are permitted
+ * (Section 2): thread-balance (each processor gets floor(t/p) or
+ * ceil(t/p) threads) and load-balance (combined instruction load within
+ * a slack of the ideal per-processor load; the paper uses ~10%).
+ */
+
+#ifndef TSP_CORE_BALANCE_H
+#define TSP_CORE_BALANCE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster_set.h"
+
+namespace tsp::placement {
+
+/**
+ * Exact feasibility oracle for the thread-balance criterion: can the
+ * clusters with the given @p sizes still be merged down into exactly
+ * @p processors clusters, each of size floor(t/p) or ceil(t/p)?
+ *
+ * This is a small bin-packing instance; we solve it exactly with
+ * depth-first search. Thread counts in the workload are <= a few
+ * hundred, so this is fast in practice.
+ */
+bool threadBalanceFeasible(std::vector<uint32_t> sizes,
+                           uint32_t processors);
+
+/**
+ * Interface deciding whether two clusters may combine. Implementations
+ * are consulted by the clustering engine after the sharing metric has
+ * ranked candidate pairs (sharing first, balance second — Section 2).
+ */
+class BalanceConstraint
+{
+  public:
+    virtual ~BalanceConstraint() = default;
+
+    /** May clusters @p a and @p b of @p cs be merged? */
+    virtual bool canMerge(const ClusterSet &cs, size_t a,
+                          size_t b) const = 0;
+
+    /**
+     * Called when no candidate pair is mergeable but more merges are
+     * needed. Returns true if the constraint relaxed itself and the
+     * engine should retry, false if it cannot relax further.
+     */
+    virtual bool relax() { return false; }
+};
+
+/**
+ * The paper's thread-balance criterion, backed by the exact feasibility
+ * oracle so that a permitted merge can always be completed. relax() is
+ * never needed.
+ */
+class ThreadBalanceConstraint : public BalanceConstraint
+{
+  public:
+    ThreadBalanceConstraint(uint32_t threads, uint32_t processors);
+
+    bool canMerge(const ClusterSet &cs, size_t a,
+                  size_t b) const override;
+
+  private:
+    uint32_t processors_;
+    uint32_t ceilSize_;
+};
+
+/**
+ * The +LB criterion: a merge is allowed when the combined cluster load
+ * does not exceed (1 + slack) of the ideal per-processor load. Starts
+ * at the paper's 10% slack and relaxes geometrically when the engine
+ * stalls (the paper resolves stalls by backtracking; relaxation reaches
+ * the same end state without exponential search).
+ */
+class LoadBalanceConstraint : public BalanceConstraint
+{
+  public:
+    /**
+     * @param threadLength per-thread instruction counts
+     * @param processors   target cluster count
+     * @param slack        initial allowed excess over the ideal load
+     */
+    LoadBalanceConstraint(const std::vector<uint64_t> &threadLength,
+                          uint32_t processors, double slack = 0.10);
+
+    bool canMerge(const ClusterSet &cs, size_t a,
+                  size_t b) const override;
+
+    bool relax() override;
+
+    /** Current slack value (grows only via relax()). */
+    double slack() const { return slack_; }
+
+  private:
+    uint64_t clusterLoad(const ClusterSet &cs, size_t c) const;
+
+    std::vector<uint64_t> threadLength_;
+    double idealLoad_;
+    double slack_;
+};
+
+} // namespace tsp::placement
+
+#endif // TSP_CORE_BALANCE_H

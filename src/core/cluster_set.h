@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Working partition state for the iterative cluster-combining engine of
+ * Section 2.1: every thread starts in its own cluster; clusters are
+ * merged until exactly p remain.
+ */
+
+#ifndef TSP_CORE_CLUSTER_SET_H
+#define TSP_CORE_CLUSTER_SET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/placement_map.h"
+
+namespace tsp::placement {
+
+/**
+ * A partition of threads into clusters supporting merge and undo.
+ */
+class ClusterSet
+{
+  public:
+    /** Start with @p threads singleton clusters. */
+    explicit ClusterSet(uint32_t threads);
+
+    /** Current number of clusters. */
+    size_t clusterCount() const { return clusters_.size(); }
+
+    /** Total number of threads. */
+    uint32_t threadCount() const { return threads_; }
+
+    /** Members of cluster @p c. */
+    const std::vector<uint32_t> &members(size_t c) const
+    {
+        return clusters_.at(c);
+    }
+
+    /** Size of cluster @p c. */
+    size_t size(size_t c) const { return clusters_.at(c).size(); }
+
+    /**
+     * Merge cluster @p b into cluster @p a (a != b). Indices of later
+     * clusters shift down by one; the merge is recorded for undo.
+     */
+    void merge(size_t a, size_t b);
+
+    /** Undo the most recent merge. Returns false if none to undo. */
+    bool undo();
+
+    /**
+     * Identity of the most recent merge as the pair (min member of the
+     * destination half, min member of the source half), min-first.
+     * Requires at least one merge on the undo stack.
+     */
+    std::pair<uint32_t, uint32_t> lastMergePair() const;
+
+    /** Number of merges currently on the undo stack. */
+    size_t mergeDepth() const { return undoStack_.size(); }
+
+    /** Convert the current partition into a placement map. */
+    PlacementMap toPlacement(uint32_t processors) const;
+
+  private:
+    struct MergeRecord
+    {
+        size_t dst;          //!< cluster that received the members
+        size_t srcIndex;     //!< original index of the removed cluster
+        size_t dstPrevSize;  //!< dst size before the merge
+    };
+
+    uint32_t threads_;
+    std::vector<std::vector<uint32_t>> clusters_;
+    std::vector<MergeRecord> undoStack_;
+};
+
+} // namespace tsp::placement
+
+#endif // TSP_CORE_CLUSTER_SET_H

@@ -1,0 +1,119 @@
+#include "core/clusterer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace tsp::placement {
+
+namespace {
+
+/**
+ * State-independent identity of a candidate merge: the smallest thread
+ * id in each cluster (cluster min-members are unique within a
+ * partition).
+ */
+uint64_t
+pairKey(const ClusterSet &cs, size_t a, size_t b)
+{
+    uint32_t ma = *std::min_element(cs.members(a).begin(),
+                                    cs.members(a).end());
+    uint32_t mb = *std::min_element(cs.members(b).begin(),
+                                    cs.members(b).end());
+    if (ma > mb)
+        std::swap(ma, mb);
+    return (static_cast<uint64_t>(ma) << 32) | mb;
+}
+
+/** A scored candidate pair. */
+struct Candidate
+{
+    MergeScore score;
+    size_t a;
+    size_t b;
+};
+
+} // namespace
+
+GreedyClusterer::GreedyClusterer(const SharingMetric &metric,
+                                 BalanceConstraint &constraint,
+                                 Options options)
+    : metric_(metric), constraint_(constraint), options_(options)
+{}
+
+PlacementMap
+GreedyClusterer::run(uint32_t threads, uint32_t processors)
+{
+    util::fatalIf(processors == 0, "need >= 1 processor");
+    ClusterSet cs(threads);
+
+    // If every thread already fits on its own processor, we are done
+    // (Section 2.1, step 1).
+    if (cs.clusterCount() <= processors)
+        return cs.toPlacement(processors);
+
+    // One forbidden-set frame per merge depth; frame d holds merges
+    // proven fruitless in the partition state reached after d merges.
+    std::vector<std::set<uint64_t>> forbidden(1);
+    size_t backtracks = 0;
+
+    while (cs.clusterCount() > processors) {
+        // Step 2: score every cluster pair.
+        std::vector<Candidate> candidates;
+        const size_t k = cs.clusterCount();
+        candidates.reserve(k * (k - 1) / 2);
+        for (size_t a = 0; a < k; ++a)
+            for (size_t b = a + 1; b < k; ++b)
+                candidates.push_back({metric_.score(cs, a, b), a, b});
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Candidate &x, const Candidate &y) {
+                      return y.score < x.score;  // descending
+                  });
+
+        // Step 3: take the best pair the constraint (and the forbidden
+        // set) permits.
+        const auto &banned = forbidden[cs.mergeDepth()];
+        bool merged = false;
+        for (const auto &cand : candidates) {
+            if (banned.count(pairKey(cs, cand.a, cand.b)))
+                continue;
+            if (!constraint_.canMerge(cs, cand.a, cand.b))
+                continue;
+            cs.merge(cand.a, cand.b);
+            forbidden.resize(cs.mergeDepth() + 1);
+            forbidden.back().clear();
+            if (observer_)
+                observer_(cs, cand.a, cand.b, cand.score);
+            merged = true;
+            break;
+        }
+        if (merged)
+            continue;
+
+        // Stalled. Let the constraint relax itself first (load-balance
+        // slack), then apply the paper's backtracking rule.
+        if (constraint_.relax()) {
+            util::debug("clusterer: constraint relaxed");
+            continue;
+        }
+        util::fatalIf(++backtracks > options_.maxBacktracks,
+                      "clustering exceeded backtrack budget");
+        util::fatalIf(cs.mergeDepth() == 0,
+                      "clustering infeasible: no merge sequence reaches "
+                      "the requested processor count");
+        // Undo the most recent merge and forbid exactly that merge in
+        // the parent state (Section 2.1, step 4).
+        auto [ma, mb] = cs.lastMergePair();
+        uint64_t key = (static_cast<uint64_t>(ma) << 32) | mb;
+        cs.undo();
+        forbidden.resize(cs.mergeDepth() + 1);
+        forbidden[cs.mergeDepth()].insert(key);
+    }
+    return cs.toPlacement(processors);
+}
+
+} // namespace tsp::placement

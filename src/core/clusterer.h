@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The iterative cluster-combining engine of Section 2.1. All
+ * sharing-based placement algorithms share this engine and differ only
+ * in the metric (step 2) and the balance constraint applied when
+ * combining (thread-balance, or load-balance for the +LB variants).
+ */
+
+#ifndef TSP_CORE_CLUSTERER_H
+#define TSP_CORE_CLUSTERER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/balance.h"
+#include "core/cluster_set.h"
+#include "core/metrics.h"
+#include "core/placement_map.h"
+
+namespace tsp::placement {
+
+/**
+ * Greedy hierarchical clusterer with the paper's backtracking rule:
+ * combine the highest-metric pair the balance constraint permits; when
+ * no pair is permitted, first let the constraint relax itself (used by
+ * the load-balance slack), then undo the most recent merge and forbid
+ * it (Section 2.1, step 4).
+ */
+class GreedyClusterer
+{
+  public:
+    /** Engine limits. */
+    struct Options
+    {
+        /** Upper bound on undo operations before giving up. */
+        size_t maxBacktracks = 10000;
+
+        Options() {}
+    };
+
+    /**
+     * @param metric     ranks candidate cluster pairs (not owned)
+     * @param constraint decides merge legality; may self-relax (not owned)
+     */
+    GreedyClusterer(const SharingMetric &metric,
+                    BalanceConstraint &constraint,
+                    Options options = Options());
+
+    /**
+     * Observer invoked after every accepted merge with the partition
+     * state, the merged clusters' (pre-merge) indices and the score
+     * that won. Used by walkthrough tooling and tests; never affects
+     * the result.
+     */
+    using MergeObserver = std::function<void(
+        const ClusterSet &, size_t a, size_t b, MergeScore score)>;
+
+    /** Install a merge observer (replaces any previous one). */
+    void onMerge(MergeObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+    /**
+     * Cluster @p threads threads into @p processors clusters and return
+     * the placement. Throws FatalError if the search space is exhausted
+     * (cannot happen with the thread-balance constraint).
+     */
+    PlacementMap run(uint32_t threads, uint32_t processors);
+
+  private:
+    const SharingMetric &metric_;
+    BalanceConstraint &constraint_;
+    Options options_;
+    MergeObserver observer_;
+};
+
+} // namespace tsp::placement
+
+#endif // TSP_CORE_CLUSTERER_H

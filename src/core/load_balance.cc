@@ -1,0 +1,104 @@
+#include "core/load_balance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bits.h"
+#include "util/error.h"
+
+namespace tsp::placement {
+
+uint64_t
+loadBalanceLowerBound(const std::vector<uint64_t> &threadLength,
+                      uint32_t processors)
+{
+    util::fatalIf(processors == 0, "need >= 1 processor");
+    uint64_t total = std::accumulate(threadLength.begin(),
+                                     threadLength.end(), uint64_t{0});
+    uint64_t longest = threadLength.empty()
+        ? 0
+        : *std::max_element(threadLength.begin(), threadLength.end());
+    return std::max(util::divCeil(total, processors), longest);
+}
+
+PlacementMap
+loadBalancedPlacement(const std::vector<uint64_t> &threadLength,
+                      uint32_t processors)
+{
+    util::fatalIf(processors == 0, "need >= 1 processor");
+    const size_t t = threadLength.size();
+    std::vector<uint32_t> procOf(t, 0);
+    if (t == 0)
+        return PlacementMap(processors, std::move(procOf));
+
+    // LPT: place each thread, longest first, on the least-loaded
+    // processor.
+    std::vector<uint32_t> order(t);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        if (threadLength[a] != threadLength[b])
+            return threadLength[a] > threadLength[b];
+        return a < b;  // deterministic tie-break
+    });
+
+    std::vector<uint64_t> load(processors, 0);
+    for (uint32_t tid : order) {
+        uint32_t target = static_cast<uint32_t>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        procOf[tid] = target;
+        load[target] += threadLength[tid];
+    }
+
+    // Local search: try single-thread moves and pairwise swaps that
+    // strictly reduce the peak load, until a fixed point (bounded).
+    auto peakProc = [&]() {
+        return static_cast<uint32_t>(
+            std::max_element(load.begin(), load.end()) - load.begin());
+    };
+    for (int round = 0; round < 64; ++round) {
+        uint32_t hot = peakProc();
+        uint64_t peak = load[hot];
+        bool improved = false;
+
+        // Moves off the hottest processor.
+        for (uint32_t tid = 0; tid < t && !improved; ++tid) {
+            if (procOf[tid] != hot)
+                continue;
+            for (uint32_t p = 0; p < processors; ++p) {
+                if (p == hot)
+                    continue;
+                uint64_t newDst = load[p] + threadLength[tid];
+                if (newDst < peak) {
+                    load[hot] -= threadLength[tid];
+                    load[p] = newDst;
+                    procOf[tid] = p;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        // Swaps between the hottest processor and any other.
+        for (uint32_t a = 0; a < t && !improved; ++a) {
+            if (procOf[a] != hot)
+                continue;
+            for (uint32_t b = 0; b < t && !improved; ++b) {
+                uint32_t pb = procOf[b];
+                if (pb == hot || threadLength[a] <= threadLength[b])
+                    continue;
+                uint64_t delta = threadLength[a] - threadLength[b];
+                if (load[pb] + delta < peak) {
+                    load[hot] -= delta;
+                    load[pb] += delta;
+                    std::swap(procOf[a], procOf[b]);
+                    improved = true;
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+
+    return PlacementMap(processors, std::move(procOf));
+}
+
+} // namespace tsp::placement

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * LOAD-BAL (Section 2, item 7): placement by dynamic thread length
+ * alone, producing a (near-)perfectly load balanced execution. We use
+ * longest-processing-time-first assignment followed by local-search
+ * refinement (moves and swaps that lower the peak load), which for the
+ * paper's thread counts reaches the optimum or within a fraction of a
+ * percent of it.
+ */
+
+#ifndef TSP_CORE_LOAD_BALANCE_H
+#define TSP_CORE_LOAD_BALANCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/placement_map.h"
+
+namespace tsp::placement {
+
+/**
+ * Build the LOAD-BAL placement for threads of the given dynamic
+ * lengths onto @p processors processors.
+ */
+PlacementMap loadBalancedPlacement(
+    const std::vector<uint64_t> &threadLength, uint32_t processors);
+
+/**
+ * Makespan lower bound used by tests: max(total/p, longest thread).
+ */
+uint64_t loadBalanceLowerBound(const std::vector<uint64_t> &threadLength,
+                               uint32_t processors);
+
+} // namespace tsp::placement
+
+#endif // TSP_CORE_LOAD_BALANCE_H

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Sharing metrics for the cluster-combining engine. Each metric ranks
+ * candidate cluster pairs; the engine merges the highest-ranked pair the
+ * balance constraint allows (Section 2.1, step 2).
+ *
+ * All pair-averaged metrics use the paper's normalization: the sum of
+ * shared references between cross-cluster thread pairs divided by
+ * |c_a| * |c_b|, so clusters of unequal size compare fairly.
+ */
+
+#ifndef TSP_CORE_METRICS_H
+#define TSP_CORE_METRICS_H
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "analysis/static_analysis.h"
+#include "core/cluster_set.h"
+#include "stats/pair_matrix.h"
+
+namespace tsp::placement {
+
+/**
+ * Score assigned to a candidate merge: candidates are ordered by
+ * primary, then by tiebreak (both descending).
+ */
+struct MergeScore
+{
+    double primary = 0.0;
+    double tiebreak = 0.0;
+
+    bool
+    operator<(const MergeScore &o) const
+    {
+        if (primary != o.primary)
+            return primary < o.primary;
+        return tiebreak < o.tiebreak;
+    }
+};
+
+/**
+ * Interface of a cluster-pair sharing metric.
+ */
+class SharingMetric
+{
+  public:
+    virtual ~SharingMetric() = default;
+
+    /** Metric name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Score for merging clusters @p a and @p b of @p cs. */
+    virtual MergeScore score(const ClusterSet &cs, size_t a,
+                             size_t b) const = 0;
+};
+
+/** Averaged cross-cluster sum over an arbitrary pair matrix. */
+double pairAverage(const stats::PairMatrix &m, const ClusterSet &cs,
+                   size_t a, size_t b);
+
+/** Raw (unnormalized) cross-cluster sum over a pair matrix. */
+double pairSum(const stats::PairMatrix &m, const ClusterSet &cs,
+               size_t a, size_t b);
+
+/**
+ * SHARE-REFS: maximize averaged shared references between the clusters
+ * being combined.
+ */
+class ShareRefsMetric : public SharingMetric
+{
+  public:
+    explicit ShareRefsMetric(const analysis::StaticAnalysis &a)
+        : analysis_(a)
+    {}
+
+    std::string name() const override { return "SHARE-REFS"; }
+    MergeScore score(const ClusterSet &cs, size_t a,
+                     size_t b) const override;
+
+  protected:
+    const analysis::StaticAnalysis &analysis_;
+};
+
+/**
+ * SHARE-ADDR: like SHARE-REFS, but among candidates with equal shared
+ * references prefer the pair with the smaller shared working set (more
+ * references per shared address).
+ */
+class ShareAddrMetric : public ShareRefsMetric
+{
+  public:
+    using ShareRefsMetric::ShareRefsMetric;
+
+    std::string name() const override { return "SHARE-ADDR"; }
+    MergeScore score(const ClusterSet &cs, size_t a,
+                     size_t b) const override;
+};
+
+/**
+ * MIN-PRIV: like SHARE-REFS, and additionally minimize the number of
+ * private (unshared) addresses co-located on a processor.
+ */
+class MinPrivMetric : public ShareRefsMetric
+{
+  public:
+    using ShareRefsMetric::ShareRefsMetric;
+
+    std::string name() const override { return "MIN-PRIV"; }
+    MergeScore score(const ClusterSet &cs, size_t a,
+                     size_t b) const override;
+};
+
+/**
+ * MIN-INVS: minimize cross-processor shared references. Combining the
+ * pair with the largest *unnormalized* cross-cluster sharing removes the
+ * most would-be invalidation traffic from the interconnect; the raw sum
+ * is exactly the cost of keeping the two clusters separated.
+ */
+class MinInvsMetric : public ShareRefsMetric
+{
+  public:
+    using ShareRefsMetric::ShareRefsMetric;
+
+    std::string name() const override { return "MIN-INVS"; }
+    MergeScore score(const ClusterSet &cs, size_t a,
+                     size_t b) const override;
+};
+
+/**
+ * MAX-WRITES: SHARE-REFS restricted to write-shared data, the data that
+ * actually causes invalidations.
+ */
+class MaxWritesMetric : public ShareRefsMetric
+{
+  public:
+    using ShareRefsMetric::ShareRefsMetric;
+
+    std::string name() const override { return "MAX-WRITES"; }
+    MergeScore score(const ClusterSet &cs, size_t a,
+                     size_t b) const override;
+};
+
+/**
+ * MIN-SHARE: the deliberate worst case — co-locate threads with the
+ * least mutual sharing to bound the performance range of sharing
+ * effects.
+ */
+class MinShareMetric : public ShareRefsMetric
+{
+  public:
+    using ShareRefsMetric::ShareRefsMetric;
+
+    std::string name() const override { return "MIN-SHARE"; }
+    MergeScore score(const ClusterSet &cs, size_t a,
+                     size_t b) const override;
+};
+
+/**
+ * COHERENCE-TRAFFIC: uses a dynamically measured thread-pair coherence
+ * traffic matrix (from a one-thread-per-processor simulation) instead of
+ * static shared-reference counts — the best case a sharing-based
+ * placement could achieve (Section 4.2).
+ */
+class CoherenceTrafficMetric : public SharingMetric
+{
+  public:
+    explicit CoherenceTrafficMetric(stats::PairMatrix traffic)
+        : traffic_(std::move(traffic))
+    {}
+
+    std::string name() const override { return "COHERENCE-TRAFFIC"; }
+    MergeScore score(const ClusterSet &cs, size_t a,
+                     size_t b) const override;
+
+  private:
+    stats::PairMatrix traffic_;
+};
+
+} // namespace tsp::placement
+
+#endif // TSP_CORE_METRICS_H

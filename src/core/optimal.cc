@@ -1,0 +1,262 @@
+#include "core/optimal.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/error.h"
+
+namespace tsp::placement {
+
+namespace {
+
+/**
+ * Shared DFS driver: assigns threads one by one to processors with
+ * first-empty-bin symmetry pruning (a thread may open at most one new
+ * empty bin, eliminating permutations of identical bins).
+ */
+class Search
+{
+  public:
+    Search(uint32_t threads, uint32_t processors)
+        : threads_(threads), processors_(processors),
+          assign_(threads, 0)
+    {}
+
+    virtual ~Search() = default;
+
+    OptimalResult
+    run()
+    {
+        best_ = std::vector<uint32_t>();
+        dfs(0, 0);
+        util::panicIf(best_.empty(), "oracle found no assignment");
+        OptimalResult result{PlacementMap(processors_, best_),
+                             bestValue_, explored_};
+        return result;
+    }
+
+  protected:
+    /** May thread @p tid go on processor @p proc right now? */
+    virtual bool feasible(uint32_t tid, uint32_t proc) = 0;
+
+    /** Apply / revert the assignment (update incremental state). */
+    virtual void place(uint32_t tid, uint32_t proc) = 0;
+    virtual void unplace(uint32_t tid, uint32_t proc) = 0;
+
+    /** Is the complete assignment valid, and what is its value? */
+    virtual bool complete(double &value) = 0;
+
+    /** True when @p value beats @p incumbent. */
+    virtual bool better(double value, double incumbent) const = 0;
+
+    /** Hook: a new best complete assignment of @p value was found. */
+    virtual void onIncumbent(double value) { (void)value; }
+
+    uint32_t threads_;
+    uint32_t processors_;
+    std::vector<uint32_t> assign_;
+
+  private:
+    void
+    dfs(uint32_t tid, uint32_t usedBins)
+    {
+        if (tid == threads_) {
+            ++explored_;
+            double value = 0.0;
+            if (!complete(value))
+                return;
+            if (best_.empty() || better(value, bestValue_)) {
+                best_ = assign_;
+                bestValue_ = value;
+                onIncumbent(value);
+            }
+            return;
+        }
+        uint32_t limit = std::min(processors_, usedBins + 1);
+        for (uint32_t p = 0; p < limit; ++p) {
+            if (!feasible(tid, p))
+                continue;
+            assign_[tid] = p;
+            place(tid, p);
+            dfs(tid + 1, std::max(usedBins, p + 1));
+            unplace(tid, p);
+        }
+    }
+
+    std::vector<uint32_t> best_;
+    double bestValue_ = 0.0;
+    uint64_t explored_ = 0;
+};
+
+/** Minimum makespan search with branch-and-bound on the peak load. */
+class MakespanSearch : public Search
+{
+  public:
+    MakespanSearch(const std::vector<uint64_t> &lengths,
+                   uint32_t processors)
+        : Search(static_cast<uint32_t>(lengths.size()), processors),
+          lengths_(lengths), load_(processors, 0)
+    {}
+
+  protected:
+    bool
+    feasible(uint32_t tid, uint32_t proc) override
+    {
+        if (!haveIncumbent_)
+            return true;
+        return static_cast<double>(load_[proc] + lengths_[tid]) <
+               incumbent_;
+    }
+
+    void
+    place(uint32_t tid, uint32_t proc) override
+    {
+        load_[proc] += lengths_[tid];
+    }
+
+    void
+    unplace(uint32_t tid, uint32_t proc) override
+    {
+        load_[proc] -= lengths_[tid];
+    }
+
+    bool
+    complete(double &value) override
+    {
+        uint64_t peak = *std::max_element(load_.begin(), load_.end());
+        value = static_cast<double>(peak);
+        return true;
+    }
+
+    bool
+    better(double value, double incumbent) const override
+    {
+        return value < incumbent;
+    }
+
+    void
+    onIncumbent(double value) override
+    {
+        incumbent_ = value;
+        haveIncumbent_ = true;
+    }
+
+  private:
+    const std::vector<uint64_t> &lengths_;
+    std::vector<uint64_t> load_;
+    double incumbent_ = 0.0;
+    bool haveIncumbent_ = false;
+};
+
+/** Maximum intra-cluster sharing under thread balance. */
+class SharingSearch : public Search
+{
+  public:
+    SharingSearch(const stats::PairMatrix &sharing, uint32_t processors)
+        : Search(static_cast<uint32_t>(sharing.size()), processors),
+          sharing_(sharing), count_(processors, 0),
+          captured_(processors, 0.0)
+    {
+        ceil_ = static_cast<uint32_t>(
+            util::divCeil(threads_, processors));
+        floor_ = threads_ / processors;
+        numCeil_ = threads_ % processors;
+    }
+
+  protected:
+    bool
+    feasible(uint32_t tid, uint32_t proc) override
+    {
+        (void)tid;
+        return count_[proc] < ceil_;
+    }
+
+    void
+    place(uint32_t tid, uint32_t proc) override
+    {
+        double gain = 0.0;
+        for (uint32_t other = 0; other < tid; ++other)
+            if (assign_[other] == proc)
+                gain += sharing_.get(other, tid);
+        captured_[proc] += gain;
+        total_ += gain;
+        ++count_[proc];
+    }
+
+    void
+    unplace(uint32_t tid, uint32_t proc) override
+    {
+        double gain = 0.0;
+        for (uint32_t other = 0; other < tid; ++other)
+            if (assign_[other] == proc)
+                gain += sharing_.get(other, tid);
+        captured_[proc] -= gain;
+        total_ -= gain;
+        --count_[proc];
+    }
+
+    bool
+    complete(double &value) override
+    {
+        // Thread balance: exactly numCeil_ processors hold ceil_
+        // threads (when t doesn't divide evenly), the rest floor_.
+        uint32_t ceilBins = 0;
+        for (uint32_t c : count_) {
+            if (threads_ >= processors_) {
+                if (c != floor_ && c != ceil_)
+                    return false;
+                if (c == ceil_ && floor_ != ceil_)
+                    ++ceilBins;
+            } else if (c > 1) {
+                return false;
+            }
+        }
+        if (threads_ >= processors_ && floor_ != ceil_ &&
+            ceilBins != numCeil_) {
+            return false;
+        }
+        value = total_;
+        return true;
+    }
+
+    bool
+    better(double value, double incumbent) const override
+    {
+        return value > incumbent;
+    }
+
+  private:
+    const stats::PairMatrix &sharing_;
+    std::vector<uint32_t> count_;
+    std::vector<double> captured_;
+    double total_ = 0.0;
+    uint32_t ceil_ = 1, floor_ = 1, numCeil_ = 0;
+};
+
+} // namespace
+
+OptimalResult
+optimalMakespan(const std::vector<uint64_t> &threadLength,
+                uint32_t processors)
+{
+    util::fatalIf(processors == 0, "need >= 1 processor");
+    util::fatalIf(threadLength.size() > maxOracleThreads,
+                  "makespan oracle limited to small thread counts");
+    util::fatalIf(threadLength.empty(), "no threads to place");
+    MakespanSearch search(threadLength, processors);
+    return search.run();
+}
+
+OptimalResult
+optimalSharingCapture(const stats::PairMatrix &sharing,
+                      uint32_t processors)
+{
+    util::fatalIf(processors == 0, "need >= 1 processor");
+    util::fatalIf(sharing.size() > maxOracleThreads,
+                  "sharing oracle limited to small thread counts");
+    util::fatalIf(sharing.size() == 0, "no threads to place");
+    SharingSearch search(sharing, processors);
+    return search.run();
+}
+
+} // namespace tsp::placement

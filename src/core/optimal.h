@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Exhaustive placement oracles for small thread counts: the true
+ * optimal load-balanced placement (minimum makespan) and the true
+ * maximum-sharing thread-balanced placement. Used by the test suite
+ * to bound how far the production heuristics (LPT + refinement, the
+ * greedy cluster-combining engine) sit from optimal, and by the
+ * ablation benches to show that even *optimal* sharing capture does
+ * not buy execution time — a stronger form of the paper's negative
+ * result.
+ */
+
+#ifndef TSP_CORE_OPTIMAL_H
+#define TSP_CORE_OPTIMAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/placement_map.h"
+#include "stats/pair_matrix.h"
+
+namespace tsp::placement {
+
+/** Result of an exhaustive search. */
+struct OptimalResult
+{
+    PlacementMap map;
+
+    /** Makespan (cycles) or captured sharing, per the oracle. */
+    double value = 0.0;
+
+    /** Number of complete assignments examined (diagnostics). */
+    uint64_t explored = 0;
+};
+
+/** Largest thread count the oracles accept. */
+constexpr uint32_t maxOracleThreads = 16;
+
+/**
+ * Minimum-makespan assignment of threads with the given lengths onto
+ * @p processors processors (no balance constraint — the LOAD-BAL
+ * ideal). Exhaustive with symmetry pruning; requires
+ * threads <= maxOracleThreads.
+ */
+OptimalResult optimalMakespan(const std::vector<uint64_t> &threadLength,
+                              uint32_t processors);
+
+/**
+ * Thread-balanced placement maximizing intra-cluster sharing (the sum
+ * of pairwise shared references within processors) — the ideal every
+ * sharing-based algorithm of Section 2 approximates. Requires
+ * sharing.size() <= maxOracleThreads.
+ */
+OptimalResult optimalSharingCapture(const stats::PairMatrix &sharing,
+                                    uint32_t processors);
+
+} // namespace tsp::placement
+
+#endif // TSP_CORE_OPTIMAL_H

@@ -1,0 +1,100 @@
+#include "core/placement_map.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tsp::placement {
+
+PlacementMap::PlacementMap(uint32_t processors,
+                           std::vector<uint32_t> procOf)
+    : processors_(processors), procOf_(std::move(procOf))
+{
+    util::fatalIf(processors_ == 0, "placement needs >= 1 processor");
+    for (uint32_t p : procOf_)
+        util::fatalIf(p >= processors_,
+                      "placement references an out-of-range processor");
+}
+
+std::vector<std::vector<uint32_t>>
+PlacementMap::clusters() const
+{
+    std::vector<std::vector<uint32_t>> out(processors_);
+    for (uint32_t tid = 0; tid < procOf_.size(); ++tid)
+        out[procOf_[tid]].push_back(tid);
+    return out;
+}
+
+std::vector<uint32_t>
+PlacementMap::threadsPerProcessor() const
+{
+    std::vector<uint32_t> counts(processors_, 0);
+    for (uint32_t p : procOf_)
+        ++counts[p];
+    return counts;
+}
+
+bool
+PlacementMap::isThreadBalanced() const
+{
+    if (procOf_.empty())
+        return true;
+    auto counts = threadsPerProcessor();
+    uint32_t t = static_cast<uint32_t>(procOf_.size());
+    uint32_t lo = t / processors_;
+    uint32_t hi = (t + processors_ - 1) / processors_;
+    // With more processors than threads, idle processors are fine.
+    return std::all_of(counts.begin(), counts.end(), [&](uint32_t c) {
+        return (c >= lo && c <= hi) || (t < processors_ && c <= 1);
+    });
+}
+
+std::vector<uint64_t>
+PlacementMap::processorLoads(
+    const std::vector<uint64_t> &threadLength) const
+{
+    util::fatalIf(threadLength.size() != procOf_.size(),
+                  "thread length vector size mismatch");
+    std::vector<uint64_t> loads(processors_, 0);
+    for (uint32_t tid = 0; tid < procOf_.size(); ++tid)
+        loads[procOf_[tid]] += threadLength[tid];
+    return loads;
+}
+
+double
+PlacementMap::loadImbalance(
+    const std::vector<uint64_t> &threadLength) const
+{
+    auto loads = processorLoads(threadLength);
+    uint64_t total = 0;
+    uint64_t peak = 0;
+    for (uint64_t l : loads) {
+        total += l;
+        peak = std::max(peak, l);
+    }
+    if (total == 0)
+        return 1.0;
+    double ideal = static_cast<double>(total) /
+                   static_cast<double>(processors_);
+    return static_cast<double>(peak) / ideal;
+}
+
+std::string
+PlacementMap::describe() const
+{
+    std::ostringstream os;
+    auto groups = clusters();
+    for (uint32_t p = 0; p < groups.size(); ++p) {
+        os << "P" << p << "{";
+        for (size_t i = 0; i < groups[p].size(); ++i) {
+            if (i)
+                os << ',';
+            os << groups[p][i];
+        }
+        os << "} ";
+    }
+    return os.str();
+}
+
+} // namespace tsp::placement

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The output of every placement algorithm: a static assignment of
+ * threads to processors ("placement map", Section 2). The map never
+ * changes during simulation.
+ */
+
+#ifndef TSP_CORE_PLACEMENT_MAP_H
+#define TSP_CORE_PLACEMENT_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsp::placement {
+
+/**
+ * Thread -> processor assignment for one application run.
+ */
+class PlacementMap
+{
+  public:
+    PlacementMap() = default;
+
+    /**
+     * Construct from an assignment vector: @p procOf[tid] is the
+     * processor of thread tid. @p processors must cover every entry.
+     */
+    PlacementMap(uint32_t processors, std::vector<uint32_t> procOf);
+
+    /** Number of processors. */
+    uint32_t processors() const { return processors_; }
+
+    /** Number of threads. */
+    size_t threadCount() const { return procOf_.size(); }
+
+    /** Processor of thread @p tid. */
+    uint32_t processorOf(uint32_t tid) const { return procOf_.at(tid); }
+
+    /** Raw assignment vector. */
+    const std::vector<uint32_t> &assignment() const { return procOf_; }
+
+    /** Thread ids grouped per processor (the clusters). */
+    std::vector<std::vector<uint32_t>> clusters() const;
+
+    /** Number of threads on each processor. */
+    std::vector<uint32_t> threadsPerProcessor() const;
+
+    /**
+     * True when every processor holds floor(t/p) or ceil(t/p) threads
+     * (the paper's thread-balance criterion).
+     */
+    bool isThreadBalanced() const;
+
+    /** Per-processor instruction load given per-thread lengths. */
+    std::vector<uint64_t>
+    processorLoads(const std::vector<uint64_t> &threadLength) const;
+
+    /**
+     * Load imbalance: max processor load divided by the ideal
+     * (total / processors). 1.0 is a perfect balance.
+     */
+    double loadImbalance(const std::vector<uint64_t> &threadLength) const;
+
+    /** Human-readable one-line rendering (for logs and examples). */
+    std::string describe() const;
+
+  private:
+    uint32_t processors_ = 0;
+    std::vector<uint32_t> procOf_;
+};
+
+} // namespace tsp::placement
+
+#endif // TSP_CORE_PLACEMENT_MAP_H

@@ -1,0 +1,23 @@
+#include "core/random_placement.h"
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsp::placement {
+
+PlacementMap
+randomPlacement(uint32_t threads, uint32_t processors, util::Rng &rng)
+{
+    util::fatalIf(processors == 0, "need >= 1 processor");
+    std::vector<uint32_t> order(threads);
+    std::iota(order.begin(), order.end(), 0u);
+    rng.shuffle(order);
+    std::vector<uint32_t> procOf(threads, 0);
+    for (uint32_t i = 0; i < threads; ++i)
+        procOf[order[i]] = i % processors;
+    return PlacementMap(processors, std::move(procOf));
+}
+
+} // namespace tsp::placement

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * RANDOM (Section 2, item 9): a random thread-balanced placement — the
+ * paper's baseline, approximating what a low-overhead runtime scheduler
+ * with no application knowledge would produce.
+ */
+
+#ifndef TSP_CORE_RANDOM_PLACEMENT_H
+#define TSP_CORE_RANDOM_PLACEMENT_H
+
+#include <cstdint>
+
+#include "core/placement_map.h"
+#include "util/rng.h"
+
+namespace tsp::placement {
+
+/**
+ * Uniformly random thread-balanced placement of @p threads threads
+ * onto @p processors processors.
+ */
+PlacementMap randomPlacement(uint32_t threads, uint32_t processors,
+                             util::Rng &rng);
+
+} // namespace tsp::placement
+
+#endif // TSP_CORE_RANDOM_PLACEMENT_H

@@ -1,0 +1,31 @@
+#include "experiment/configs.h"
+
+#include <sstream>
+
+#include "util/bits.h"
+
+namespace tsp::experiment {
+
+std::string
+MachinePoint::label() const
+{
+    std::ostringstream os;
+    os << processors << "p x " << contexts << 'c';
+    return os.str();
+}
+
+std::vector<MachinePoint>
+standardSweep(uint32_t threads)
+{
+    std::vector<MachinePoint> points;
+    for (uint32_t p : {2u, 4u, 8u, 16u}) {
+        if (p > threads)
+            break;
+        uint32_t contexts = static_cast<uint32_t>(
+            util::divCeil(threads, p));
+        points.push_back({p, contexts});
+    }
+    return points;
+}
+
+} // namespace tsp::experiment

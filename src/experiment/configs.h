@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Standard machine configurations: the paper sweeps the number of
+ * processors (2..16) and hardware contexts per processor; in the
+ * figures every thread is resident, so contexts = ceil(threads /
+ * processors).
+ */
+
+#ifndef TSP_EXPERIMENT_CONFIGS_H
+#define TSP_EXPERIMENT_CONFIGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsp::experiment {
+
+/** One point of the processors/contexts sweep. */
+struct MachinePoint
+{
+    uint32_t processors = 2;
+    uint32_t contexts = 1;
+
+    /** Label like "4p x 3c". */
+    std::string label() const;
+};
+
+/**
+ * The paper's processor sweep {2, 4, 8, 16}, restricted to points
+ * with at least one thread per processor, each with enough contexts
+ * to hold all threads.
+ */
+std::vector<MachinePoint> standardSweep(uint32_t threads);
+
+} // namespace tsp::experiment
+
+#endif // TSP_EXPERIMENT_CONFIGS_H

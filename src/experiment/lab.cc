@@ -1,0 +1,102 @@
+#include "experiment/lab.h"
+
+#include "sim/machine.h"
+#include "util/error.h"
+
+namespace tsp::experiment {
+
+using placement::Algorithm;
+using workload::AppId;
+
+Lab::Lab(uint32_t scale) : scale_(scale) {}
+
+const trace::TraceSet &
+Lab::traces(AppId app)
+{
+    auto it = traces_.find(app);
+    if (it == traces_.end()) {
+        it = traces_
+                 .emplace(app, workload::appTraces(app, scale_))
+                 .first;
+    }
+    return *it->second;
+}
+
+const analysis::StaticAnalysis &
+Lab::analysis(AppId app)
+{
+    auto it = analyses_.find(app);
+    if (it == analyses_.end()) {
+        auto result = std::make_unique<analysis::StaticAnalysis>(
+            analysis::StaticAnalysis::analyze(traces(app)));
+        it = analyses_.emplace(app, std::move(result)).first;
+    }
+    return *it->second;
+}
+
+const stats::PairMatrix &
+Lab::coherenceMatrix(AppId app)
+{
+    return coherenceStats(app).coherencePairs;
+}
+
+const sim::SimStats &
+Lab::coherenceStats(AppId app)
+{
+    auto it = probes_.find(app);
+    if (it == probes_.end()) {
+        sim::SimConfig base;
+        base.cacheBytes = workload::scaledCacheBytes(app, scale_);
+        auto probe = std::make_unique<sim::CoherenceProbeResult>(
+            sim::measureCoherenceTraffic(traces(app), base));
+        it = probes_.emplace(app, std::move(probe)).first;
+    }
+    return it->second->stats;
+}
+
+sim::SimConfig
+Lab::configFor(AppId app, const MachinePoint &point,
+               bool infiniteCache) const
+{
+    sim::SimConfig cfg;
+    cfg.processors = point.processors;
+    cfg.contexts = point.contexts;
+    cfg.cacheBytes = infiniteCache
+        ? 8ull * 1024 * 1024
+        : workload::scaledCacheBytes(app, scale_);
+    cfg.validate();
+    return cfg;
+}
+
+placement::PlacementMap
+Lab::placementFor(AppId app, Algorithm alg, uint32_t processors)
+{
+    const auto &an = analysis(app);
+    // Deterministic seed per (app, algorithm, processors).
+    uint64_t seed = 0x51ed2701u;
+    seed = seed * 1099511628211ull + static_cast<uint64_t>(app);
+    seed = seed * 1099511628211ull + static_cast<uint64_t>(alg);
+    seed = seed * 1099511628211ull + processors;
+    util::Rng rng(seed);
+
+    const stats::PairMatrix *coherence = nullptr;
+    if (placement::needsCoherenceMatrix(alg))
+        coherence = &coherenceMatrix(app);
+    return placement::place(alg, an, processors, rng, coherence);
+}
+
+RunResult
+Lab::run(AppId app, Algorithm alg, const MachinePoint &point,
+         bool infiniteCache)
+{
+    RunResult result;
+    result.placement = placementFor(app, alg, point.processors);
+    sim::SimConfig cfg = configFor(app, point, infiniteCache);
+    result.stats = sim::simulate(cfg, traces(app), result.placement);
+    result.executionTime = result.stats.executionTime();
+    result.loadImbalance =
+        result.placement.loadImbalance(analysis(app).threadLength());
+    return result;
+}
+
+} // namespace tsp::experiment

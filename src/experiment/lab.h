@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The experiment runner: memoizes per-application traces, static
+ * analyses and measured coherence matrices, and runs (application x
+ * placement algorithm x machine point) simulations reproducibly.
+ */
+
+#ifndef TSP_EXPERIMENT_LAB_H
+#define TSP_EXPERIMENT_LAB_H
+
+#include <map>
+#include <memory>
+
+#include "analysis/static_analysis.h"
+#include "core/algorithms.h"
+#include "experiment/configs.h"
+#include "sim/coherence_probe.h"
+#include "sim/config.h"
+#include "sim/results.h"
+#include "workload/suite.h"
+
+namespace tsp::experiment {
+
+/** Result of one placement + simulation run. */
+struct RunResult
+{
+    placement::PlacementMap placement;
+    sim::SimStats stats;
+
+    /** Paper's figure of merit. */
+    uint64_t executionTime = 0;
+
+    /** Max processor load over ideal (1.0 = perfect balance). */
+    double loadImbalance = 1.0;
+};
+
+/**
+ * A Lab binds a workload scale and caches everything derivable from
+ * it. All results are deterministic: the RANDOM placement's seed is a
+ * hash of (application, algorithm, processors).
+ */
+class Lab
+{
+  public:
+    /** @param scale workload scale (power of two; 1 = full size). */
+    explicit Lab(uint32_t scale);
+
+    /** The bound workload scale. */
+    uint32_t scale() const { return scale_; }
+
+    /** Generated traces of @p app (memoized). */
+    const trace::TraceSet &traces(workload::AppId app);
+
+    /** Static analysis of @p app (memoized). */
+    const analysis::StaticAnalysis &analysis(workload::AppId app);
+
+    /**
+     * Thread-pair coherence traffic of @p app, measured with one
+     * thread per processor (memoized; Section 4.2).
+     */
+    const stats::PairMatrix &coherenceMatrix(workload::AppId app);
+
+    /** Full statistics of the coherence measurement run (memoized). */
+    const sim::SimStats &coherenceStats(workload::AppId app);
+
+    /** Architectural configuration for @p app at @p point. */
+    sim::SimConfig configFor(workload::AppId app,
+                             const MachinePoint &point,
+                             bool infiniteCache = false) const;
+
+    /** Build the placement of @p alg for @p app on @p processors. */
+    placement::PlacementMap placementFor(workload::AppId app,
+                                         placement::Algorithm alg,
+                                         uint32_t processors);
+
+    /** Place with @p alg and simulate @p app at @p point. */
+    RunResult run(workload::AppId app, placement::Algorithm alg,
+                  const MachinePoint &point,
+                  bool infiniteCache = false);
+
+  private:
+    uint32_t scale_;
+    std::map<workload::AppId,
+             std::shared_ptr<const trace::TraceSet>> traces_;
+    std::map<workload::AppId,
+             std::unique_ptr<analysis::StaticAnalysis>> analyses_;
+    std::map<workload::AppId,
+             std::unique_ptr<sim::CoherenceProbeResult>> probes_;
+};
+
+} // namespace tsp::experiment
+
+#endif // TSP_EXPERIMENT_LAB_H

@@ -1,0 +1,196 @@
+#include "experiment/report.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "core/algorithms.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace tsp::experiment {
+
+struct CsvWriter::Impl
+{
+    std::ofstream os;
+    size_t width = 0;
+    bool headerWritten = false;
+};
+
+CsvWriter::CsvWriter(const std::string &path) : impl_(new Impl)
+{
+    impl_->os.open(path);
+    util::fatalIf(!impl_->os, "cannot open CSV for writing: " + path);
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+    delete impl_;
+}
+
+void
+CsvWriter::close()
+{
+    if (impl_->os.is_open()) {
+        impl_->os.flush();
+        impl_->os.close();
+    }
+}
+
+std::string
+csvQuote(const std::string &cell)
+{
+    bool needs = cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            impl_->os << ',';
+        impl_->os << csvQuote(cells[i]);
+    }
+    impl_->os << '\n';
+    util::fatalIf(!impl_->os, "CSV write failed");
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &cells)
+{
+    util::fatalIf(impl_->headerWritten, "CSV header already written");
+    impl_->width = cells.size();
+    impl_->headerWritten = true;
+    writeRow(cells);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    util::fatalIf(!impl_->headerWritten,
+                  "CSV rows need a header first");
+    util::fatalIf(cells.size() != impl_->width,
+                  "CSV row width does not match header");
+    writeRow(cells);
+}
+
+std::optional<std::string>
+outputDirectory()
+{
+    const char *dir = std::getenv("TSP_OUT");
+    if (!dir || !*dir)
+        return std::nullopt;
+    return std::string(dir);
+}
+
+namespace {
+
+std::string
+num(double x)
+{
+    return util::fmtFixed(x, 6);
+}
+
+} // namespace
+
+void
+writeExecTimeCsv(const std::string &path,
+                 const std::vector<ExecTimePoint> &points)
+{
+    CsvWriter csv(path);
+    csv.header({"algorithm", "processors", "contexts", "cycles",
+                "normalized_to_random", "load_imbalance"});
+    for (const auto &pt : points) {
+        csv.row({placement::algorithmName(pt.alg),
+                 std::to_string(pt.point.processors),
+                 std::to_string(pt.point.contexts),
+                 std::to_string(pt.cycles),
+                 num(pt.normalizedToRandom), num(pt.loadImbalance)});
+    }
+}
+
+void
+writeMissComponentsCsv(const std::string &path,
+                       const std::vector<MissComponentRow> &rows)
+{
+    CsvWriter csv(path);
+    csv.header({"algorithm", "processors", "contexts", "compulsory",
+                "intra_conflict", "inter_conflict", "invalidation",
+                "refs"});
+    for (const auto &row : rows) {
+        csv.row({placement::algorithmName(row.alg),
+                 std::to_string(row.point.processors),
+                 std::to_string(row.point.contexts),
+                 std::to_string(row.compulsory),
+                 std::to_string(row.intraConflict),
+                 std::to_string(row.interConflict),
+                 std::to_string(row.invalidation),
+                 std::to_string(row.refs)});
+    }
+}
+
+void
+writeTable4Csv(const std::string &path,
+               const std::vector<Table4Row> &rows)
+{
+    CsvWriter csv(path);
+    csv.header({"application", "static_pair_mean", "static_total",
+                "static_pct_refs", "dynamic_total", "dynamic_pct_refs",
+                "static_over_dynamic", "dynamic_pair_dev_pct",
+                "dynamic_pair_abs_dev"});
+    for (const auto &row : rows) {
+        csv.row({row.app, num(row.staticPairMean),
+                 num(row.staticTotal), num(row.staticPctOfRefs),
+                 num(row.dynamicTotal), num(row.dynamicPctOfRefs),
+                 num(row.staticOverDynamic),
+                 num(row.dynamicPairDevPct),
+                 num(row.dynamicPairAbsDev)});
+    }
+}
+
+void
+writeTable5Csv(const std::string &path,
+               const std::vector<Table5Cell> &cells)
+{
+    CsvWriter csv(path);
+    csv.header({"application", "processors", "best_static_algorithm",
+                "best_static_vs_loadbal", "coherence_vs_loadbal"});
+    for (const auto &cell : cells) {
+        csv.row({cell.app, std::to_string(cell.processors),
+                 placement::algorithmName(cell.bestStatic),
+                 num(cell.bestStaticVsLoadBal),
+                 num(cell.coherenceVsLoadBal)});
+    }
+}
+
+void
+writeTable2Csv(const std::string &path,
+               const std::vector<analysis::CharacteristicsRow> &rows)
+{
+    CsvWriter csv(path);
+    csv.header({"application", "pairwise_mean", "pairwise_dev_pct",
+                "nway_mean", "nway_dev_pct", "refs_per_shared_addr",
+                "refs_per_shared_addr_dev_pct", "shared_refs_pct",
+                "length_mean", "length_dev_pct"});
+    for (const auto &row : rows) {
+        csv.row({row.app, num(row.pairwiseMean), num(row.pairwiseDevPct),
+                 num(row.nwayMean), num(row.nwayDevPct),
+                 num(row.refsPerSharedAddrMean),
+                 num(row.refsPerSharedAddrDevPct),
+                 num(row.sharedRefsPct), num(row.lengthMean),
+                 num(row.lengthDevPct)});
+    }
+}
+
+} // namespace tsp::experiment

@@ -1,0 +1,148 @@
+#include "experiment/studies.h"
+
+#include <map>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tsp::experiment {
+
+using placement::Algorithm;
+using workload::AppId;
+
+std::vector<ExecTimePoint>
+execTimeStudy(Lab &lab, AppId app,
+              const std::vector<Algorithm> &algs)
+{
+    const uint32_t threads =
+        static_cast<uint32_t>(lab.analysis(app).threadCount());
+    std::vector<ExecTimePoint> out;
+    for (const MachinePoint &point : standardSweep(threads)) {
+        RunResult random = lab.run(app, Algorithm::Random, point);
+        util::fatalIf(random.executionTime == 0,
+                      "RANDOM baseline ran for zero cycles");
+        for (Algorithm alg : algs) {
+            ExecTimePoint pt;
+            pt.alg = alg;
+            pt.point = point;
+            if (alg == Algorithm::Random) {
+                pt.cycles = random.executionTime;
+                pt.loadImbalance = random.loadImbalance;
+            } else {
+                RunResult r = lab.run(app, alg, point);
+                pt.cycles = r.executionTime;
+                pt.loadImbalance = r.loadImbalance;
+            }
+            pt.normalizedToRandom =
+                static_cast<double>(pt.cycles) /
+                static_cast<double>(random.executionTime);
+            out.push_back(pt);
+        }
+    }
+    return out;
+}
+
+std::vector<MissComponentRow>
+missComponentStudy(Lab &lab, AppId app,
+                   const std::vector<Algorithm> &algs)
+{
+    const uint32_t threads =
+        static_cast<uint32_t>(lab.analysis(app).threadCount());
+    std::vector<MissComponentRow> out;
+    for (const MachinePoint &point : standardSweep(threads)) {
+        for (Algorithm alg : algs) {
+            RunResult r = lab.run(app, alg, point);
+            MissComponentRow row;
+            row.alg = alg;
+            row.point = point;
+            row.compulsory =
+                r.stats.totalMissCount(sim::MissKind::Compulsory);
+            row.intraConflict =
+                r.stats.totalMissCount(sim::MissKind::IntraConflict);
+            row.interConflict =
+                r.stats.totalMissCount(sim::MissKind::InterConflict);
+            row.invalidation =
+                r.stats.totalMissCount(sim::MissKind::Invalidation);
+            row.refs = r.stats.totalMemRefs();
+            out.push_back(row);
+        }
+    }
+    return out;
+}
+
+Table4Row
+table4Row(Lab &lab, AppId app)
+{
+    Table4Row row;
+    row.app = workload::appName(app);
+
+    const auto &an = lab.analysis(app);
+    auto staticSummary = an.sharedRefs().pairSummary();
+    row.staticPairMean = staticSummary.mean();
+    row.staticTotal = an.sharedRefs().total();
+    row.staticPctOfRefs =
+        100.0 * row.staticTotal / static_cast<double>(an.totalRefs());
+
+    const auto &dynStats = lab.coherenceStats(app);
+    auto dynSummary = dynStats.coherencePairs.pairSummary();
+    row.dynamicTotal =
+        static_cast<double>(dynStats.dynamicSharingTraffic());
+    row.dynamicPctOfRefs = 100.0 * row.dynamicTotal /
+                           static_cast<double>(an.totalRefs());
+    row.dynamicPairDevPct = dynSummary.devPercent();
+    row.dynamicPairAbsDev = dynSummary.absoluteDeviation();
+    row.staticOverDynamic = row.dynamicTotal > 0.0
+        ? row.staticTotal / row.dynamicTotal
+        : 0.0;
+    return row;
+}
+
+std::vector<Table5Cell>
+table5Study(Lab &lab, AppId app)
+{
+    const uint32_t threads =
+        static_cast<uint32_t>(lab.analysis(app).threadCount());
+    std::vector<Table5Cell> out;
+    for (const MachinePoint &point : standardSweep(threads)) {
+        RunResult loadBal =
+            lab.run(app, Algorithm::LoadBal, point, true);
+        util::fatalIf(loadBal.executionTime == 0,
+                      "LOAD-BAL baseline ran for zero cycles");
+
+        Table5Cell cell;
+        cell.app = workload::appName(app);
+        cell.processors = point.processors;
+
+        double best = 0.0;
+        bool first = true;
+        for (Algorithm alg :
+             placement::staticSharingAlgorithmsWithLB()) {
+            RunResult r = lab.run(app, alg, point, true);
+            double norm = static_cast<double>(r.executionTime) /
+                          static_cast<double>(loadBal.executionTime);
+            if (first || norm < best) {
+                best = norm;
+                cell.bestStatic = alg;
+                first = false;
+            }
+        }
+        cell.bestStaticVsLoadBal = best;
+
+        RunResult coh =
+            lab.run(app, Algorithm::CoherenceTraffic, point, true);
+        cell.coherenceVsLoadBal =
+            static_cast<double>(coh.executionTime) /
+            static_cast<double>(loadBal.executionTime);
+        out.push_back(cell);
+    }
+    return out;
+}
+
+analysis::CharacteristicsRow
+table2Row(Lab &lab, AppId app)
+{
+    util::Rng rng(0xC0FFEEull + static_cast<uint64_t>(app));
+    return analysis::computeCharacteristics(lab.analysis(app), rng);
+}
+
+} // namespace tsp::experiment

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-figure and per-table experiment drivers. Each driver reproduces
+ * one evaluation artifact of the paper and returns plain data; the
+ * bench binaries render it. See DESIGN.md's experiment index.
+ */
+
+#ifndef TSP_EXPERIMENT_STUDIES_H
+#define TSP_EXPERIMENT_STUDIES_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/characteristics.h"
+#include "core/algorithms.h"
+#include "experiment/lab.h"
+#include "sim/results.h"
+
+namespace tsp::experiment {
+
+// ---------------------------------------------------------------- Figs 2-4
+
+/** One bar of an execution-time figure. */
+struct ExecTimePoint
+{
+    placement::Algorithm alg;
+    MachinePoint point;
+    uint64_t cycles = 0;
+    double normalizedToRandom = 0.0;  //!< < 1 means faster than RANDOM
+    double loadImbalance = 1.0;
+};
+
+/**
+ * Execution time of every algorithm in @p algs at every standard
+ * machine point, normalized to RANDOM at the same point (the layout of
+ * Figures 2, 3 and 4).
+ */
+std::vector<ExecTimePoint> execTimeStudy(
+    Lab &lab, workload::AppId app,
+    const std::vector<placement::Algorithm> &algs);
+
+// ------------------------------------------------------------------- Fig 5
+
+/** Miss components of one (algorithm, machine point) run. */
+struct MissComponentRow
+{
+    placement::Algorithm alg;
+    MachinePoint point;
+    uint64_t compulsory = 0;
+    uint64_t intraConflict = 0;
+    uint64_t interConflict = 0;
+    uint64_t invalidation = 0;
+    uint64_t refs = 0;
+
+    uint64_t
+    totalMisses() const
+    {
+        return compulsory + intraConflict + interConflict + invalidation;
+    }
+};
+
+/**
+ * Cache miss component breakdown across placement algorithms and
+ * machine points (the layout of Figure 5).
+ */
+std::vector<MissComponentRow> missComponentStudy(
+    Lab &lab, workload::AppId app,
+    const std::vector<placement::Algorithm> &algs);
+
+// ----------------------------------------------------------------- Table 4
+
+/** One application's row of Table 4. */
+struct Table4Row
+{
+    std::string app;
+
+    /** Statically counted pairwise shared references (mean, total). */
+    double staticPairMean = 0.0;
+    double staticTotal = 0.0;
+
+    /** Static shared references as % of total references. */
+    double staticPctOfRefs = 0.0;
+
+    /** Dynamic coherence traffic + compulsory (total). */
+    double dynamicTotal = 0.0;
+
+    /** Dynamic measure as % of total references. */
+    double dynamicPctOfRefs = 0.0;
+
+    /** Pairwise deviation of the dynamic measure (%, and absolute). */
+    double dynamicPairDevPct = 0.0;
+    double dynamicPairAbsDev = 0.0;
+
+    /** staticTotal / dynamicTotal (the orders-of-magnitude gap). */
+    double staticOverDynamic = 0.0;
+};
+
+/** Compute Table 4's row for @p app. */
+Table4Row table4Row(Lab &lab, workload::AppId app);
+
+// ----------------------------------------------------------------- Table 5
+
+/** One (application, processors) cell pair of Table 5. */
+struct Table5Cell
+{
+    std::string app;
+    uint32_t processors = 0;
+
+    /** Best static sharing algorithm at this point. */
+    placement::Algorithm bestStatic{};
+    double bestStaticVsLoadBal = 0.0;
+
+    /** Dynamic coherence-traffic algorithm. */
+    double coherenceVsLoadBal = 0.0;
+};
+
+/**
+ * The 8 MB-cache study (Section 4.3): for each processor count,
+ * execution time of the best static sharing-based algorithm (over all
+ * twelve — the six metrics and their +LB variants) and of the
+ * coherence-traffic algorithm, normalized to LOAD-BAL.
+ */
+std::vector<Table5Cell> table5Study(Lab &lab, workload::AppId app);
+
+// ----------------------------------------------------------------- Table 2
+
+/** Compute the measured-characteristics row (Table 2) for @p app. */
+analysis::CharacteristicsRow table2Row(Lab &lab, workload::AppId app);
+
+} // namespace tsp::experiment
+
+#endif // TSP_EXPERIMENT_STUDIES_H

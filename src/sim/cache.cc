@@ -1,0 +1,90 @@
+#include "sim/cache.h"
+
+#include "util/bits.h"
+#include "util/error.h"
+
+namespace tsp::sim {
+
+Cache::Cache(const SimConfig &cfg)
+{
+    cfg.validate();
+    uint64_t sets = cfg.numSets();
+    util::panicIf(!util::isPow2(sets), "set count must be a power of 2");
+    setMask_ = sets - 1;
+    ways_ = cfg.associativity;
+    frames_.resize(sets * ways_);
+}
+
+Cache::Frame *
+Cache::lookup(uint64_t block)
+{
+    size_t base = setBase(block);
+    for (uint32_t w = 0; w < ways_; ++w) {
+        Frame &f = frames_[base + w];
+        if (f.valid() && f.tag == block)
+            return &f;
+    }
+    return nullptr;
+}
+
+const Cache::Frame *
+Cache::lookup(uint64_t block) const
+{
+    return const_cast<Cache *>(this)->lookup(block);
+}
+
+Cache::Frame &
+Cache::victimFor(uint64_t block)
+{
+    size_t base = setBase(block);
+    Frame *victim = &frames_[base];
+    for (uint32_t w = 0; w < ways_; ++w) {
+        Frame &f = frames_[base + w];
+        if (!f.valid())
+            return f;
+        if (f.lastUse < victim->lastUse)
+            victim = &f;
+    }
+    return *victim;
+}
+
+MissKind
+Cache::classifyMiss(uint64_t block, uint32_t tid) const
+{
+    auto it = history_.find(block);
+    if (it == history_.end())
+        return MissKind::Compulsory;
+    if (it->second.how == Departure::Invalidated)
+        return MissKind::Invalidation;
+    return it->second.otherThread == tid ? MissKind::IntraConflict
+                                         : MissKind::InterConflict;
+}
+
+int32_t
+Cache::invalidatingWriter(uint64_t block) const
+{
+    auto it = history_.find(block);
+    if (it == history_.end() || it->second.how != Departure::Invalidated)
+        return -1;
+    return static_cast<int32_t>(it->second.otherThread);
+}
+
+void
+Cache::recordEviction(uint64_t block, uint32_t evictor)
+{
+    history_[block] = {Departure::Evicted, evictor};
+}
+
+int32_t
+Cache::invalidate(uint64_t block, uint32_t writerTid)
+{
+    Frame *f = lookup(block);
+    if (!f)
+        return -1;
+    int32_t resident = static_cast<int32_t>(f->threadId);
+    f->state = CoherenceState::Invalid;
+    history_[block] = {Departure::Invalidated, writerTid};
+    return resident;
+}
+
+} // namespace tsp::sim

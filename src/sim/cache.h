@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Per-processor set-associative data cache (direct-mapped in the
+ * paper's configuration) with the miss-classification bookkeeping the
+ * paper's cache unit maintains: each miss is labeled compulsory,
+ * intra-thread conflict, inter-thread conflict, or invalidation, based
+ * on how the block last left this cache. Replacement within a set is
+ * LRU.
+ */
+
+#ifndef TSP_SIM_CACHE_H
+#define TSP_SIM_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/results.h"
+
+namespace tsp::sim {
+
+/** MESI-style per-frame coherence state. */
+enum class CoherenceState : uint8_t {
+    Invalid = 0,
+    Shared = 1,
+    Exclusive = 2,
+    Modified = 3,
+};
+
+/**
+ * One processor's cache: a sets x ways frame array plus the per-block
+ * departure history used to classify misses.
+ */
+class Cache
+{
+  public:
+    /** One cache frame. */
+    struct Frame
+    {
+        uint64_t tag = 0;  //!< block address held (valid only if state!=I)
+        uint64_t lastUse = 0;  //!< LRU stamp
+        uint32_t threadId = 0;  //!< last thread to access the block here
+        CoherenceState state = CoherenceState::Invalid;
+
+        bool valid() const { return state != CoherenceState::Invalid; }
+        bool dirty() const { return state == CoherenceState::Modified; }
+    };
+
+    /** Construct from the architectural configuration. */
+    explicit Cache(const SimConfig &cfg);
+
+    /**
+     * Look @p block up: returns its frame when present, nullptr on a
+     * miss. Does not touch LRU state.
+     */
+    Frame *lookup(uint64_t block);
+
+    /** Const lookup. */
+    const Frame *lookup(uint64_t block) const;
+
+    /**
+     * The frame to fill for @p block: an invalid frame of its set if
+     * one exists, otherwise the LRU frame (whose occupant the caller
+     * must evict).
+     */
+    Frame &victimFor(uint64_t block);
+
+    /** Mark @p frame most-recently-used. */
+    void touch(Frame &frame) { frame.lastUse = ++tick_; }
+
+    /** True when @p block is present. */
+    bool present(uint64_t block) const { return lookup(block); }
+
+    /**
+     * Classify a miss on @p block by thread @p tid from this cache's
+     * departure history.
+     */
+    MissKind classifyMiss(uint64_t block, uint32_t tid) const;
+
+    /**
+     * Thread whose write invalidated @p block, when the history says
+     * the block departed by invalidation; -1 otherwise.
+     */
+    int32_t invalidatingWriter(uint64_t block) const;
+
+    /** Record that @p block was evicted by thread @p evictor. */
+    void recordEviction(uint64_t block, uint32_t evictor);
+
+    /**
+     * Invalidate @p block (remote coherence). Records the departure as
+     * an invalidation by @p writerTid and returns the frame's resident
+     * thread id, or -1 if the block was not present.
+     */
+    int32_t invalidate(uint64_t block, uint32_t writerTid);
+
+    /** Number of frames (sets x ways). */
+    size_t numFrames() const { return frames_.size(); }
+
+    /** Ways per set. */
+    uint32_t ways() const { return ways_; }
+
+  private:
+    /** How a block last left the cache. */
+    enum class Departure : uint8_t { Evicted, Invalidated };
+
+    struct History
+    {
+        Departure how;
+        uint32_t otherThread;  //!< evictor or invalidating writer
+    };
+
+    /** First frame index of @p block's set. */
+    size_t
+    setBase(uint64_t block) const
+    {
+        return static_cast<size_t>((block & setMask_) * ways_);
+    }
+
+    uint64_t setMask_;
+    uint32_t ways_;
+    uint64_t tick_ = 0;
+    std::vector<Frame> frames_;  //!< sets x ways, set-major
+    std::unordered_map<uint64_t, History> history_;
+};
+
+} // namespace tsp::sim
+
+#endif // TSP_SIM_CACHE_H

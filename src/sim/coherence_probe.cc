@@ -1,0 +1,34 @@
+#include "sim/coherence_probe.h"
+
+#include <numeric>
+
+#include "core/placement_map.h"
+#include "sim/machine.h"
+#include "util/error.h"
+
+namespace tsp::sim {
+
+CoherenceProbeResult
+measureCoherenceTraffic(const trace::TraceSet &traces,
+                        const SimConfig &base)
+{
+    const size_t t = traces.threadCount();
+    util::fatalIf(t == 0, "empty trace set");
+    util::fatalIf(t > 128, "coherence probe limited to 128 threads");
+
+    SimConfig cfg = base;
+    cfg.processors = static_cast<uint32_t>(t);
+    cfg.contexts = 1;
+    cfg.validate();
+
+    std::vector<uint32_t> identity(t);
+    std::iota(identity.begin(), identity.end(), 0u);
+    placement::PlacementMap placement(cfg.processors,
+                                      std::move(identity));
+
+    SimStats stats = simulate(cfg, traces, placement);
+    CoherenceProbeResult result{stats.coherencePairs, std::move(stats)};
+    return result;
+}
+
+} // namespace tsp::sim

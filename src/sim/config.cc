@@ -1,0 +1,46 @@
+#include "sim/config.h"
+
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace tsp::sim {
+
+void
+SimConfig::validate() const
+{
+    util::fatalIf(processors == 0 || processors > 128,
+                  "processors must be in [1, 128]");
+    util::fatalIf(contexts == 0, "need >= 1 hardware context");
+    util::fatalIf(!util::isPow2(cacheBytes), "cache size must be 2^k");
+    util::fatalIf(!util::isPow2(blockBytes), "block size must be 2^k");
+    util::fatalIf(blockBytes < 4 || blockBytes > 4096,
+                  "block size out of range");
+    util::fatalIf(cacheBytes < blockBytes,
+                  "cache smaller than one block");
+    util::fatalIf(!util::isPow2(associativity) || associativity > 64,
+                  "associativity must be a power of two <= 64");
+    util::fatalIf(cacheBytes < static_cast<uint64_t>(blockBytes) *
+                                   associativity,
+                  "cache smaller than one set");
+    util::fatalIf(hitLatency == 0, "hit latency must be >= 1 cycle");
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::ostringstream os;
+    os << processors << " procs x " << contexts << " ctxs, "
+       << util::fmtBytes(cacheBytes) << ' ';
+    if (associativity == 1)
+        os << "direct-mapped";
+    else
+        os << associativity << "-way";
+    os << " (" << blockBytes << "B blocks), miss " << memoryLatency
+       << "cy, switch " << contextSwitchCycles << "cy";
+    return os.str();
+}
+
+} // namespace tsp::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Architectural inputs to the simulator (the paper's Table 3).
+ *
+ * Values stated in the paper's text and reproduced here as defaults:
+ * 1-cycle cache hits, direct-mapped caches of 32/64 KB (8 MB for the
+ * "infinite" cache study), a 6-cycle context switch triggered by a
+ * cache miss, round-robin context scheduling, and a contention-free
+ * multipath interconnect approximated by a flat 50-cycle memory
+ * latency. The block size (32 bytes) is an assumption documented in
+ * DESIGN.md: Table 3's body did not survive in the source text.
+ */
+
+#ifndef TSP_SIM_CONFIG_H
+#define TSP_SIM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace tsp::sim {
+
+/** Complete architectural description consumed by the Machine. */
+struct SimConfig
+{
+    /** Number of processors. At most 128 (directory bitmask width). */
+    uint32_t processors = 4;
+
+    /** Hardware contexts per processor. */
+    uint32_t contexts = 2;
+
+    /** Data cache capacity per processor, in bytes (power of two). */
+    uint64_t cacheBytes = 32 * 1024;
+
+    /** Cache block size in bytes (power of two). */
+    uint32_t blockBytes = 32;
+
+    /**
+     * Cache associativity (ways per set, power of two). The paper's
+     * caches are direct-mapped (1); Section 4.1 notes that set
+     * associativity would cure the thrashing it observed on Patch,
+     * which the associativity ablation bench demonstrates.
+     */
+    uint32_t associativity = 1;
+
+    /** Cache hit latency in cycles. */
+    uint32_t hitLatency = 1;
+
+    /** Flat interconnect/memory latency applied to every miss. */
+    uint32_t memoryLatency = 50;
+
+    /**
+     * Interconnect channels. 0 (default) reproduces the paper's
+     * contention-free multipath network; a positive count bounds the
+     * transactions in flight, each occupying its channel for
+     * channelOccupancy cycles (see sim/interconnect.h).
+     */
+    uint32_t networkChannels = 0;
+
+    /** Channel occupancy per transaction, in cycles. */
+    uint32_t channelOccupancy = 4;
+
+    /** Cycles to drain the pipeline on a context switch. */
+    uint32_t contextSwitchCycles = 6;
+
+    /**
+     * Whether a write hit that must invalidate remote sharers (an
+     * upgrade) stalls the issuing context like a miss. The paper's
+     * context switches are initiated by cache misses only, so the
+     * default is false (the write retires; invalidations propagate).
+     */
+    bool stallOnUpgrade = false;
+
+    /**
+     * Collect the write-run sharing profile (SharingMonitor) during
+     * the run. Off by default: it adds a hash lookup per reference.
+     */
+    bool profileSharing = false;
+
+    /** Number of cache sets. */
+    uint64_t
+    numSets() const
+    {
+        return cacheBytes / blockBytes / associativity;
+    }
+
+    /** Throw FatalError if any parameter is out of range. */
+    void validate() const;
+
+    /** One-line description for reports. */
+    std::string describe() const;
+
+    /** The 8 MB "effectively infinite" cache variant (Section 4.3). */
+    SimConfig
+    withInfiniteCache() const
+    {
+        SimConfig c = *this;
+        c.cacheBytes = 8ull * 1024 * 1024;
+        return c;
+    }
+};
+
+} // namespace tsp::sim
+
+#endif // TSP_SIM_CONFIG_H

@@ -1,0 +1,135 @@
+#include "sim/directory.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace tsp::sim {
+
+bool
+Directory::Entry::isSharer(uint32_t proc) const
+{
+    return (sharers[proc >> 6] >> (proc & 63)) & 1;
+}
+
+void
+Directory::Entry::addSharer(uint32_t proc)
+{
+    sharers[proc >> 6] |= 1ull << (proc & 63);
+}
+
+void
+Directory::Entry::dropSharer(uint32_t proc)
+{
+    sharers[proc >> 6] &= ~(1ull << (proc & 63));
+}
+
+uint32_t
+Directory::Entry::sharerCount() const
+{
+    return static_cast<uint32_t>(std::popcount(sharers[0]) +
+                                 std::popcount(sharers[1]));
+}
+
+Directory::Directory(uint32_t processors) : processors_(processors)
+{
+    util::fatalIf(processors == 0 || processors > 128,
+                  "directory supports 1..128 processors");
+}
+
+Directory::Txn
+Directory::read(uint32_t proc, uint32_t tid, uint64_t block)
+{
+    Txn txn;
+    auto [it, inserted] = entries_.try_emplace(block);
+    Entry &e = it->second;
+    txn.blockSeenBefore = !inserted;
+    txn.prevLastWriter = e.lastWriter;
+    txn.prevLastToucher = e.lastToucher;
+
+    switch (e.state) {
+      case State::Uncached:
+        e.state = State::Owned;
+        e.owner = proc;
+        e.addSharer(proc);
+        txn.grantedExclusive = true;
+        break;
+      case State::Owned:
+        util::panicIf(e.owner == proc,
+                      "read miss on a block this processor owns");
+        txn.downgradeOwner = true;
+        txn.prevOwner = e.owner;
+        e.state = State::Shared;
+        e.addSharer(proc);
+        break;
+      case State::Shared:
+        util::panicIf(e.isSharer(proc),
+                      "read miss on a block this processor shares");
+        e.addSharer(proc);
+        break;
+    }
+    e.lastToucher = static_cast<int32_t>(tid);
+    return txn;
+}
+
+Directory::Txn
+Directory::write(uint32_t proc, uint32_t tid, uint64_t block)
+{
+    Txn txn;
+    auto [it, inserted] = entries_.try_emplace(block);
+    Entry &e = it->second;
+    txn.blockSeenBefore = !inserted;
+    txn.prevLastWriter = e.lastWriter;
+    txn.prevLastToucher = e.lastToucher;
+
+    switch (e.state) {
+      case State::Uncached:
+        break;
+      case State::Owned:
+        util::panicIf(e.owner == proc,
+                      "write transaction on a block this processor "
+                      "already owns");
+        txn.invalidate.push_back(e.owner);
+        break;
+      case State::Shared:
+        for (uint32_t p = 0; p < processors_; ++p)
+            if (p != proc && e.isSharer(p))
+                txn.invalidate.push_back(p);
+        break;
+    }
+    e.sharers = {0, 0};
+    e.addSharer(proc);
+    e.state = State::Owned;
+    e.owner = proc;
+    e.lastWriter = static_cast<int32_t>(tid);
+    e.lastToucher = static_cast<int32_t>(tid);
+    return txn;
+}
+
+void
+Directory::evict(uint32_t proc, uint64_t block)
+{
+    auto it = entries_.find(block);
+    util::panicIf(it == entries_.end(),
+                  "eviction of a block the directory never saw");
+    Entry &e = it->second;
+    util::panicIf(!e.isSharer(proc),
+                  "eviction from a non-sharer processor");
+    e.dropSharer(proc);
+    if (e.sharerCount() == 0) {
+        e.state = State::Uncached;
+    } else if (e.state == State::Owned) {
+        // The owner left; remaining copies (none possible under MESI,
+        // but be safe) become Shared.
+        e.state = State::Shared;
+    }
+}
+
+const Directory::Entry *
+Directory::find(uint64_t block) const
+{
+    auto it = entries_.find(block);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+} // namespace tsp::sim

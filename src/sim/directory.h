@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Distributed directory-based invalidation protocol (the paper cites a
+ * Censier–Feautrier-style directory [7]). The directory tracks, per
+ * block, the exact sharer set (caches notify evictions, so sharer sets
+ * never go stale) and single ownership for modified data. Read misses
+ * with no other sharers are granted Exclusive (MESI-style) so private
+ * data generates no upgrade traffic — see DESIGN.md.
+ *
+ * The directory is purely bookkeeping: the Machine applies the returned
+ * actions (invalidations, downgrades) to the victim caches and accounts
+ * for latency and statistics.
+ */
+
+#ifndef TSP_SIM_DIRECTORY_H
+#define TSP_SIM_DIRECTORY_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace tsp::sim {
+
+/**
+ * Global block directory.
+ */
+class Directory
+{
+  public:
+    /** Directory-side block state. */
+    enum class State : uint8_t {
+        Uncached = 0,  //!< in no cache
+        Shared = 1,    //!< clean copies in >= 1 cache
+        Owned = 2,     //!< exactly one cache holds it (E or M)
+    };
+
+    /** Per-block directory entry. */
+    struct Entry
+    {
+        std::array<uint64_t, 2> sharers{};  //!< bitmask over processors
+        State state = State::Uncached;
+        uint32_t owner = 0;       //!< valid when state == Owned
+        int32_t lastWriter = -1;  //!< last thread to write the block
+        int32_t lastToucher = -1; //!< last thread to access the block
+
+        bool isSharer(uint32_t proc) const;
+        void addSharer(uint32_t proc);
+        void dropSharer(uint32_t proc);
+        uint32_t sharerCount() const;
+    };
+
+    /** Outcome of a read or write transaction. */
+    struct Txn
+    {
+        /** Block had a directory entry before this transaction. */
+        bool blockSeenBefore = false;
+
+        /** lastWriter before the transaction (thread id or -1). */
+        int32_t prevLastWriter = -1;
+
+        /** lastToucher before the transaction (thread id or -1). */
+        int32_t prevLastToucher = -1;
+
+        /** Read found the block Owned elsewhere: downgrade this proc. */
+        bool downgradeOwner = false;
+        uint32_t prevOwner = 0;
+
+        /** Processors whose copies a write must invalidate. */
+        std::vector<uint32_t> invalidate;
+
+        /** Whether the block was granted Exclusive (read, no sharers). */
+        bool grantedExclusive = false;
+    };
+
+    /** Construct for @p processors processors (<= 128). */
+    explicit Directory(uint32_t processors);
+
+    /**
+     * Read transaction: processor @p proc (running thread @p tid)
+     * fetches @p block. The caller must not already hold the block.
+     */
+    Txn read(uint32_t proc, uint32_t tid, uint64_t block);
+
+    /**
+     * Write transaction: processor @p proc (running thread @p tid)
+     * obtains ownership of @p block. Also used for upgrades (when
+     * @p proc already holds a Shared copy).
+     */
+    Txn write(uint32_t proc, uint32_t tid, uint64_t block);
+
+    /** Eviction notification from @p proc for @p block. */
+    void evict(uint32_t proc, uint64_t block);
+
+    /** Entry lookup (nullptr when the block was never touched). */
+    const Entry *find(uint64_t block) const;
+
+    /** Number of blocks with directory entries. */
+    size_t entryCount() const { return entries_.size(); }
+
+  private:
+    uint32_t processors_;
+    std::unordered_map<uint64_t, Entry> entries_;
+};
+
+} // namespace tsp::sim
+
+#endif // TSP_SIM_DIRECTORY_H

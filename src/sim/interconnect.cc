@@ -1,0 +1,35 @@
+#include "sim/interconnect.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tsp::sim {
+
+Interconnect::Interconnect(uint32_t channels, uint32_t baseLatency,
+                           uint32_t occupancy)
+    : baseLatency_(baseLatency), occupancy_(occupancy)
+{
+    util::fatalIf(channels > 4096, "implausible channel count");
+    channelFreeAt_.assign(channels, 0);
+}
+
+uint64_t
+Interconnect::transactionLatency(uint64_t now)
+{
+    ++transactions_;
+    if (channelFreeAt_.empty())
+        return baseLatency_;  // contention-free multipath (the paper)
+
+    auto it = std::min_element(channelFreeAt_.begin(),
+                               channelFreeAt_.end());
+    uint64_t start = std::max(now, *it);
+    uint64_t wait = start - now;
+    *it = start + occupancy_;
+
+    queueing_ += wait;
+    maxQueueing_ = std::max(maxQueueing_, wait);
+    return wait + baseLatency_;
+}
+
+} // namespace tsp::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Interconnect model. The paper "assumes a multipath network and does
+ * not explicitly model network contention", approximating memory
+ * access with a flat 50-cycle latency. This class reproduces that
+ * default (unlimited channels) and additionally offers a bounded
+ * multipath mode — k channels, each occupied for a fixed number of
+ * cycles per transaction — so the contention-free assumption itself
+ * can be ablated (`bench_ablation_bandwidth`).
+ */
+
+#ifndef TSP_SIM_INTERCONNECT_H
+#define TSP_SIM_INTERCONNECT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tsp::sim {
+
+/**
+ * Latency/occupancy model for memory transactions.
+ */
+class Interconnect
+{
+  public:
+    /**
+     * @param channels    parallel paths; 0 means unlimited (the
+     *                    paper's contention-free model)
+     * @param baseLatency cycles a transaction takes once on a channel
+     * @param occupancy   cycles a transaction occupies its channel
+     */
+    Interconnect(uint32_t channels, uint32_t baseLatency,
+                 uint32_t occupancy);
+
+    /**
+     * Issue a transaction at time @p now; returns the total latency
+     * (queueing + base) the issuing context observes.
+     */
+    uint64_t transactionLatency(uint64_t now);
+
+    /** Transactions issued so far. */
+    uint64_t transactions() const { return transactions_; }
+
+    /** Total cycles transactions spent waiting for a channel. */
+    uint64_t queueingCycles() const { return queueing_; }
+
+    /** Worst single-transaction queueing delay seen. */
+    uint64_t maxQueueing() const { return maxQueueing_; }
+
+  private:
+    uint32_t baseLatency_;
+    uint32_t occupancy_;
+    std::vector<uint64_t> channelFreeAt_;  //!< empty when unlimited
+
+    uint64_t transactions_ = 0;
+    uint64_t queueing_ = 0;
+    uint64_t maxQueueing_ = 0;
+};
+
+} // namespace tsp::sim
+
+#endif // TSP_SIM_INTERCONNECT_H

@@ -1,0 +1,443 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/error.h"
+
+namespace tsp::sim {
+
+Machine::Machine(const SimConfig &cfg, const trace::TraceSet &traces,
+                 const placement::PlacementMap &placement)
+    : cfg_(cfg), traces_(traces),
+      directory_(cfg.processors),
+      interconnect_(cfg.networkChannels, cfg.memoryLatency,
+                    cfg.channelOccupancy)
+{
+    cfg_.validate();
+    util::fatalIf(placement.threadCount() != traces.threadCount(),
+                  "placement and trace set disagree on thread count");
+    util::fatalIf(placement.processors() != cfg.processors,
+                  "placement and config disagree on processor count");
+    blockShift_ = util::log2Floor(cfg.blockBytes);
+
+    procs_.resize(cfg.processors);
+    caches_.reserve(cfg.processors);
+    for (uint32_t p = 0; p < cfg.processors; ++p) {
+        caches_.emplace_back(cfg_);
+        procs_[p].ctxs.resize(cfg.contexts);
+    }
+    stats_.procs.resize(cfg.processors);
+    stats_.coherencePairs = stats::PairMatrix(traces.threadCount());
+    scheduledAt_.assign(cfg.processors, kNoEvent);
+    if (cfg_.profileSharing)
+        monitor_.emplace();
+
+    // Barrier discovery and validation: either no thread uses
+    // barriers, or all threads execute the same number of them.
+    uint64_t barriers = traces.threadCount()
+        ? traces.thread(0).barrierCount()
+        : 0;
+    bool anyBarriers = false;
+    for (const auto &t : traces.threads()) {
+        util::fatalIf(t.barrierCount() != barriers,
+                      "all threads must execute the same barrier "
+                      "sequence");
+        anyBarriers |= t.barrierCount() > 0;
+    }
+    if (anyBarriers)
+        barrierParticipants_ =
+            static_cast<uint32_t>(traces.threadCount());
+
+    // Distribute each processor's threads over its hardware contexts;
+    // overflow threads wait in the pending queue.
+    auto clusters = placement.clusters();
+    for (uint32_t p = 0; p < cfg.processors; ++p) {
+        Proc &proc = procs_[p];
+        size_t c = 0;
+        for (uint32_t tid : clusters[p]) {
+            if (c < proc.ctxs.size()) {
+                loadThread(proc, c++, tid, 0);
+            } else {
+                util::fatalIf(barrierParticipants_ > 0,
+                              "barrier traces require every thread to "
+                              "be resident (threads <= processors x "
+                              "contexts)");
+                proc.pending.push_back(tid);
+            }
+        }
+    }
+}
+
+void
+Machine::loadThread(Proc &proc, size_t c, uint32_t tid, uint64_t now)
+{
+    Context &ctx = proc.ctxs[c];
+    ctx.thread = static_cast<int32_t>(tid);
+    ctx.cursor.emplace(traces_.thread(tid));
+    ctx.readyAt = now;
+}
+
+void
+Machine::reapFinished(uint32_t p, uint64_t now)
+{
+    Proc &proc = procs_[p];
+    for (size_t c = 0; c < proc.ctxs.size(); ++c) {
+        Context &ctx = proc.ctxs[c];
+        if (ctx.thread < 0 || !ctx.cursor->done() ||
+            ctx.hasPending || ctx.readyAt > now) {
+            continue;
+        }
+        // finishTime was recorded when the last chunk retired.
+        ctx.thread = -1;
+        ctx.cursor.reset();
+        if (!proc.pending.empty()) {
+            uint32_t tid = proc.pending.front();
+            proc.pending.pop_front();
+            loadThread(proc, c, tid, now);
+        }
+    }
+}
+
+int32_t
+Machine::pickReady(const Proc &proc, uint64_t now) const
+{
+    const size_t n = proc.ctxs.size();
+    // A context runs until it misses (Section 3.2): keep the active
+    // context whenever it is still ready.
+    if (proc.active >= 0) {
+        const Context &active =
+            proc.ctxs[static_cast<size_t>(proc.active)];
+        if (active.thread >= 0 && active.readyAt <= now)
+            return proc.active;
+    }
+    // Otherwise round-robin starting after the active context (an
+    // unset active of -1 wraps to context 0 first).
+    for (size_t k = 1; k <= n; ++k) {
+        size_t c = (static_cast<size_t>(proc.active) + k) % n;
+        const Context &ctx = proc.ctxs[c];
+        if (ctx.thread >= 0 && ctx.readyAt <= now)
+            return static_cast<int32_t>(c);
+    }
+    return -1;
+}
+
+std::optional<uint64_t>
+Machine::nextWake(const Proc &proc) const
+{
+    std::optional<uint64_t> wake;
+    for (const Context &ctx : proc.ctxs) {
+        if (ctx.thread < 0 || ctx.readyAt == kWaiting)
+            continue;
+        if (!wake || ctx.readyAt < *wake)
+            wake = ctx.readyAt;
+    }
+    return wake;
+}
+
+std::optional<uint64_t>
+Machine::step(uint32_t p, uint64_t now)
+{
+    Proc &proc = procs_[p];
+    ProcessorStats &ps = stats_.procs[p];
+
+    // Close an open idle window (lazy accounting: a barrier release
+    // may have cut the window short of the wake time estimated when
+    // the processor went idle).
+    if (proc.idleSince) {
+        util::panicIf(*proc.idleSince > now, "idle window in the future");
+        ps.idleCycles += now - *proc.idleSince;
+        proc.idleSince.reset();
+    }
+
+    reapFinished(p, now);
+
+    int32_t c = pickReady(proc, now);
+    if (c < 0) {
+        auto wake = nextWake(proc);
+        proc.idleSince = now;
+        if (!wake)
+            return std::nullopt;  // finished or all barrier-blocked
+        util::panicIf(*wake <= now, "stalled wake time in the past");
+        return wake;
+    }
+
+    if (proc.active != c) {
+        // Context switch: pipeline drain (Section 3.2).
+        if (proc.active >= 0) {
+            ps.switchCycles += cfg_.contextSwitchCycles;
+            now += cfg_.contextSwitchCycles;
+        }
+        proc.active = c;
+    }
+
+    Context &ctx = proc.ctxs[static_cast<size_t>(c)];
+
+    if (ctx.hasPending) {
+        // Commit the interaction that the preceding work run led to.
+        // This runs at its exact global time: later events of other
+        // processors were processed first.
+        ctx.hasPending = false;
+        if (ctx.pendingBarrier) {
+            barrierArrive(p, static_cast<size_t>(c), now);
+            if (ctx.cursor->done() && ctx.readyAt != kWaiting) {
+                // Trailing barrier and this arrival released it.
+                ps.finishTime = std::max(ps.finishTime, now);
+            }
+            return now;
+        }
+        ps.instructions += 1;
+        bool miss = access(p, static_cast<uint32_t>(ctx.thread),
+                           ctx.pendingAddr, ctx.pendingStore);
+        ps.busyCycles += cfg_.hitLatency;
+        now += cfg_.hitLatency;
+        if (miss)
+            ctx.readyAt = now + interconnect_.transactionLatency(now);
+        if (ctx.cursor->done()) {
+            // The thread's last instruction retires when its final
+            // memory operation completes.
+            ps.finishTime =
+                std::max(ps.finishTime, miss ? ctx.readyAt : now);
+        }
+        return now;
+    }
+
+    if (ctx.cursor->done()) {
+        // Loaded an empty trace, or resumed purely to retire: record
+        // completion and let reapFinished unload it next step.
+        ps.finishTime = std::max(ps.finishTime, now);
+        ctx.readyAt = now;
+        reapFinished(p, now);
+        return now;
+    }
+
+    trace::TraceCursor::Chunk chunk = ctx.cursor->next();
+    ps.busyCycles += chunk.work;
+    ps.instructions += chunk.work;
+    now += chunk.work;
+
+    if (chunk.hasRef || chunk.isBarrier) {
+        ctx.hasPending = true;
+        ctx.pendingBarrier = chunk.isBarrier;
+        ctx.pendingStore = chunk.isStore;
+        ctx.pendingAddr = chunk.addr;
+        ctx.readyAt = now;
+    } else if (ctx.cursor->done()) {
+        ps.finishTime = std::max(ps.finishTime, now);
+    }
+    return now;
+}
+
+void
+Machine::barrierArrive(uint32_t p, size_t c, uint64_t now)
+{
+    util::panicIf(barrierParticipants_ == 0,
+                  "barrier event in a barrier-free run");
+    Context &ctx = procs_[p].ctxs[c];
+    ctx.readyAt = kWaiting;
+    ctx.barrierArriveAt = now;
+    barrierWaiters_.emplace_back(p, static_cast<uint32_t>(c));
+    if (++barrierArrived_ == barrierParticipants_)
+        releaseBarrier(now);
+}
+
+void
+Machine::releaseBarrier(uint64_t now)
+{
+    for (auto [p, c] : barrierWaiters_) {
+        Context &ctx = procs_[p].ctxs[c];
+        stats_.procs[p].barrierCycles += now - ctx.barrierArriveAt;
+        ctx.readyAt = now;
+        if (ctx.cursor->done()) {
+            stats_.procs[p].finishTime =
+                std::max(stats_.procs[p].finishTime, now);
+        }
+        schedule(p, now);
+    }
+    barrierWaiters_.clear();
+    barrierArrived_ = 0;
+}
+
+void
+Machine::schedule(uint32_t p, uint64_t t)
+{
+    if (scheduledAt_[p] <= t)
+        return;  // an earlier (or equal) event is already pending
+    scheduledAt_[p] = t;
+    pq_.push({t, p});
+}
+
+bool
+Machine::access(uint32_t p, uint32_t tid, uint64_t addr, bool isStore)
+{
+    ProcessorStats &ps = stats_.procs[p];
+    Cache &cache = caches_[p];
+    const uint64_t block = addr >> blockShift_;
+    ++ps.memRefs;
+    if (monitor_)
+        monitor_->onAccess(block, tid, isStore);
+
+    if (Cache::Frame *hit = cache.lookup(block)) {
+        ++ps.hits;
+        cache.touch(*hit);
+        if (accessObserver_) {
+            accessObserver_(p, tid, block, isStore, true,
+                            MissKind::Compulsory);
+        }
+        if (isStore) {
+            if (hit->state == CoherenceState::Shared) {
+                // Upgrade: gain ownership, invalidating remote copies.
+                auto txn = directory_.write(p, tid, block);
+                ++ps.upgrades;
+                applyInvalidations(p, tid, txn.invalidate, block);
+                hit->state = CoherenceState::Modified;
+                hit->threadId = tid;
+                return cfg_.stallOnUpgrade && !txn.invalidate.empty();
+            }
+            hit->state = CoherenceState::Modified;  // silent E/M -> M
+        }
+        hit->threadId = tid;
+        return false;
+    }
+
+    Cache::Frame &frame = cache.victimFor(block);
+
+    // Miss: classify from this cache's departure history.
+    MissKind kind = cache.classifyMiss(block, tid);
+    ++ps.misses[static_cast<size_t>(kind)];
+    if (accessObserver_)
+        accessObserver_(p, tid, block, isStore, false, kind);
+    if (kind == MissKind::Invalidation) {
+        int32_t writer = cache.invalidatingWriter(block);
+        if (writer >= 0 && static_cast<uint32_t>(writer) != tid)
+            stats_.coherencePairs.add(tid, static_cast<uint32_t>(writer),
+                                      1.0);
+    }
+
+    // Evict the current occupant (with a directory notification, so
+    // sharer sets stay exact).
+    if (frame.valid()) {
+        if (frame.dirty())
+            ++ps.writebacks;
+        directory_.evict(p, frame.tag);
+        cache.recordEviction(frame.tag, tid);
+    }
+
+    Directory::Txn txn;
+    if (isStore) {
+        txn = directory_.write(p, tid, block);
+        applyInvalidations(p, tid, txn.invalidate, block);
+        frame.state = CoherenceState::Modified;
+    } else {
+        txn = directory_.read(p, tid, block);
+        if (txn.downgradeOwner) {
+            Cache::Frame *ownerFrame =
+                caches_[txn.prevOwner].lookup(block);
+            util::panicIf(ownerFrame == nullptr,
+                          "directory owner does not hold the block");
+            if (ownerFrame->state == CoherenceState::Modified)
+                ++stats_.procs[txn.prevOwner].writebacks;
+            ownerFrame->state = CoherenceState::Shared;
+        }
+        frame.state = txn.grantedExclusive ? CoherenceState::Exclusive
+                                           : CoherenceState::Shared;
+    }
+
+    if (kind == MissKind::Compulsory && txn.blockSeenBefore) {
+        // Never in this cache, yet known to the directory: the block
+        // was first touched by a remote processor. This is exactly the
+        // compulsory-miss component sharing-based placement hopes to
+        // remove (Section 1).
+        ++stats_.sharingCompulsoryMisses;
+        int32_t other = txn.prevLastWriter >= 0 ? txn.prevLastWriter
+                                                : txn.prevLastToucher;
+        if (other >= 0 && static_cast<uint32_t>(other) != tid)
+            stats_.coherencePairs.add(tid, static_cast<uint32_t>(other),
+                                      1.0);
+    }
+
+    frame.tag = block;
+    frame.threadId = tid;
+    cache.touch(frame);
+    return true;
+}
+
+void
+Machine::applyInvalidations(uint32_t causerProc, uint32_t causerTid,
+                            const std::vector<uint32_t> &victims,
+                            uint64_t block)
+{
+    for (uint32_t v : victims) {
+        util::panicIf(v == causerProc, "self-invalidation");
+        int32_t resident = caches_[v].invalidate(block, causerTid);
+        util::panicIf(resident < 0,
+                      "directory sharer does not hold the block");
+        ++stats_.procs[causerProc].invalidationsSent;
+        ++stats_.procs[v].invalidationsReceived;
+        if (static_cast<uint32_t>(resident) != causerTid)
+            stats_.coherencePairs.add(causerTid,
+                                      static_cast<uint32_t>(resident),
+                                      1.0);
+    }
+}
+
+SimStats
+Machine::run()
+{
+    util::fatalIf(ran_, "a Machine can only run once");
+    ran_ = true;
+
+    for (uint32_t p = 0; p < cfg_.processors; ++p)
+        schedule(p, 0);
+
+    while (!pq_.empty()) {
+        auto [t, p] = pq_.top();
+        pq_.pop();
+        if (scheduledAt_[p] != t)
+            continue;  // superseded by an earlier wake-up
+        scheduledAt_[p] = kNoEvent;
+        std::optional<uint64_t> next = step(p, t);
+        // Keep advancing this processor while it remains the globally
+        // earliest event; this skips most heap traffic on hit runs
+        // without perturbing the global order of directory operations.
+        while (next && (pq_.empty() || *next <= pq_.top().first))
+            next = step(p, *next);
+        // Any event this processor enqueued for itself mid-chain
+        // (barrier self-release) is superseded by the chain's own
+        // continuation.
+        scheduledAt_[p] = kNoEvent;
+        if (next)
+            schedule(p, *next);
+    }
+
+    // Safety net: everything must have retired (a mismatched barrier
+    // structure or an overflowed context pool would strand contexts).
+    for (uint32_t p = 0; p < cfg_.processors; ++p) {
+        for (const Context &ctx : procs_[p].ctxs) {
+            util::fatalIf(ctx.thread >= 0,
+                          "simulation ended with unfinished threads "
+                          "(barrier deadlock?)");
+        }
+        util::fatalIf(!procs_[p].pending.empty(),
+                      "simulation ended with unstarted threads");
+    }
+
+    if (monitor_) {
+        stats_.sharingProfile = monitor_->finalize();
+        stats_.profiledSharing = true;
+    }
+    stats_.networkTransactions = interconnect_.transactions();
+    stats_.networkQueueingCycles = interconnect_.queueingCycles();
+    stats_.networkMaxQueueing = interconnect_.maxQueueing();
+    return std::move(stats_);
+}
+
+SimStats
+simulate(const SimConfig &cfg, const trace::TraceSet &traces,
+         const placement::PlacementMap &placement)
+{
+    Machine machine(cfg, traces, placement);
+    return machine.run();
+}
+
+} // namespace tsp::sim

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The multithreaded multiprocessor simulator (Section 3.2).
+ *
+ * Each processor has multiple hardware contexts scheduled round-robin;
+ * a cache miss initiates a 6-cycle context switch to the next ready
+ * context; misses complete after a flat interconnect latency. The
+ * machine is event-driven: processors interact only through directory
+ * transactions, which occur at memory-reference events processed in
+ * global time order, so the simulation is exact for the paper's
+ * contention-free interconnect model.
+ *
+ * Traces may contain barrier markers (EventKind::Barrier); a thread
+ * arriving at barrier k blocks until every thread has arrived at
+ * barrier k. The paper's trace-driven simulation free-runs the
+ * per-thread traces (no synchronization); barriers are this
+ * reproduction's optional fidelity extension for the barrier-phased
+ * programs the workload models.
+ */
+
+#ifndef TSP_SIM_MACHINE_H
+#define TSP_SIM_MACHINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/placement_map.h"
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/directory.h"
+#include "sim/interconnect.h"
+#include "sim/results.h"
+#include "sim/sharing_monitor.h"
+#include "trace/trace_set.h"
+
+namespace tsp::sim {
+
+/**
+ * One simulation instance. Construct, call run() once, read the stats.
+ */
+class Machine
+{
+  public:
+    /**
+     * @param cfg       architectural parameters (validated here)
+     * @param traces    the application's per-thread traces
+     * @param placement thread -> processor map; processor count must
+     *                  match @p cfg
+     */
+    Machine(const SimConfig &cfg, const trace::TraceSet &traces,
+            const placement::PlacementMap &placement);
+
+    /**
+     * Observer invoked on every data reference, in the exact global
+     * order the machine processes them: (processor, thread, block,
+     * isStore, hit, missKind — meaningful only when hit is false).
+     * Used by the differential reference-model tests; adds a call per
+     * reference, so leave unset in performance-sensitive runs.
+     */
+    using AccessObserver =
+        std::function<void(uint32_t proc, uint32_t tid, uint64_t block,
+                           bool isStore, bool hit, MissKind kind)>;
+
+    /** Install an access observer (replaces any previous one). */
+    void
+    setAccessObserver(AccessObserver observer)
+    {
+        accessObserver_ = std::move(observer);
+    }
+
+    /** Run the simulation to completion and return the statistics. */
+    SimStats run();
+
+  private:
+    /** readyAt sentinel: blocked at a barrier. */
+    static constexpr uint64_t kWaiting = ~0ull;
+
+    /** scheduledAt sentinel: no outstanding event. */
+    static constexpr uint64_t kNoEvent = ~0ull;
+
+    /** One hardware context. */
+    struct Context
+    {
+        int32_t thread = -1;  //!< bound thread id, -1 when empty
+        std::optional<trace::TraceCursor> cursor;
+        uint64_t readyAt = 0;  //!< stalled until this cycle (kWaiting
+                               //!< while blocked at a barrier)
+        uint64_t barrierArriveAt = 0;
+
+        // A chunk's work advances local time first; its trailing
+        // interaction (memory reference or barrier) is committed in a
+        // separate step so that directory operations and barrier
+        // arrivals are processed in exact global time order.
+        bool hasPending = false;
+        bool pendingBarrier = false;
+        bool pendingStore = false;
+        uint64_t pendingAddr = 0;
+    };
+
+    /** One processor's scheduling state. */
+    struct Proc
+    {
+        std::vector<Context> ctxs;
+        std::deque<uint32_t> pending;  //!< threads not yet loaded
+        int32_t active = -1;  //!< context currently in the pipeline
+        std::optional<uint64_t> idleSince;  //!< lazily-accounted idle
+    };
+
+    /** Load @p tid into context @p c of processor @p p at time @p now. */
+    void loadThread(Proc &proc, size_t c, uint32_t tid, uint64_t now);
+
+    /** Retire contexts whose trace is exhausted and ready. */
+    void reapFinished(uint32_t p, uint64_t now);
+
+    /** Round-robin pick of a ready context; -1 when none. */
+    int32_t pickReady(const Proc &proc, uint64_t now) const;
+
+    /** Earliest wake among stalled (not barrier-blocked) contexts. */
+    std::optional<uint64_t> nextWake(const Proc &proc) const;
+
+    /**
+     * Advance processor @p p one scheduling step starting at @p now.
+     * Returns the next event time for this processor, or nullopt when
+     * it has nothing runnable (finished, or all contexts barrier
+     * blocked).
+     */
+    std::optional<uint64_t> step(uint32_t p, uint64_t now);
+
+    /**
+     * Perform the memory access, updating caches, directory and stats.
+     * Returns true when the access missed (context must stall).
+     */
+    bool access(uint32_t p, uint32_t tid, uint64_t addr, bool isStore);
+
+    /** Deliver invalidations for @p block to @p victims. */
+    void applyInvalidations(uint32_t causerProc, uint32_t causerTid,
+                            const std::vector<uint32_t> &victims,
+                            uint64_t block);
+
+    /** Record a barrier arrival; releases everyone on the last one. */
+    void barrierArrive(uint32_t p, size_t c, uint64_t now);
+
+    /** Wake every barrier waiter at time @p now. */
+    void releaseBarrier(uint64_t now);
+
+    /** Enqueue an event for @p p at @p t (dedupe/stale handling). */
+    void schedule(uint32_t p, uint64_t t);
+
+    SimConfig cfg_;
+    const trace::TraceSet &traces_;
+    unsigned blockShift_;
+
+    std::vector<Proc> procs_;
+    std::vector<Cache> caches_;
+    Directory directory_;
+    Interconnect interconnect_;
+    std::optional<SharingMonitor> monitor_;
+    AccessObserver accessObserver_;
+    SimStats stats_;
+    bool ran_ = false;
+
+    // Event queue: (time, processor), earliest first. scheduledAt_
+    // tracks each processor's authoritative outstanding event so that
+    // superseded heap entries can be recognized and skipped.
+    using Ev = std::pair<uint64_t, uint32_t>;
+    std::priority_queue<Ev, std::vector<Ev>, std::greater<>> pq_;
+    std::vector<uint64_t> scheduledAt_;
+
+    // Barrier state.
+    uint32_t barrierParticipants_ = 0;  //!< 0 when traces are barrier-free
+    uint32_t barrierArrived_ = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> barrierWaiters_;
+};
+
+/** Convenience wrapper: construct a Machine and run it. */
+SimStats simulate(const SimConfig &cfg, const trace::TraceSet &traces,
+                  const placement::PlacementMap &placement);
+
+} // namespace tsp::sim
+
+#endif // TSP_SIM_MACHINE_H

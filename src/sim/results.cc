@@ -1,0 +1,118 @@
+#include "sim/results.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace tsp::sim {
+
+std::string
+missKindName(MissKind kind)
+{
+    switch (kind) {
+      case MissKind::Compulsory:    return "compulsory";
+      case MissKind::IntraConflict: return "intra-thread conflict";
+      case MissKind::InterConflict: return "inter-thread conflict";
+      case MissKind::Invalidation:  return "invalidation";
+    }
+    util::panic("unknown miss kind");
+}
+
+uint64_t
+ProcessorStats::totalMisses() const
+{
+    return std::accumulate(misses.begin(), misses.end(), uint64_t{0});
+}
+
+uint64_t
+SimStats::executionTime() const
+{
+    uint64_t t = 0;
+    for (const auto &p : procs)
+        t = std::max(t, p.finishTime);
+    return t;
+}
+
+uint64_t
+SimStats::totalInstructions() const
+{
+    uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.instructions;
+    return n;
+}
+
+uint64_t
+SimStats::totalMemRefs() const
+{
+    uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.memRefs;
+    return n;
+}
+
+uint64_t
+SimStats::totalHits() const
+{
+    uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.hits;
+    return n;
+}
+
+uint64_t
+SimStats::totalMisses() const
+{
+    uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.totalMisses();
+    return n;
+}
+
+uint64_t
+SimStats::totalMissCount(MissKind kind) const
+{
+    uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.missCount(kind);
+    return n;
+}
+
+uint64_t
+SimStats::totalInvalidationsSent() const
+{
+    uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.invalidationsSent;
+    return n;
+}
+
+uint64_t
+SimStats::totalUpgrades() const
+{
+    uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.upgrades;
+    return n;
+}
+
+uint64_t
+SimStats::dynamicSharingTraffic() const
+{
+    return totalInvalidationsSent() +
+           totalMissCount(MissKind::Invalidation) +
+           sharingCompulsoryMisses;
+}
+
+double
+SimStats::missRate() const
+{
+    uint64_t refs = totalMemRefs();
+    if (refs == 0)
+        return 0.0;
+    return static_cast<double>(totalMisses()) /
+           static_cast<double>(refs);
+}
+
+} // namespace tsp::sim

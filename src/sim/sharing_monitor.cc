@@ -1,0 +1,96 @@
+#include "sim/sharing_monitor.h"
+
+#include <bit>
+
+namespace tsp::sim {
+
+void
+SharingMonitor::onAccess(uint64_t block, uint32_t tid, bool isWrite)
+{
+    BlockState &state = blocks_[block];
+    state.threads[(tid >> 6) & 1] |= 1ull << (tid & 63);
+    ++state.accesses;
+    state.everWritten |= isWrite;
+
+    if (state.started && state.runThread == tid) {
+        ++state.runLength;
+        state.runHasWrite |= isWrite;
+        return;
+    }
+    if (state.started)
+        closeRun(state);
+    state.started = true;
+    state.runThread = tid;
+    state.runLength = 1;
+    state.runHasWrite = isWrite;
+}
+
+void
+SharingMonitor::closeRun(BlockState &state)
+{
+    if (state.runHasWrite) {
+        ++state.writeRuns;
+        state.writeRunAccesses += state.runLength;
+    } else {
+        ++state.readRuns;
+        state.readRunAccesses += state.runLength;
+    }
+}
+
+uint32_t
+SharingMonitor::toucherCount(const BlockState &state) const
+{
+    return static_cast<uint32_t>(std::popcount(state.threads[0]) +
+                                 std::popcount(state.threads[1]));
+}
+
+SharingProfile
+SharingMonitor::finalize()
+{
+    SharingProfile profile;
+    for (auto &[block, state] : blocks_) {
+        (void)block;
+        if (state.started)
+            closeRun(state);
+        state.started = false;
+
+        if (toucherCount(state) < 2) {
+            ++profile.privateBlocks;
+            continue;
+        }
+        ++profile.sharedBlocks;
+
+        if (state.writeRuns) {
+            profile.writeRunLength.add(
+                static_cast<double>(state.writeRunAccesses) /
+                static_cast<double>(state.writeRuns));
+        }
+        if (state.readRuns) {
+            profile.readRunLength.add(
+                static_cast<double>(state.readRunAccesses) /
+                static_cast<double>(state.readRuns));
+        }
+
+        if (!state.everWritten) {
+            ++profile.readOnlyShared;
+            continue;
+        }
+        double meanWriteRun = state.writeRuns
+            ? static_cast<double>(state.writeRunAccesses) /
+                  static_cast<double>(state.writeRuns)
+            : 0.0;
+        double coverage = state.accesses
+            ? static_cast<double>(state.writeRunAccesses) /
+                  static_cast<double>(state.accesses)
+            : 0.0;
+        if (meanWriteRun >= options_.minWriteRunLength &&
+            coverage >= options_.minWriteRunCoverage) {
+            ++profile.migratoryShared;
+        } else {
+            ++profile.otherShared;
+        }
+    }
+    return profile;
+}
+
+} // namespace tsp::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Runtime sharing-pattern profiling: classifies each shared block by
+ * its dynamic access pattern, following the write-run taxonomy the
+ * paper leans on in Section 4.2 ("73% of all shared elements [of FFT]
+ * are migratory, i.e., accessed in long write runs", citing the
+ * write-run analysis of its reference [5]).
+ *
+ * A *run* is a maximal sequence of consecutive accesses to a block by
+ * a single thread; a *write run* is a run containing at least one
+ * write. A shared block (touched by >= 2 threads) is
+ *  - read-only   when no thread ever writes it,
+ *  - migratory   when most of its accesses happen inside write runs
+ *                and those runs are long (>= minWriteRunLength),
+ *  - other       (producer/consumer, ping-pong, ...) otherwise.
+ */
+
+#ifndef TSP_SIM_SHARING_MONITOR_H
+#define TSP_SIM_SHARING_MONITOR_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "stats/summary.h"
+
+namespace tsp::sim {
+
+/** Aggregated sharing-pattern profile of one simulation run. */
+struct SharingProfile
+{
+    uint64_t privateBlocks = 0;   //!< touched by exactly one thread
+    uint64_t sharedBlocks = 0;    //!< touched by >= 2 threads
+    uint64_t readOnlyShared = 0;
+    uint64_t migratoryShared = 0;
+    uint64_t otherShared = 0;
+
+    /** Statistics over write-run lengths on shared blocks. */
+    stats::Summary writeRunLength;
+
+    /** Statistics over read-run lengths on shared blocks. */
+    stats::Summary readRunLength;
+
+    /** Fraction of shared blocks classified migratory. */
+    double
+    migratoryFraction() const
+    {
+        return sharedBlocks
+            ? static_cast<double>(migratoryShared) /
+                  static_cast<double>(sharedBlocks)
+            : 0.0;
+    }
+
+    /** Fraction of shared blocks that are read-only shared. */
+    double
+    readOnlyFraction() const
+    {
+        return sharedBlocks
+            ? static_cast<double>(readOnlyShared) /
+                  static_cast<double>(sharedBlocks)
+            : 0.0;
+    }
+};
+
+/**
+ * Streaming monitor fed one event per data reference, in global
+ * simulation order.
+ */
+class SharingMonitor
+{
+  public:
+    /** Classification thresholds. */
+    struct Options
+    {
+        /** Minimum mean write-run length for "long" write runs. */
+        double minWriteRunLength = 2.0;
+
+        /** Minimum fraction of accesses inside write runs. */
+        double minWriteRunCoverage = 0.5;
+
+        Options() {}
+    };
+
+    explicit SharingMonitor(Options options = Options())
+        : options_(options)
+    {}
+
+    /** Record one access to @p block by thread @p tid. */
+    void onAccess(uint64_t block, uint32_t tid, bool isWrite);
+
+    /** Close all open runs and compute the aggregate profile. */
+    SharingProfile finalize();
+
+  private:
+    struct BlockState
+    {
+        std::array<uint64_t, 2> threads{};  //!< toucher bitmask (128)
+        uint32_t runThread = 0;   //!< thread of the current run
+        uint64_t runLength = 0;   //!< accesses in the current run
+        bool runHasWrite = false;
+        bool started = false;
+        bool everWritten = false;
+
+        uint64_t accesses = 0;
+        uint64_t writeRuns = 0;
+        uint64_t writeRunAccesses = 0;
+        uint64_t readRuns = 0;
+        uint64_t readRunAccesses = 0;
+    };
+
+    /** Fold the (closed) current run into the block's aggregates. */
+    static void closeRun(BlockState &state);
+
+    uint32_t toucherCount(const BlockState &state) const;
+
+    Options options_;
+    std::unordered_map<uint64_t, BlockState> blocks_;
+};
+
+} // namespace tsp::sim
+
+#endif // TSP_SIM_SHARING_MONITOR_H

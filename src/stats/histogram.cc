@@ -1,0 +1,79 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace tsp::stats {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    util::fatalIf(buckets == 0, "histogram needs at least one bucket");
+    util::fatalIf(!(hi > lo), "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<int64_t>(
+        std::floor(frac * static_cast<double>(counts_.size())));
+    idx = std::clamp<int64_t>(idx, 0,
+                              static_cast<int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + w * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        double next = cum + static_cast<double>(counts_[i]);
+        if (next >= target) {
+            double within = counts_[i]
+                ? (target - cum) / static_cast<double>(counts_[i])
+                : 0.0;
+            return bucketLo(i) + within * w;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::render(size_t barWidth) const
+{
+    uint64_t peak = 0;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream os;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        size_t bar = peak
+            ? static_cast<size_t>(static_cast<double>(counts_[i]) /
+                                  static_cast<double>(peak) *
+                                  static_cast<double>(barWidth))
+            : 0;
+        os << util::fmtFixed(bucketLo(i), 1) << " | "
+           << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+    }
+    return os.str();
+}
+
+} // namespace tsp::stats

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-width bucket histogram, used for run-length and locality
+ * diagnostics of generated workloads.
+ */
+
+#ifndef TSP_STATS_HISTOGRAM_H
+#define TSP_STATS_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsp::stats {
+
+/**
+ * Histogram over [lo, hi) with a fixed number of equal-width buckets.
+ * Values outside the range are clamped into the first/last bucket.
+ */
+class Histogram
+{
+  public:
+    /** Construct with @p buckets equal-width bins over [lo, hi). */
+    Histogram(double lo, double hi, size_t buckets);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Total observations recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Count in bucket @p i. */
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+
+    /** Number of buckets. */
+    size_t buckets() const { return counts_.size(); }
+
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLo(size_t i) const;
+
+    /**
+     * Value below which @p q (in [0,1]) of the mass lies, interpolated
+     * within the containing bucket. Returns lo when empty.
+     */
+    double quantile(double q) const;
+
+    /** Render a compact one-line-per-bucket ASCII view. */
+    std::string render(size_t barWidth = 40) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace tsp::stats
+
+#endif // TSP_STATS_HISTOGRAM_H

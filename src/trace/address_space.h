@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Address-space layout conventions for generated traces.
+ *
+ * The MPtrace-era applications distinguish a shared heap from per-thread
+ * private data. We reproduce that with a fixed layout: a shared region
+ * at a known base and disjoint per-thread private regions above it.
+ * The analyzer does NOT rely on this layout (it derives sharing from the
+ * traces themselves); the layout only guarantees generated private data
+ * never aliases shared data.
+ */
+
+#ifndef TSP_TRACE_ADDRESS_SPACE_H
+#define TSP_TRACE_ADDRESS_SPACE_H
+
+#include <cstdint>
+
+namespace tsp::trace {
+
+/** Fixed layout used by the synthetic workload generators. */
+struct AddressSpace
+{
+    /** Machine word size in bytes; all references are word aligned. */
+    static constexpr uint64_t wordBytes = 4;
+
+    /** Base byte address of the shared region. */
+    static constexpr uint64_t sharedBase = 0x1000'0000ull;
+
+    /** Size in bytes reserved for the shared region. */
+    static constexpr uint64_t sharedSpan = 0x1000'0000ull;  // 256 MB
+
+    /**
+     * Size in bytes reserved per private region. Deliberately NOT a
+     * multiple of any simulated cache size: 16 MB + 64 KB + 64 B, so
+     * consecutive threads' private pools land on different cache
+     * indices. In the 8 MB "infinite" cache (Section 4.3) this gives
+     * every thread a disjoint ~64 KB index window, which (together
+     * with the 1 MB offset below clearing the shared region's indices)
+     * is what lets an 8 MB cache eliminate conflict misses entirely,
+     * as the paper requires.
+     */
+    static constexpr uint64_t privateSpan = 0x0101'0040ull;
+
+    /** Gap between the shared region and the first private region. */
+    static constexpr uint64_t privateAreaOffset = 0x0010'0000ull;
+
+    /** Base of thread @p tid's private region. */
+    static constexpr uint64_t
+    privateBase(uint32_t tid)
+    {
+        return sharedBase + sharedSpan + privateAreaOffset +
+               static_cast<uint64_t>(tid) * privateSpan;
+    }
+
+    /** True when @p addr lies in the shared region. */
+    static constexpr bool
+    isShared(uint64_t addr)
+    {
+        return addr >= sharedBase && addr < sharedBase + sharedSpan;
+    }
+
+    /** Word index -> byte address within the shared region. */
+    static constexpr uint64_t
+    sharedWord(uint64_t index)
+    {
+        return sharedBase + index * wordBytes;
+    }
+
+    /** Word index -> byte address within thread @p tid's private region. */
+    static constexpr uint64_t
+    privateWord(uint32_t tid, uint64_t index)
+    {
+        return privateBase(tid) + index * wordBytes;
+    }
+};
+
+} // namespace tsp::trace
+
+#endif // TSP_TRACE_ADDRESS_SPACE_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Packed trace events.
+ *
+ * A trace is a per-thread instruction stream. Only data references are
+ * individually represented; runs of instructions without data accesses
+ * are compressed into a single "work" event carrying a repeat count.
+ * This keeps multi-million-instruction threads compact (one word per
+ * event) while preserving exact instruction counts, which drive both the
+ * load-balancing metrics and simulated execution time.
+ *
+ * Encoding: the top 2 bits hold the kind, the low 62 bits hold either a
+ * byte address (Load/Store) or an instruction count (Work).
+ */
+
+#ifndef TSP_TRACE_EVENT_H
+#define TSP_TRACE_EVENT_H
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace tsp::trace {
+
+/** Kind of a trace event. */
+enum class EventKind : uint8_t {
+    Work = 0,    //!< run of instructions with no data reference
+    Load = 1,    //!< one instruction performing a data read
+    Store = 2,   //!< one instruction performing a data write
+    Barrier = 3, //!< global synchronization marker (zero cost locally)
+};
+
+/** One packed trace event. */
+class TraceEvent
+{
+  public:
+    /** Number of payload bits available for addresses/counts. */
+    static constexpr unsigned payloadBits = 62;
+
+    /** Largest representable address or work count. */
+    static constexpr uint64_t maxPayload = (1ull << payloadBits) - 1;
+
+    TraceEvent() : bits_(0) {}
+
+    /** Build a work run of @p count instructions (count >= 1). */
+    static TraceEvent
+    work(uint64_t count)
+    {
+        util::panicIf(count == 0 || count > maxPayload,
+                      "work count out of range");
+        return TraceEvent(EventKind::Work, count);
+    }
+
+    /** Build a load of byte address @p addr. */
+    static TraceEvent
+    load(uint64_t addr)
+    {
+        util::panicIf(addr > maxPayload, "address out of range");
+        return TraceEvent(EventKind::Load, addr);
+    }
+
+    /** Build a store of byte address @p addr. */
+    static TraceEvent
+    store(uint64_t addr)
+    {
+        util::panicIf(addr > maxPayload, "address out of range");
+        return TraceEvent(EventKind::Store, addr);
+    }
+
+    /**
+     * Build a barrier marker with sequence number @p index. All
+     * threads of an application must execute the same barrier
+     * sequence; the simulator blocks each thread at barrier k until
+     * every thread has arrived at barrier k.
+     */
+    static TraceEvent
+    barrier(uint64_t index)
+    {
+        util::panicIf(index > maxPayload, "barrier index out of range");
+        return TraceEvent(EventKind::Barrier, index);
+    }
+
+    /** Event kind. */
+    EventKind kind() const { return static_cast<EventKind>(bits_ >> 62); }
+
+    /** True for Load and Store events. */
+    bool
+    isMemRef() const
+    {
+        return kind() == EventKind::Load || kind() == EventKind::Store;
+    }
+
+    /** True for Store events. */
+    bool isStore() const { return kind() == EventKind::Store; }
+
+    /** Byte address of a Load/Store event. */
+    uint64_t
+    address() const
+    {
+        util::panicIf(!isMemRef(), "address() on a work event");
+        return payload();
+    }
+
+    /**
+     * Instruction count: the run length for Work, 1 for Load/Store,
+     * 0 for Barrier (a marker, not an instruction).
+     */
+    uint64_t
+    instructions() const
+    {
+        switch (kind()) {
+          case EventKind::Work:
+            return payload();
+          case EventKind::Barrier:
+            return 0;
+          default:
+            return 1;
+        }
+    }
+
+    /** Barrier sequence number of a Barrier event. */
+    uint64_t
+    barrierIndex() const
+    {
+        util::panicIf(kind() != EventKind::Barrier,
+                      "barrierIndex() on a non-barrier event");
+        return payload();
+    }
+
+    /** Raw encoded value (for serialization). */
+    uint64_t raw() const { return bits_; }
+
+    /** Rebuild from a raw encoded value. */
+    static TraceEvent
+    fromRaw(uint64_t raw)
+    {
+        TraceEvent e;
+        e.bits_ = raw;
+        return e;
+    }
+
+    bool operator==(const TraceEvent &o) const { return bits_ == o.bits_; }
+
+  private:
+    TraceEvent(EventKind kind, uint64_t payload)
+        : bits_((static_cast<uint64_t>(kind) << 62) | payload)
+    {}
+
+    uint64_t payload() const { return bits_ & maxPayload; }
+
+    uint64_t bits_;
+};
+
+} // namespace tsp::trace
+
+#endif // TSP_TRACE_EVENT_H

@@ -1,0 +1,88 @@
+#include "trace/thread_trace.h"
+
+namespace tsp::trace {
+
+void
+ThreadTrace::appendWork(uint64_t count)
+{
+    if (count == 0)
+        return;
+    instructions_ += count;
+    if (!events_.empty() &&
+        events_.back().kind() == EventKind::Work) {
+        uint64_t merged = events_.back().instructions() + count;
+        if (merged <= TraceEvent::maxPayload) {
+            events_.back() = TraceEvent::work(merged);
+            return;
+        }
+    }
+    events_.push_back(TraceEvent::work(count));
+}
+
+void
+ThreadTrace::appendLoad(uint64_t addr)
+{
+    events_.push_back(TraceEvent::load(addr));
+    ++instructions_;
+    ++loads_;
+}
+
+void
+ThreadTrace::appendStore(uint64_t addr)
+{
+    events_.push_back(TraceEvent::store(addr));
+    ++instructions_;
+    ++stores_;
+}
+
+void
+ThreadTrace::appendBarrier()
+{
+    events_.push_back(TraceEvent::barrier(barriers_));
+    ++barriers_;
+}
+
+void
+ThreadTrace::append(TraceEvent e)
+{
+    switch (e.kind()) {
+      case EventKind::Work:
+        appendWork(e.instructions());
+        break;
+      case EventKind::Load:
+        appendLoad(e.address());
+        break;
+      case EventKind::Store:
+        appendStore(e.address());
+        break;
+      case EventKind::Barrier:
+        appendBarrier();
+        break;
+    }
+}
+
+TraceCursor::Chunk
+TraceCursor::next()
+{
+    Chunk chunk;
+    const auto &events = trace_->events();
+    while (pos_ < events.size()) {
+        const TraceEvent &e = events[pos_];
+        ++pos_;
+        if (e.kind() == EventKind::Work) {
+            chunk.work += e.instructions();
+        } else if (e.kind() == EventKind::Barrier) {
+            chunk.isBarrier = true;
+            chunk.addr = e.barrierIndex();
+            break;
+        } else {
+            chunk.hasRef = true;
+            chunk.isStore = e.isStore();
+            chunk.addr = e.address();
+            break;
+        }
+    }
+    return chunk;
+}
+
+} // namespace tsp::trace

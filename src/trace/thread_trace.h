@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A single thread's trace: an ordered event sequence plus cached counts,
+ * and a cursor for efficient consumption by the simulator.
+ */
+
+#ifndef TSP_TRACE_THREAD_TRACE_H
+#define TSP_TRACE_THREAD_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace tsp::trace {
+
+/** Identifier of a thread within one application. */
+using ThreadId = uint32_t;
+
+/**
+ * Ordered trace of one thread. Appending through the typed helpers keeps
+ * adjacent work runs merged and count caches up to date.
+ */
+class ThreadTrace
+{
+  public:
+    /** Construct an empty trace for thread @p id. */
+    explicit ThreadTrace(ThreadId id = 0) : id_(id) {}
+
+    /** Thread id within the application. */
+    ThreadId id() const { return id_; }
+
+    /** Append @p count instructions of non-memory work. */
+    void appendWork(uint64_t count);
+
+    /** Append a load of @p addr. */
+    void appendLoad(uint64_t addr);
+
+    /** Append a store of @p addr. */
+    void appendStore(uint64_t addr);
+
+    /**
+     * Append a barrier marker. Barriers are numbered sequentially per
+     * thread starting from 0.
+     */
+    void appendBarrier();
+
+    /** Append a pre-built event (merging work runs where possible). */
+    void append(TraceEvent e);
+
+    /** Total instructions, counting work-run lengths. */
+    uint64_t instructionCount() const { return instructions_; }
+
+    /** Number of data references (loads + stores). */
+    uint64_t memRefCount() const { return loads_ + stores_; }
+
+    /** Number of load references. */
+    uint64_t loadCount() const { return loads_; }
+
+    /** Number of store references. */
+    uint64_t storeCount() const { return stores_; }
+
+    /** Number of barrier markers. */
+    uint64_t barrierCount() const { return barriers_; }
+
+    /** Underlying event storage. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** True when no events have been appended. */
+    bool empty() const { return events_.empty(); }
+
+    /** Reserve space for @p n events. */
+    void reserve(size_t n) { events_.reserve(n); }
+
+    bool operator==(const ThreadTrace &o) const
+    {
+        return id_ == o.id_ && events_ == o.events_;
+    }
+
+  private:
+    ThreadId id_;
+    std::vector<TraceEvent> events_;
+    uint64_t instructions_ = 0;
+    uint64_t loads_ = 0;
+    uint64_t stores_ = 0;
+    uint64_t barriers_ = 0;
+};
+
+/**
+ * Sequential consumer of a ThreadTrace for the simulator: yields chunks
+ * of (work-run, optional following data reference).
+ */
+class TraceCursor
+{
+  public:
+    /** One consumption step. */
+    struct Chunk
+    {
+        uint64_t work = 0;   //!< instructions before the reference
+        bool hasRef = false; //!< whether a data reference follows
+        bool isStore = false;
+        bool isBarrier = false;  //!< chunk ends at a barrier instead
+        uint64_t addr = 0;       //!< address, or barrier index
+
+        /** Instructions consumed by this chunk. */
+        uint64_t
+        instructions() const
+        {
+            return work + (hasRef ? 1 : 0);
+        }
+    };
+
+    /** Bind to @p tt, which must outlive the cursor. */
+    explicit TraceCursor(const ThreadTrace &tt) : trace_(&tt) {}
+
+    /** True when the whole trace has been consumed. */
+    bool done() const { return pos_ >= trace_->events().size(); }
+
+    /**
+     * Consume and return the next chunk: all leading work plus the next
+     * data reference if one follows. A trailing chunk may have no ref.
+     */
+    Chunk next();
+
+  private:
+    const ThreadTrace *trace_;
+    size_t pos_ = 0;
+};
+
+} // namespace tsp::trace
+
+#endif // TSP_TRACE_THREAD_TRACE_H

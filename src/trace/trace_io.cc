@@ -1,0 +1,113 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace tsp::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'S', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &os, uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU64(std::ostream &os, uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+uint32_t
+readU32(std::istream &is)
+{
+    uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    util::fatalIf(!is, "truncated trace file");
+    return v;
+}
+
+uint64_t
+readU64(std::istream &is)
+{
+    uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    util::fatalIf(!is, "truncated trace file");
+    return v;
+}
+
+} // namespace
+
+void
+saveBinary(const TraceSet &set, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writeU32(os, kVersion);
+    writeU32(os, static_cast<uint32_t>(set.name().size()));
+    os.write(set.name().data(),
+             static_cast<std::streamsize>(set.name().size()));
+    writeU32(os, static_cast<uint32_t>(set.threadCount()));
+    for (const auto &t : set.threads()) {
+        writeU32(os, t.id());
+        writeU64(os, t.events().size());
+        for (const auto &e : t.events())
+            writeU64(os, e.raw());
+    }
+    util::fatalIf(!os, "trace write failed");
+}
+
+TraceSet
+loadBinary(std::istream &is)
+{
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    util::fatalIf(!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+                  "not a TSPT trace file");
+    uint32_t version = readU32(is);
+    util::fatalIf(version != kVersion, "unsupported trace file version");
+
+    uint32_t nameLen = readU32(is);
+    std::string name(nameLen, '\0');
+    is.read(name.data(), nameLen);
+    util::fatalIf(!is, "truncated trace file");
+
+    TraceSet set(name);
+    uint32_t threads = readU32(is);
+    for (uint32_t i = 0; i < threads; ++i) {
+        uint32_t id = readU32(is);
+        util::fatalIf(id != i, "trace file thread ids must be dense");
+        uint64_t count = readU64(is);
+        ThreadTrace tt(id);
+        tt.reserve(count);
+        for (uint64_t k = 0; k < count; ++k)
+            tt.append(TraceEvent::fromRaw(readU64(is)));
+        set.addThread(std::move(tt));
+    }
+    return set;
+}
+
+void
+saveFile(const TraceSet &set, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    util::fatalIf(!os, "cannot open trace file for writing: " + path);
+    saveBinary(set, os);
+}
+
+TraceSet
+loadFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    util::fatalIf(!is, "cannot open trace file: " + path);
+    return loadBinary(is);
+}
+
+} // namespace tsp::trace

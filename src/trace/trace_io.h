@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Binary serialization for trace sets, so generated workloads can be
+ * saved once and replayed across experiments (the trace-driven workflow
+ * of the paper, with our generator standing in for MPtrace).
+ */
+
+#ifndef TSP_TRACE_TRACE_IO_H
+#define TSP_TRACE_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace_set.h"
+
+namespace tsp::trace {
+
+/** Write @p set to @p os in the TSPT binary format. */
+void saveBinary(const TraceSet &set, std::ostream &os);
+
+/** Read a trace set in the TSPT binary format from @p is. */
+TraceSet loadBinary(std::istream &is);
+
+/** Save to a file path; throws FatalError on IO failure. */
+void saveFile(const TraceSet &set, const std::string &path);
+
+/** Load from a file path; throws FatalError on IO failure. */
+TraceSet loadFile(const std::string &path);
+
+} // namespace tsp::trace
+
+#endif // TSP_TRACE_TRACE_IO_H

@@ -1,0 +1,43 @@
+#include "trace/trace_set.h"
+
+#include "util/error.h"
+
+namespace tsp::trace {
+
+void
+TraceSet::addThread(ThreadTrace tt)
+{
+    util::fatalIf(tt.id() != threads_.size(),
+                  "thread trace ids must be dense and in order");
+    threads_.push_back(std::move(tt));
+}
+
+uint64_t
+TraceSet::totalInstructions() const
+{
+    uint64_t sum = 0;
+    for (const auto &t : threads_)
+        sum += t.instructionCount();
+    return sum;
+}
+
+uint64_t
+TraceSet::totalMemRefs() const
+{
+    uint64_t sum = 0;
+    for (const auto &t : threads_)
+        sum += t.memRefCount();
+    return sum;
+}
+
+std::vector<uint64_t>
+TraceSet::threadLengths() const
+{
+    std::vector<uint64_t> lengths;
+    lengths.reserve(threads_.size());
+    for (const auto &t : threads_)
+        lengths.push_back(t.instructionCount());
+    return lengths;
+}
+
+} // namespace tsp::trace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * An application's complete trace: one ThreadTrace per thread, plus
+ * application metadata.
+ */
+
+#ifndef TSP_TRACE_TRACE_SET_H
+#define TSP_TRACE_TRACE_SET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/thread_trace.h"
+
+namespace tsp::trace {
+
+/**
+ * All per-thread traces of one application run, in thread-id order.
+ */
+class TraceSet
+{
+  public:
+    /** Construct an empty set for application @p name. */
+    explicit TraceSet(std::string name = "") : name_(std::move(name)) {}
+
+    /** Application name. */
+    const std::string &name() const { return name_; }
+
+    /** Set the application name. */
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Number of threads. */
+    size_t threadCount() const { return threads_.size(); }
+
+    /** Append a thread trace; its id must equal its position. */
+    void addThread(ThreadTrace tt);
+
+    /** Thread trace by id. */
+    const ThreadTrace &thread(ThreadId id) const { return threads_.at(id); }
+
+    /** Mutable thread trace by id. */
+    ThreadTrace &thread(ThreadId id) { return threads_.at(id); }
+
+    /** All threads in id order. */
+    const std::vector<ThreadTrace> &threads() const { return threads_; }
+
+    /** Sum of instruction counts over all threads. */
+    uint64_t totalInstructions() const;
+
+    /** Sum of data references over all threads. */
+    uint64_t totalMemRefs() const;
+
+    /** Per-thread instruction counts in thread-id order. */
+    std::vector<uint64_t> threadLengths() const;
+
+  private:
+    std::string name_;
+    std::vector<ThreadTrace> threads_;
+};
+
+} // namespace tsp::trace
+
+#endif // TSP_TRACE_TRACE_SET_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the cache and address-space
+ * machinery.
+ */
+
+#ifndef TSP_UTIL_BITS_H
+#define TSP_UTIL_BITS_H
+
+#include <bit>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace tsp::util {
+
+/** True when @p x is a (positive) power of two. */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); requires x > 0. */
+constexpr unsigned
+log2Floor(uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** ceil(log2(x)); requires x > 0. */
+constexpr unsigned
+log2Ceil(uint64_t x)
+{
+    return x <= 1 ? 0u : log2Floor(x - 1) + 1;
+}
+
+/** Round @p x down to a multiple of power-of-two @p align. */
+constexpr uint64_t
+alignDown(uint64_t x, uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Round @p x up to a multiple of power-of-two @p align. */
+constexpr uint64_t
+alignUp(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Integer ceiling division. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace tsp::util
+
+#endif // TSP_UTIL_BITS_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error types for the thread-sharing-placement library.
+ *
+ * Following the gem5 convention, we distinguish two failure classes:
+ *  - FatalError: the caller supplied an invalid configuration or input
+ *    (user error, recoverable by fixing the input);
+ *  - PanicError: an internal invariant was violated (a library bug).
+ *
+ * Unlike gem5, both are thrown rather than aborting the process, so that
+ * library users and tests can handle them.
+ */
+
+#ifndef TSP_UTIL_ERROR_H
+#define TSP_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace tsp::util {
+
+/** Error caused by invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Error caused by a violated internal invariant (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+/** Throw a FatalError. Use for bad user input/configuration. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+/** Throw a PanicError. Use when an internal invariant is violated. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+/** Fatal-check helper: throws FatalError with @p msg unless @p cond. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/** Panic-check helper: throws PanicError with @p msg unless @p cond. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace tsp::util
+
+#endif // TSP_UTIL_ERROR_H

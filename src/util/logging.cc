@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace tsp::util {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string &msg)
+{
+    if (level < level_)
+        return;
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Debug: tag = "debug: "; break;
+      case LogLevel::Info:  tag = "info: ";  break;
+      case LogLevel::Warn:  tag = "warn: ";  break;
+      case LogLevel::Silent: return;
+    }
+    std::cerr << tag << msg << '\n';
+}
+
+void
+inform(const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Warn, msg);
+}
+
+void
+debug(const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Debug, msg);
+}
+
+} // namespace tsp::util

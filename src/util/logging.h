@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal leveled logger used across the library.
+ *
+ * Severity levels follow the gem5 status-message taxonomy: inform() for
+ * normal progress, warn() for suspicious-but-survivable conditions, and
+ * debug() for developer detail. Fatal conditions throw (see error.h)
+ * rather than being logged.
+ */
+
+#ifndef TSP_UTIL_LOGGING_H
+#define TSP_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace tsp::util {
+
+/** Message severity, ordered from most to least verbose. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
+
+/**
+ * Process-wide logger. All output goes to stderr so that benchmark and
+ * example binaries can keep stdout clean for table output.
+ */
+class Logger
+{
+  public:
+    /** Return the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Set the minimum severity that will be emitted. */
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /** Current minimum severity. */
+    LogLevel level() const { return level_; }
+
+    /** Emit a message at @p level if it passes the severity filter. */
+    void log(LogLevel level, const std::string &msg);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Warn;
+};
+
+/** Emit an informational message. */
+void inform(const std::string &msg);
+
+/** Emit a warning message. */
+void warn(const std::string &msg);
+
+/** Emit a developer-debug message. */
+void debug(const std::string &msg);
+
+/** Stream-style message construction helper. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace tsp::util
+
+#endif // TSP_UTIL_LOGGING_H

@@ -1,0 +1,131 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tsp::util {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    fatalIf(!header_.empty() && cells.size() != header_.size(),
+            "table row width does not match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+void
+TextTable::setAlign(size_t col, Align align)
+{
+    forcedAlign_.emplace_back(col, align);
+}
+
+bool
+TextTable::looksNumeric(size_t col) const
+{
+    bool sawAny = false;
+    for (const auto &row : rows_) {
+        if (col >= row.size() || row[col].empty())
+            continue;
+        sawAny = true;
+        for (char c : row[col]) {
+            if (!std::isdigit(static_cast<unsigned char>(c)) &&
+                c != '.' && c != '-' && c != '+' && c != '%' && c != ',' &&
+                c != 'x' && c != 'e' && c != 'k' && c != 'M' && c != 'G') {
+                return false;
+            }
+        }
+    }
+    return sawAny;
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncols = header_.size();
+    for (const auto &row : rows_)
+        ncols = std::max(ncols, row.size());
+    if (ncols == 0)
+        return title_.empty() ? "" : title_ + "\n";
+
+    std::vector<size_t> width(ncols, 0);
+    for (size_t c = 0; c < ncols; ++c) {
+        if (c < header_.size())
+            width[c] = header_[c].size();
+        for (const auto &row : rows_)
+            if (c < row.size())
+                width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::vector<Align> align(ncols, Align::Left);
+    for (size_t c = 0; c < ncols; ++c)
+        if (looksNumeric(c))
+            align[c] = Align::Right;
+    for (const auto &[col, a] : forcedAlign_)
+        if (col < ncols)
+            align[col] = a;
+
+    auto pad = [&](const std::string &s, size_t c) {
+        std::string padded(width[c] - std::min(width[c], s.size()), ' ');
+        return align[c] == Align::Right ? padded + s : s + padded;
+    };
+
+    std::ostringstream os;
+    size_t total = 0;
+    for (size_t c = 0; c < ncols; ++c)
+        total += width[c] + (c ? 3 : 0);
+
+    if (!title_.empty())
+        os << title_ << '\n';
+
+    auto rule = [&]() { os << std::string(total, '-') << '\n'; };
+
+    if (!header_.empty()) {
+        for (size_t c = 0; c < ncols; ++c) {
+            if (c)
+                os << " | ";
+            os << pad(c < header_.size() ? header_[c] : "", c);
+        }
+        os << '\n';
+        rule();
+    }
+
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+            separators_.end()) {
+            rule();
+        }
+        for (size_t c = 0; c < ncols; ++c) {
+            if (c)
+                os << " | ";
+            os << pad(c < rows_[r].size() ? rows_[r][c] : "", c);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::cout << render();
+}
+
+} // namespace tsp::util

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harness to print tables and
+ * figure series in a layout close to the paper's.
+ */
+
+#ifndef TSP_UTIL_TABLE_H
+#define TSP_UTIL_TABLE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsp::util {
+
+/** Column alignment within a rendered table. */
+enum class Align { Left, Right };
+
+/**
+ * A simple text table: a title, one header row, and data rows. Column
+ * widths are computed from content; numeric-looking columns default to
+ * right alignment unless overridden.
+ */
+class TextTable
+{
+  public:
+    /** Construct with an optional title printed above the table. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header cells; defines the column count. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width if one is set. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next added row. */
+    void addSeparator();
+
+    /** Force alignment of column @p col. */
+    void setAlign(size_t col, Align align);
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Render the table to a string (trailing newline included). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    bool looksNumeric(size_t col) const;
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separators_;  //!< row indices preceded by a rule
+    std::vector<std::pair<size_t, Align>> forcedAlign_;
+};
+
+} // namespace tsp::util
+
+#endif // TSP_UTIL_TABLE_H

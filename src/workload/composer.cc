@@ -1,0 +1,108 @@
+#include "workload/composer.h"
+
+#include <algorithm>
+
+#include "trace/address_space.h"
+#include "util/error.h"
+
+namespace tsp::workload {
+
+TraceComposer::TraceComposer(trace::ThreadId tid, const Params &params,
+                             util::Rng rng)
+    : params_(params), rng_(rng), trace_(tid)
+{
+    util::fatalIf(params.dataRefFrac <= 0.0 || params.dataRefFrac > 1.0,
+                  "dataRefFrac must be in (0, 1]");
+    util::fatalIf(params.sharedRefFrac < 0.0 ||
+                      params.sharedRefFrac > 1.0,
+                  "sharedRefFrac must be in [0, 1]");
+    util::fatalIf(params.privatePoolWords == 0,
+                  "private pool must be non-empty");
+    privPerShared_ = params.sharedRefFrac > 0.0
+        ? (1.0 - params.sharedRefFrac) / params.sharedRefFrac
+        : 0.0;
+    workPerRef_ = (1.0 - params.dataRefFrac) / params.dataRefFrac;
+}
+
+void
+TraceComposer::workForRef()
+{
+    workOwed_ += workPerRef_;
+    uint64_t whole = static_cast<uint64_t>(workOwed_);
+    if (whole > 0 && remaining() > 0) {
+        uint64_t emit = std::min(whole, remaining());
+        trace_.appendWork(emit);
+        workOwed_ -= static_cast<double>(whole);
+    } else {
+        workOwed_ -= static_cast<double>(whole);
+    }
+}
+
+void
+TraceComposer::privateRef()
+{
+    if (remaining() == 0)
+        return;
+    // Spatial locality: mostly sequential scanning over the pool with
+    // occasional random jumps, so consecutive words in a cache block
+    // hit after the block is fetched.
+    if (rng_.bernoulli(0.25))
+        scanPos_ = rng_.nextBelow(params_.privatePoolWords);
+    else
+        scanPos_ = (scanPos_ + 1) % params_.privatePoolWords;
+    uint64_t addr = params_.privatePoolBase +
+                    scanPos_ * trace::AddressSpace::wordBytes;
+    if (rng_.bernoulli(params_.writeFrac))
+        trace_.appendStore(addr);
+    else
+        trace_.appendLoad(addr);
+    workForRef();
+}
+
+bool
+TraceComposer::sharedRef(uint64_t addr, bool isWrite)
+{
+    if (remaining() == 0)
+        return false;
+    // Pay down private references owed for ratio balance first, so the
+    // shared stream stays interleaved with private work.
+    privOwed_ += privPerShared_;
+    while (privOwed_ >= 1.0 && remaining() > 0) {
+        privateRef();
+        privOwed_ -= 1.0;
+    }
+    if (remaining() == 0)
+        return false;
+    if (isWrite)
+        trace_.appendStore(addr);
+    else
+        trace_.appendLoad(addr);
+    ++sharedRefs_;
+    workForRef();
+    return remaining() > 0;
+}
+
+void
+TraceComposer::barrier()
+{
+    trace_.appendBarrier();
+}
+
+trace::ThreadTrace
+TraceComposer::finish()
+{
+    // Consume the remaining budget with private references at the
+    // usual data-reference density, then pure work.
+    while (remaining() > 0) {
+        double refsLeft = static_cast<double>(remaining()) *
+                          params_.dataRefFrac;
+        if (refsLeft < 1.0)
+            break;
+        privateRef();
+    }
+    if (remaining() > 0)
+        trace_.appendWork(remaining());
+    return std::move(trace_);
+}
+
+} // namespace tsp::workload

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * TraceComposer: low-level emission helper that turns a pattern's
+ * shared-reference stream into a full thread trace, interleaving the
+ * private references and non-memory work needed to hit the profile's
+ * instruction/reference and shared/private ratios.
+ */
+
+#ifndef TSP_WORKLOAD_COMPOSER_H
+#define TSP_WORKLOAD_COMPOSER_H
+
+#include <cstdint>
+
+#include "trace/thread_trace.h"
+#include "util/rng.h"
+
+namespace tsp::workload {
+
+/**
+ * Builds one thread's trace. Pattern code calls sharedRef() for each
+ * shared access it wants, in order; the composer transparently weaves
+ * in private references (with spatial locality over the thread's
+ * private pool) and work instructions so that the final trace matches
+ * the target ratios, then finish() pads the trace to the exact thread
+ * length.
+ */
+class TraceComposer
+{
+  public:
+    /** Ratio and pool parameters for one thread. */
+    struct Params
+    {
+        uint64_t targetLength;      //!< exact instruction count to emit
+        double dataRefFrac;         //!< data refs per instruction
+        double sharedRefFrac;       //!< shared refs per data ref
+        double writeFrac;           //!< writes per *private* data ref
+        uint64_t privatePoolBase;   //!< first byte of the private pool
+        uint64_t privatePoolWords;  //!< pool size in words
+    };
+
+    /** @param tid thread id; @param rng private stream for this thread */
+    TraceComposer(trace::ThreadId tid, const Params &params,
+                  util::Rng rng);
+
+    /**
+     * Emit one shared reference (plus owed private refs and work).
+     * Returns false once the instruction budget is exhausted; callers
+     * should stop issuing shared references then.
+     */
+    bool sharedRef(uint64_t addr, bool isWrite);
+
+    /** Shared references emitted so far. */
+    uint64_t sharedRefsEmitted() const { return sharedRefs_; }
+
+    /**
+     * Emit a barrier marker (always appended, even once the
+     * instruction budget is exhausted: all threads must execute the
+     * same barrier sequence).
+     */
+    void barrier();
+
+    /** Instructions emitted so far. */
+    uint64_t
+    instructionsEmitted() const
+    {
+        return trace_.instructionCount();
+    }
+
+    /**
+     * Pad with private references and work to exactly the target
+     * length and return the finished trace. The composer must not be
+     * used afterwards.
+     */
+    trace::ThreadTrace finish();
+
+  private:
+    /** Emit one private reference with pool locality. */
+    void privateRef();
+
+    /** Emit the work instructions owed per data reference. */
+    void workForRef();
+
+    /** Remaining instruction budget. */
+    uint64_t
+    remaining() const
+    {
+        uint64_t used = trace_.instructionCount();
+        return used >= params_.targetLength
+            ? 0
+            : params_.targetLength - used;
+    }
+
+    Params params_;
+    util::Rng rng_;
+    trace::ThreadTrace trace_;
+
+    uint64_t sharedRefs_ = 0;
+    double privOwed_ = 0.0;  //!< fractional private refs owed
+    double workOwed_ = 0.0;  //!< fractional work instructions owed
+    double privPerShared_;
+    double workPerRef_;
+    uint64_t scanPos_ = 0;   //!< private-pool sequential scan cursor
+};
+
+} // namespace tsp::workload
+
+#endif // TSP_WORKLOAD_COMPOSER_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The synthetic trace generator: expands an AppProfile into a full
+ * per-thread TraceSet with the sharing structure and statistics the
+ * profile targets.
+ *
+ * Structure per thread: execution is divided into barrier phases. In
+ * each phase the thread
+ *   1. reads its neighbors' result slices (slice component),
+ *   2. sweeps one edge pool it shares with a ring neighbor,
+ *   3. sweeps a *rotating* section of the global pool in windowed
+ *      multi-pass runs (this produces the paper's sequential sharing:
+ *      a thread makes many consecutive references to a shared datum
+ *      before any other thread touches it),
+ *   4. sweeps its other edge pool,
+ *   5. exchanges mailbox runs with random partners, and
+ *   6. writes its own result slice.
+ * Private references and non-memory work are interleaved throughout by
+ * the TraceComposer to meet the profile's ratios.
+ */
+
+#ifndef TSP_WORKLOAD_GENERATOR_H
+#define TSP_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_set.h"
+#include "workload/app_profile.h"
+
+namespace tsp::workload {
+
+/**
+ * Word-index layout of an application's shared region, derived from
+ * the profile's mean per-thread budgets so that per-thread references
+ * per shared address come out near the target.
+ */
+struct SharedLayout
+{
+    uint32_t threads = 0;
+    uint32_t phases = 1;
+    uint64_t globalWords = 0;   //!< global pool size
+    uint64_t edgeWords = 0;     //!< per ring-edge pool size
+    uint64_t mailboxWords = 0;  //!< per (i,j) mailbox size
+    uint64_t sliceWords = 0;    //!< per-thread result slice size
+
+    /**
+     * Allocation strides. Equal to the pool sizes when pools are
+     * packed; rounded up to a cache-block multiple when
+     * AppProfile::alignSharedPools is set, so no block straddles two
+     * pools (the footnote-1 restructuring).
+     */
+    uint64_t edgeStride = 0;
+    uint64_t mailboxStride = 0;
+    uint64_t sliceStride = 0;
+
+    uint64_t globalBase = 0;    //!< word offsets into the shared region
+    uint64_t edgesBase = 0;
+    uint64_t mailboxBase = 0;
+    uint64_t slicesBase = 0;
+
+    /** Total shared words allocated. */
+    uint64_t totalWords() const;
+
+    /** Byte address helpers. */
+    uint64_t globalAddr(uint64_t word) const;
+    uint64_t edgeAddr(uint32_t edge, uint64_t word) const;
+    uint64_t mailboxAddr(uint32_t from, uint32_t to, uint64_t word) const;
+    uint64_t sliceAddr(uint32_t owner, uint64_t word) const;
+};
+
+/** Compute the layout for @p profile at 1/@p scale size. */
+SharedLayout computeLayout(const AppProfile &profile, uint32_t scale);
+
+/**
+ * Sample the per-thread instruction lengths for @p profile at
+ * 1/@p scale size (deterministic in the profile seed). The sample mean
+ * is pinned to meanLength/scale; the coefficient of variation follows
+ * lengthDevPct up to sampling noise.
+ */
+std::vector<uint64_t> sampleThreadLengths(const AppProfile &profile,
+                                          uint32_t scale);
+
+/**
+ * Generate the application's traces at 1/@p scale of the full-scale
+ * thread length (scale must be a power of two). Deterministic in
+ * profile.seed.
+ */
+trace::TraceSet generateTraces(const AppProfile &profile,
+                               uint32_t scale = 1);
+
+} // namespace tsp::workload
+
+#endif // TSP_WORKLOAD_GENERATOR_H

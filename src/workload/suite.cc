@@ -1,0 +1,288 @@
+#include "workload/suite.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/bits.h"
+#include "util/error.h"
+#include "workload/generator.h"
+
+namespace tsp::workload {
+
+namespace {
+
+/**
+ * Shorthand builder. Targets marked (T2) come from Table 2; sharing
+ * structure follows the per-program descriptions in Sections 3.1/4.2.
+ */
+AppProfile
+make(const std::string &name, Grain grain, uint32_t threads,
+     uint64_t meanLengthK, double lengthDevPct, double sharedPct,
+     double refsPerSharedAddr, uint64_t cacheKB, uint64_t seed)
+{
+    AppProfile p;
+    p.name = name;
+    p.grain = grain;
+    p.threads = threads;
+    p.meanLength = meanLengthK * 1000;
+    p.lengthDevPct = lengthDevPct;
+    p.sharedRefFrac = sharedPct / 100.0;
+    p.refsPerSharedAddr = refsPerSharedAddr;
+    p.cacheBytes = cacheKB * 1024;
+    p.seed = seed;
+    return p;
+}
+
+std::vector<AppProfile>
+buildProfiles()
+{
+    std::vector<AppProfile> v;
+
+    // ----- coarse grain (32 KB caches) -------------------------------
+    {
+        // VLSI standard-cell router: cost-grid read-shared, routed
+        // wires written locally; mild neighborhood structure.
+        AppProfile p = make("LocusRoute", Grain::Coarse, 10, 1055, 14.6,
+                            57.4, 15, 32, 101);
+        p.globalFrac = 0.85;
+        p.neighborFrac = 0.10;
+        p.sliceFrac = 0.05;
+        p.mailboxFrac = 0.0;
+        p.globalWriteMode = GlobalWriteMode::OwnerWrites;
+        v.push_back(p);
+    }
+    {
+        // Molecular dynamics: positions read-shared each step, own
+        // molecules updated locally at step end.
+        AppProfile p = make("Water", Grain::Coarse, 8, 467, 2.4, 71.7,
+                            23, 32, 102);
+        p.globalFrac = 0.90;
+        p.sliceFrac = 0.10;
+        p.globalWriteMode = GlobalWriteMode::ReadShare;
+        v.push_back(p);
+    }
+    {
+        // Rarefied-flow particle simulation: particles migrate between
+        // cells; long read-modify-write runs.
+        AppProfile p = make("MP3D", Grain::Coarse, 8, 1674, 0.9, 82.6,
+                            24, 32, 103);
+        p.globalFrac = 1.0;
+        p.globalWriteMode = GlobalWriteMode::Migratory;
+        v.push_back(p);
+    }
+    {
+        // Sparse Cholesky: supernodal columns processed in write runs;
+        // little of the reference stream is shared (17%).
+        AppProfile p = make("Cholesky", Grain::Coarse, 8, 2994, 0.0,
+                            17.1, 24, 32, 104);
+        p.globalFrac = 1.0;
+        p.globalWriteMode = GlobalWriteMode::Migratory;
+        v.push_back(p);
+    }
+    {
+        // N-body: positions read widely during the long computation
+        // phase; each process writes only its own particles at the
+        // phase end (Section 4.2's worked example).
+        AppProfile p = make("Barnes-Hut", Grain::Coarse, 8, 597, 7.0,
+                            58.6, 8, 32, 105);
+        p.globalFrac = 0.85;
+        p.sliceFrac = 0.15;
+        p.globalWriteMode = GlobalWriteMode::ReadShare;
+        v.push_back(p);
+    }
+    {
+        // Boolean-equivalence checker: high shared fraction, deep
+        // revisiting of shared circuit structures.
+        AppProfile p = make("Pverify", Grain::Coarse, 16, 1095, 22.8,
+                            91.7, 98, 32, 106);
+        p.globalFrac = 0.90;
+        p.neighborFrac = 0.10;
+        p.globalWriteMode = GlobalWriteMode::Migratory;
+        v.push_back(p);
+    }
+    {
+        // Simulated annealing on circuit topology: very long runs on
+        // shared structures (611 refs/address).
+        AppProfile p = make("Topopt", Grain::Coarse, 8, 2934, 0.0, 50.7,
+                            611, 32, 107);
+        p.globalFrac = 0.80;
+        p.neighborFrac = 0.20;
+        p.globalWriteMode = GlobalWriteMode::Migratory;
+        v.push_back(p);
+    }
+
+    // ----- medium grain (64 KB caches; Health & FFT use 32 KB) -------
+    {
+        // Fully connected processors communicating at random.
+        AppProfile p = make("Fullconn", Grain::Medium, 32, 974, 6.1,
+                            95.6, 493, 64, 108);
+        p.globalFrac = 0.40;
+        p.mailboxFrac = 0.60;
+        p.globalWriteMode = GlobalWriteMode::ReadShare;
+        v.push_back(p);
+    }
+    {
+        // Presto Barnes-Hut clustering: read-shared tree, local
+        // updates, neighborhood interactions.
+        AppProfile p = make("Grav", Grain::Medium, 32, 763, 38.9, 98.2,
+                            43, 64, 109);
+        p.globalFrac = 0.60;
+        p.neighborFrac = 0.20;
+        p.sliceFrac = 0.20;
+        p.globalWriteMode = GlobalWriteMode::ReadShare;
+        v.push_back(p);
+    }
+    {
+        // Doctors/patients/centers discrete simulation: message-like
+        // interactions, highly variable thread lengths.
+        AppProfile p = make("Health", Grain::Medium, 24, 1208, 95.2,
+                            93.5, 854, 32, 110);
+        p.globalFrac = 0.20;
+        p.neighborFrac = 0.30;
+        p.mailboxFrac = 0.50;
+        p.globalWriteMode = GlobalWriteMode::ReadShare;
+        v.push_back(p);
+    }
+    {
+        // Radiosity: patches read-shared, own patch results written.
+        AppProfile p = make("Patch", Grain::Medium, 36, 488, 59.1, 97.4,
+                            73, 64, 111);
+        p.globalFrac = 0.50;
+        p.neighborFrac = 0.40;
+        p.sliceFrac = 0.10;
+        p.globalWriteMode = GlobalWriteMode::ReadShare;
+        v.push_back(p);
+    }
+    {
+        // Matrix-operation pipeline: neighbor hand-offs dominate; very
+        // high temporal locality (1647 refs/address).
+        AppProfile p = make("Vandermonde", Grain::Medium, 16, 1819,
+                            80.3, 98.7, 1647, 64, 112);
+        p.globalFrac = 0.30;
+        p.neighborFrac = 0.70;
+        p.globalWriteMode = GlobalWriteMode::Migratory;
+        v.push_back(p);
+    }
+    {
+        // FFT: 73% of shared elements migratory, accessed in long
+        // write runs (Section 4.2); the largest thread-length
+        // deviation of any application (187.6%).
+        AppProfile p = make("FFT", Grain::Medium, 32, 191, 187.6, 72.4,
+                            42, 32, 113);
+        p.globalFrac = 0.70;
+        p.neighborFrac = 0.30;
+        p.globalWriteMode = GlobalWriteMode::Migratory;
+        v.push_back(p);
+    }
+    {
+        // Gaussian elimination: all 127 threads share the matrix; each
+        // updates its own rows and reads the pivot rows.
+        AppProfile p = make("Gauss", Grain::Medium, 127, 210, 84.6,
+                            95.0, 26, 64, 114);
+        p.globalFrac = 1.0;
+        p.globalWriteMode = GlobalWriteMode::OwnerWrites;
+        v.push_back(p);
+    }
+
+    return v;
+}
+
+const std::vector<AppProfile> &
+profiles()
+{
+    static const std::vector<AppProfile> all = buildProfiles();
+    return all;
+}
+
+} // namespace
+
+const std::vector<AppId> &
+allApps()
+{
+    static const std::vector<AppId> apps = {
+        AppId::LocusRoute, AppId::Water,  AppId::MP3D,
+        AppId::Cholesky,   AppId::BarnesHut, AppId::Pverify,
+        AppId::Topopt,     AppId::Fullconn,  AppId::Grav,
+        AppId::Health,     AppId::Patch,     AppId::Vandermonde,
+        AppId::FFT,        AppId::Gauss,
+    };
+    return apps;
+}
+
+const std::vector<AppId> &
+coarseApps()
+{
+    static const std::vector<AppId> apps(allApps().begin(),
+                                         allApps().begin() + 7);
+    return apps;
+}
+
+const std::vector<AppId> &
+mediumApps()
+{
+    static const std::vector<AppId> apps(allApps().begin() + 7,
+                                         allApps().end());
+    return apps;
+}
+
+const AppProfile &
+profile(AppId app)
+{
+    return profiles().at(static_cast<size_t>(app));
+}
+
+std::string
+appName(AppId app)
+{
+    return profile(app).name;
+}
+
+AppId
+appByName(const std::string &name)
+{
+    for (AppId app : allApps())
+        if (appName(app) == name)
+            return app;
+    util::fatal("unknown application: " + name);
+}
+
+uint64_t
+scaledCacheBytes(AppId app, uint32_t scale)
+{
+    util::fatalIf(!util::isPow2(scale), "scale must be a power of two");
+    uint64_t bytes = profile(app).cacheBytes / scale;
+    return std::max<uint64_t>(bytes, 4 * 1024);
+}
+
+std::shared_ptr<const trace::TraceSet>
+appTraces(AppId app, uint32_t scale)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<AppId, uint32_t>,
+                    std::shared_ptr<const trace::TraceSet>>
+        cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto key = std::make_pair(app, scale);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    auto traces = std::make_shared<const trace::TraceSet>(
+        generateTraces(profile(app), scale));
+    cache.emplace(key, traces);
+    return traces;
+}
+
+uint32_t
+defaultScale()
+{
+    const char *env = std::getenv("TSP_SCALE");
+    if (!env)
+        return 8;
+    long v = std::strtol(env, nullptr, 10);
+    util::fatalIf(v <= 0 || !util::isPow2(static_cast<uint64_t>(v)),
+                  "TSP_SCALE must be a positive power of two");
+    return static_cast<uint32_t>(v);
+}
+
+} // namespace tsp::workload

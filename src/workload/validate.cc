@@ -1,0 +1,92 @@
+#include "workload/validate.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/static_analysis.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+namespace tsp::workload {
+
+namespace {
+
+ValidationItem
+item(const std::string &metric, double target, double achieved,
+     double tolerancePct)
+{
+    ValidationItem it;
+    it.metric = metric;
+    it.target = target;
+    it.achieved = achieved;
+    it.tolerancePct = tolerancePct;
+    double denom = std::fabs(target) > 1e-12 ? std::fabs(target) : 1.0;
+    it.ok = std::fabs(achieved - target) / denom <=
+            tolerancePct / 100.0;
+    return it;
+}
+
+} // namespace
+
+bool
+ValidationReport::allOk() const
+{
+    for (const auto &it : items)
+        if (!it.ok)
+            return false;
+    return true;
+}
+
+std::string
+ValidationReport::render() const
+{
+    std::ostringstream os;
+    os << "validation: " << app << '\n';
+    for (const auto &it : items) {
+        os << "  " << (it.ok ? "ok  " : "FAIL") << ' ' << it.metric
+           << ": target " << util::fmtFixed(it.target, 2)
+           << " achieved " << util::fmtFixed(it.achieved, 2)
+           << " (tol " << util::fmtFixed(it.tolerancePct, 0) << "%)\n";
+    }
+    return os.str();
+}
+
+ValidationReport
+validateTraces(const AppProfile &profile,
+               const trace::TraceSet &traces, uint32_t scale)
+{
+    ValidationReport report;
+    report.app = profile.name;
+
+    auto analysis = analysis::StaticAnalysis::analyze(traces);
+    util::Rng rng(42);
+    auto row = analysis::computeCharacteristics(analysis, rng);
+
+    report.items.push_back(item(
+        "threads", profile.threads,
+        static_cast<double>(traces.threadCount()), 0.0));
+    report.items.push_back(item(
+        "mean thread length",
+        static_cast<double>(profile.meanLength) / scale, row.lengthMean,
+        5.0));
+    report.items.push_back(item("shared refs %",
+                                profile.sharedRefFrac * 100.0,
+                                row.sharedRefsPct, 12.0));
+    report.items.push_back(item("refs per shared addr",
+                                profile.refsPerSharedAddr,
+                                row.refsPerSharedAddrMean, 40.0));
+    if (profile.lengthDevPct >= 30.0) {
+        // High-variance apps: just confirm substantial imbalance.
+        report.items.push_back(item("thread length dev% (loose)",
+                                    profile.lengthDevPct,
+                                    row.lengthDevPct, 75.0));
+    } else {
+        report.items.push_back(item("thread length dev% (abs)",
+                                    profile.lengthDevPct,
+                                    row.lengthDevPct,
+                                    100.0));
+    }
+    return report;
+}
+
+} // namespace tsp::workload

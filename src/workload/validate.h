@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Generator validation: checks that a generated trace set actually
+ * exhibits the characteristics its profile targets, using the same
+ * static analyzer the placement algorithms use. Consumed by the test
+ * suite and by the Table 2 benchmark's self-check.
+ */
+
+#ifndef TSP_WORKLOAD_VALIDATE_H
+#define TSP_WORKLOAD_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/characteristics.h"
+#include "trace/trace_set.h"
+#include "workload/app_profile.h"
+
+namespace tsp::workload {
+
+/** One target/achieved comparison. */
+struct ValidationItem
+{
+    std::string metric;
+    double target = 0.0;
+    double achieved = 0.0;
+    double tolerancePct = 0.0;  //!< allowed |achieved-target|/target
+    bool ok = false;
+};
+
+/** Result of validating one generated trace set. */
+struct ValidationReport
+{
+    std::string app;
+    std::vector<ValidationItem> items;
+
+    /** True when every item is within tolerance. */
+    bool allOk() const;
+
+    /** Multi-line human-readable rendering. */
+    std::string render() const;
+};
+
+/**
+ * Validate @p traces against @p profile at 1/@p scale. Checks thread
+ * count, mean thread length, shared-reference percentage and
+ * references per shared address; thread-length deviation is checked
+ * loosely (sampling noise at small thread counts is large).
+ */
+ValidationReport validateTraces(const AppProfile &profile,
+                                const trace::TraceSet &traces,
+                                uint32_t scale);
+
+} // namespace tsp::workload
+
+#endif // TSP_WORKLOAD_VALIDATE_H

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the static analyzer: sharing matrices, per-thread
+ * statistics, N-way sharing and the Table 2 characteristics row, on
+ * hand-crafted traces with known answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/characteristics.h"
+#include "analysis/nway.h"
+#include "analysis/static_analysis.h"
+#include "analysis/thread_summary.h"
+#include "trace/trace_set.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tsp::analysis {
+namespace {
+
+using trace::ThreadTrace;
+using trace::TraceSet;
+
+/** Addresses used by the crafted traces (word aligned). */
+constexpr uint64_t A = 0x1000, B = 0x2000, C = 0x3000, D = 0x4000;
+
+/**
+ * Three threads:
+ *  t0: 3 loads of A, 1 store of B, work 10
+ *  t1: 2 loads of A, 2 loads of B, 1 store of C
+ *  t2: 4 loads of D (private)
+ */
+TraceSet
+craftedSet()
+{
+    TraceSet s("crafted");
+    ThreadTrace t0(0);
+    t0.appendLoad(A);
+    t0.appendLoad(A);
+    t0.appendLoad(A);
+    t0.appendStore(B);
+    t0.appendWork(10);
+    ThreadTrace t1(1);
+    t1.appendLoad(A);
+    t1.appendLoad(A);
+    t1.appendLoad(B);
+    t1.appendLoad(B);
+    t1.appendStore(C);
+    ThreadTrace t2(2);
+    for (int i = 0; i < 4; ++i)
+        t2.appendLoad(D);
+    s.addThread(std::move(t0));
+    s.addThread(std::move(t1));
+    s.addThread(std::move(t2));
+    return s;
+}
+
+// --------------------------------------------------------- thread summary
+
+TEST(ThreadSummary, CountsReadsAndWrites)
+{
+    TraceSet s = craftedSet();
+    ThreadSummary sum(s.thread(0));
+    EXPECT_EQ(sum.id(), 0u);
+    EXPECT_EQ(sum.instructionCount(), 14u);
+    EXPECT_EQ(sum.memRefCount(), 4u);
+    EXPECT_EQ(sum.distinctAddrs(), 2u);
+    EXPECT_EQ(sum.access(A).reads, 3u);
+    EXPECT_EQ(sum.access(A).writes, 0u);
+    EXPECT_EQ(sum.access(B).writes, 1u);
+    EXPECT_TRUE(sum.access(B).written());
+    EXPECT_EQ(sum.access(0x9999).total(), 0u);
+}
+
+// -------------------------------------------------------- static analysis
+
+TEST(StaticAnalysis, SharedRefsMatchHandCount)
+{
+    auto an = StaticAnalysis::analyze(craftedSet());
+    // shared-references(t0, t1): A (3 + 2) + B (1 + 2) = 8.
+    EXPECT_DOUBLE_EQ(an.sharedRefs().get(0, 1), 8.0);
+    EXPECT_DOUBLE_EQ(an.sharedRefs().get(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(an.sharedRefs().get(1, 2), 0.0);
+}
+
+TEST(StaticAnalysis, SharedAddrsMatchHandCount)
+{
+    auto an = StaticAnalysis::analyze(craftedSet());
+    EXPECT_DOUBLE_EQ(an.sharedAddrs().get(0, 1), 2.0);  // A and B
+    EXPECT_DOUBLE_EQ(an.sharedAddrs().get(0, 2), 0.0);
+}
+
+TEST(StaticAnalysis, WriteSharedRestrictedToWrittenAddrs)
+{
+    auto an = StaticAnalysis::analyze(craftedSet());
+    // Only B is written by one of (t0, t1): refs 1 + 2 = 3.
+    EXPECT_DOUBLE_EQ(an.writeSharedRefs().get(0, 1), 3.0);
+}
+
+TEST(StaticAnalysis, PerThreadSharedAndPrivateCounts)
+{
+    auto an = StaticAnalysis::analyze(craftedSet());
+    // Globally shared addresses: A, B. C and D are private.
+    EXPECT_EQ(an.sharedAddrCount(), 2u);
+    EXPECT_EQ(an.privateAddrCount(), 2u);
+    EXPECT_EQ(an.threadSharedRefs()[0], 4u);   // 3xA + 1xB
+    EXPECT_EQ(an.threadSharedRefs()[1], 4u);   // 2xA + 2xB
+    EXPECT_EQ(an.threadSharedRefs()[2], 0u);
+    EXPECT_EQ(an.threadSharedAddrs()[0], 2u);
+    EXPECT_EQ(an.threadPrivateAddrs()[1], 1u);  // C
+    EXPECT_EQ(an.threadPrivateAddrs()[2], 1u);  // D
+}
+
+TEST(StaticAnalysis, TotalsAggregate)
+{
+    auto an = StaticAnalysis::analyze(craftedSet());
+    EXPECT_EQ(an.totalRefs(), 13u);
+    EXPECT_EQ(an.totalInstructions(), 23u);
+    EXPECT_EQ(an.threadLength()[0], 14u);
+    EXPECT_EQ(an.threadRefs()[2], 4u);
+    EXPECT_EQ(an.threadCount(), 3u);
+    EXPECT_EQ(an.appName(), "crafted");
+}
+
+TEST(StaticAnalysis, EmptySetIsFatal)
+{
+    TraceSet empty("none");
+    EXPECT_THROW(StaticAnalysis::analyze(empty), util::FatalError);
+}
+
+TEST(StaticAnalysis, SymmetricPairsViaSharedAddress)
+{
+    // All three threads touch one common address; every pair shares it.
+    TraceSet s("tri");
+    for (uint32_t i = 0; i < 3; ++i) {
+        ThreadTrace t(i);
+        t.appendLoad(A);
+        t.appendLoad(A);
+        s.addThread(std::move(t));
+    }
+    auto an = StaticAnalysis::analyze(s);
+    EXPECT_DOUBLE_EQ(an.sharedRefs().get(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(an.sharedRefs().get(0, 2), 4.0);
+    EXPECT_DOUBLE_EQ(an.sharedRefs().get(1, 2), 4.0);
+    EXPECT_EQ(an.sharedAddrCount(), 1u);
+}
+
+// ------------------------------------------------------------------ nway
+
+TEST(NwaySharing, TwoClustersPartitionWholeMatrix)
+{
+    stats::PairMatrix m(4);
+    m.set(0, 1, 10.0);
+    m.set(2, 3, 6.0);
+    m.set(0, 2, 1.0);
+    util::Rng rng(1);
+    auto s = nwaySharing(m, 2, 16, rng);
+    EXPECT_EQ(s.count(), 32u);  // 2 clusters x 16 samples
+    // Each sampled partition's two within-sums total <= matrix total.
+    EXPECT_LE(s.max(), m.total());
+    EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(NwaySharing, SingleClusterEqualsTotal)
+{
+    stats::PairMatrix m(4);
+    m.set(0, 1, 3.0);
+    m.set(1, 2, 4.0);
+    util::Rng rng(2);
+    auto s = nwaySharing(m, 1, 4, rng);
+    EXPECT_DOUBLE_EQ(s.mean(), m.total());
+    EXPECT_DOUBLE_EQ(s.devPercent(), 0.0);
+}
+
+TEST(NwaySharing, BadClusterCountIsFatal)
+{
+    stats::PairMatrix m(4);
+    util::Rng rng(3);
+    EXPECT_THROW(nwaySharing(m, 0, 1, rng), util::FatalError);
+    EXPECT_THROW(nwaySharing(m, 5, 1, rng), util::FatalError);
+}
+
+// -------------------------------------------------------- characteristics
+
+TEST(Characteristics, RowMatchesHandComputation)
+{
+    auto an = StaticAnalysis::analyze(craftedSet());
+    util::Rng rng(7);
+    auto row = computeCharacteristics(an, rng);
+
+    EXPECT_EQ(row.app, "crafted");
+    // Pairwise mean over 3 pairs: (8 + 0 + 0) / 3.
+    EXPECT_NEAR(row.pairwiseMean, 8.0 / 3.0, 1e-9);
+    // refs per shared addr: t0 4/2, t1 4/2; t2 has none.
+    EXPECT_NEAR(row.refsPerSharedAddrMean, 2.0, 1e-9);
+    // shared%: t0 4/4, t1 4/5, t2 0/4 -> mean of 100, 80, 0.
+    EXPECT_NEAR(row.sharedRefsPct, 60.0, 1e-9);
+    // lengths 14, 5, 4.
+    EXPECT_NEAR(row.lengthMean, 23.0 / 3.0, 1e-9);
+    EXPECT_GT(row.lengthDevPct, 0.0);
+}
+
+TEST(Characteristics, DeterministicGivenSeed)
+{
+    auto an = StaticAnalysis::analyze(craftedSet());
+    util::Rng r1(7), r2(7);
+    auto a = computeCharacteristics(an, r1);
+    auto b = computeCharacteristics(an, r2);
+    EXPECT_DOUBLE_EQ(a.nwayMean, b.nwayMean);
+    EXPECT_DOUBLE_EQ(a.nwayDevPct, b.nwayDevPct);
+}
+
+} // namespace
+} // namespace tsp::analysis

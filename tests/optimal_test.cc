@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the exhaustive placement oracles, and oracle-backed
+ * quality bounds on the production heuristics: LPT + refinement vs.
+ * the true optimal makespan, and the greedy cluster-combining engine
+ * vs. the true maximum sharing capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/balance.h"
+#include "core/clusterer.h"
+#include "core/load_balance.h"
+#include "core/metrics.h"
+#include "core/optimal.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tsp::placement {
+namespace {
+
+// ------------------------------------------------------------- makespan
+
+TEST(OptimalMakespan, KnownInstance)
+{
+    // {7,6,5,4,3} on 2 processors: optimum 13 ({7,6} vs {5,4,3}).
+    auto result = optimalMakespan({7, 6, 5, 4, 3}, 2);
+    EXPECT_DOUBLE_EQ(result.value, 13.0);
+    auto loads = result.map.processorLoads({7, 6, 5, 4, 3});
+    EXPECT_EQ(*std::max_element(loads.begin(), loads.end()), 13u);
+}
+
+TEST(OptimalMakespan, SingleProcessor)
+{
+    auto result = optimalMakespan({3, 3, 3}, 1);
+    EXPECT_DOUBLE_EQ(result.value, 9.0);
+}
+
+TEST(OptimalMakespan, MoreProcessorsThanThreads)
+{
+    auto result = optimalMakespan({10, 20}, 5);
+    EXPECT_DOUBLE_EQ(result.value, 20.0);
+}
+
+TEST(OptimalMakespan, GuardsAgainstLargeInstances)
+{
+    std::vector<uint64_t> lengths(maxOracleThreads + 1, 1);
+    EXPECT_THROW(optimalMakespan(lengths, 2), util::FatalError);
+    EXPECT_THROW(optimalMakespan({}, 2), util::FatalError);
+    EXPECT_THROW(optimalMakespan({1}, 0), util::FatalError);
+}
+
+class LptVsOptimal : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LptVsOptimal, RefinedLptIsNearOptimal)
+{
+    util::Rng rng(4000 + GetParam());
+    uint32_t t = 5 + static_cast<uint32_t>(rng.nextBelow(6));
+    uint32_t p = 2 + static_cast<uint32_t>(rng.nextBelow(3));
+    std::vector<uint64_t> lengths(t);
+    for (auto &l : lengths)
+        l = 100 + rng.nextBelow(10000);
+
+    auto optimal = optimalMakespan(lengths, p);
+    auto lpt = loadBalancedPlacement(lengths, p);
+    auto loads = lpt.processorLoads(lengths);
+    double peak = static_cast<double>(
+        *std::max_element(loads.begin(), loads.end()));
+
+    EXPECT_GE(peak, optimal.value);  // the oracle really is a bound
+    // LPT + local search: empirically within a few percent; the
+    // theoretical LPT bound (4/3) is a hard backstop.
+    EXPECT_LE(peak, optimal.value * (4.0 / 3.0) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, LptVsOptimal,
+                         ::testing::Range(0, 15));
+
+// -------------------------------------------------------------- sharing
+
+TEST(OptimalSharing, PicksTheObviousPartition)
+{
+    // Pairs (0,1) and (2,3) share heavily; any other partition loses.
+    stats::PairMatrix m(4);
+    m.set(0, 1, 10.0);
+    m.set(2, 3, 8.0);
+    m.set(0, 2, 1.0);
+    auto result = optimalSharingCapture(m, 2);
+    EXPECT_DOUBLE_EQ(result.value, 18.0);
+    EXPECT_EQ(result.map.processorOf(0), result.map.processorOf(1));
+    EXPECT_EQ(result.map.processorOf(2), result.map.processorOf(3));
+    EXPECT_TRUE(result.map.isThreadBalanced());
+}
+
+TEST(OptimalSharing, RespectsThreadBalance)
+{
+    // All sharing concentrated on one trio; thread balance forbids
+    // putting all three together when t=4, p=2 (2+2 split required).
+    stats::PairMatrix m(4);
+    m.set(0, 1, 10.0);
+    m.set(0, 2, 10.0);
+    m.set(1, 2, 10.0);
+    auto result = optimalSharingCapture(m, 2);
+    EXPECT_TRUE(result.map.isThreadBalanced());
+    EXPECT_DOUBLE_EQ(result.value, 10.0);  // only one pair co-located
+}
+
+TEST(OptimalSharing, UnevenThreadCounts)
+{
+    // 5 threads on 2 processors: one cluster of 3, one of 2.
+    stats::PairMatrix m(5);
+    m.set(0, 1, 5.0);
+    m.set(1, 2, 5.0);
+    m.set(3, 4, 7.0);
+    auto result = optimalSharingCapture(m, 2);
+    EXPECT_TRUE(result.map.isThreadBalanced());
+    EXPECT_DOUBLE_EQ(result.value, 17.0);  // {0,1,2} + {3,4}
+}
+
+TEST(OptimalSharing, GuardsAgainstLargeInstances)
+{
+    stats::PairMatrix big(maxOracleThreads + 1);
+    EXPECT_THROW(optimalSharingCapture(big, 2), util::FatalError);
+}
+
+class GreedyVsOptimal : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(GreedyVsOptimal, GreedyCapturesMostOfOptimalSharing)
+{
+    util::Rng rng(6000 + GetParam());
+    uint32_t t = 6 + static_cast<uint32_t>(rng.nextBelow(4));
+    uint32_t p = 2 + static_cast<uint32_t>(rng.nextBelow(2));
+    stats::PairMatrix m(t);
+    for (uint32_t a = 0; a < t; ++a)
+        for (uint32_t b = a + 1; b < t; ++b)
+            m.set(a, b, static_cast<double>(rng.nextBelow(100)));
+
+    auto optimal = optimalSharingCapture(m, p);
+
+    CoherenceTrafficMetric metric(m);
+    ThreadBalanceConstraint constraint(t, p);
+    GreedyClusterer engine(metric, constraint);
+    auto greedyMap = engine.run(t, p);
+    double captured = 0.0;
+    for (const auto &cluster : greedyMap.clusters())
+        captured += m.withinSum(cluster);
+
+    EXPECT_LE(captured, optimal.value + 1e-9);
+    // The greedy engine is a heuristic; on random instances it should
+    // still land within 25% of the optimum.
+    EXPECT_GE(captured, optimal.value * 0.75)
+        << "t=" << t << " p=" << p << " optimal=" << optimal.value;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyVsOptimal,
+                         ::testing::Range(0, 15));
+
+TEST(OptimalSharing, ExploredCountIsReported)
+{
+    stats::PairMatrix m(6);
+    auto result = optimalSharingCapture(m, 2);
+    EXPECT_GT(result.explored, 0u);
+}
+
+} // namespace
+} // namespace tsp::placement

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Barrier synchronization tests: blocking semantics, release timing,
+ * wait accounting, validation of malformed barrier structures, and an
+ * end-to-end barrier-phased generated workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/load_balance.h"
+#include "core/placement_map.h"
+#include "sim/machine.h"
+#include "trace/address_space.h"
+#include "trace/trace_set.h"
+#include "util/error.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+namespace tsp::sim {
+namespace {
+
+using placement::PlacementMap;
+using trace::AddressSpace;
+using trace::ThreadTrace;
+using trace::TraceSet;
+
+SimConfig
+config(uint32_t procs, uint32_t ctxs)
+{
+    SimConfig cfg;
+    cfg.processors = procs;
+    cfg.contexts = ctxs;
+    cfg.cacheBytes = 4096;
+    return cfg;
+}
+
+TEST(Barrier, FastThreadWaitsForSlowThread)
+{
+    // t0: work 10, barrier, work 5.  t1: work 30, barrier, work 5.
+    // Release at cycle 30; both finish at 35.
+    TraceSet ts("sync");
+    ThreadTrace t0(0);
+    t0.appendWork(10);
+    t0.appendBarrier();
+    t0.appendWork(5);
+    ThreadTrace t1(1);
+    t1.appendWork(30);
+    t1.appendBarrier();
+    t1.appendWork(5);
+    ts.addThread(std::move(t0));
+    ts.addThread(std::move(t1));
+
+    SimStats s = simulate(config(2, 1), ts, PlacementMap(2, {0, 1}));
+    EXPECT_EQ(s.procs[0].finishTime, 35u);
+    EXPECT_EQ(s.procs[1].finishTime, 35u);
+    EXPECT_EQ(s.procs[0].barrierCycles, 20u);  // waited 10..30
+    EXPECT_EQ(s.procs[1].barrierCycles, 0u);   // last arriver
+    EXPECT_EQ(s.procs[0].idleCycles, 20u);     // nothing else to run
+    EXPECT_EQ(s.procs[0].busyCycles, 15u);
+    // Cycle identity still holds with barriers.
+    for (const auto &ps : s.procs)
+        EXPECT_EQ(ps.busyCycles + ps.switchCycles + ps.idleCycles,
+                  ps.finishTime);
+}
+
+TEST(Barrier, MultiplePhasesStayInLockstep)
+{
+    // Three threads, two barriers; phase lengths differ per thread.
+    TraceSet ts("phases");
+    uint64_t phase[3][3] = {{5, 20, 10}, {15, 5, 10}, {10, 10, 30}};
+    for (uint32_t tid = 0; tid < 3; ++tid) {
+        ThreadTrace t(tid);
+        for (int k = 0; k < 3; ++k) {
+            t.appendWork(phase[tid][k]);
+            if (k < 2)
+                t.appendBarrier();
+        }
+        ts.addThread(std::move(t));
+    }
+    SimStats s =
+        simulate(config(3, 1), ts, PlacementMap(3, {0, 1, 2}));
+    // Barrier 1 at max(5,15,10)=15; barrier 2 at 15+max(20,5,10)=35;
+    // finishes at 35 + {10,10,30}.
+    EXPECT_EQ(s.procs[0].finishTime, 45u);
+    EXPECT_EQ(s.procs[1].finishTime, 45u);
+    EXPECT_EQ(s.procs[2].finishTime, 65u);
+    EXPECT_EQ(s.executionTime(), 65u);
+}
+
+TEST(Barrier, CoLocatedThreadsPassThroughOneProcessor)
+{
+    // Both threads on one processor with two contexts: the barrier
+    // must not deadlock the processor against itself.
+    TraceSet ts("colocated");
+    for (uint32_t tid = 0; tid < 2; ++tid) {
+        ThreadTrace t(tid);
+        t.appendLoad(AddressSpace::sharedWord(tid * 64));
+        t.appendBarrier();
+        t.appendWork(10);
+        ts.addThread(std::move(t));
+    }
+    SimStats s = simulate(config(1, 2), ts, PlacementMap(1, {0, 0}));
+    EXPECT_GT(s.executionTime(), 0u);
+    EXPECT_EQ(s.procs[0].instructions, 22u);
+}
+
+TEST(Barrier, TrailingBarrierFinishesAtRelease)
+{
+    // t0 ends with the barrier; its finish time is the release time.
+    TraceSet ts("trailing");
+    ThreadTrace t0(0);
+    t0.appendWork(5);
+    t0.appendBarrier();
+    ThreadTrace t1(1);
+    t1.appendWork(40);
+    t1.appendBarrier();
+    ts.addThread(std::move(t0));
+    ts.addThread(std::move(t1));
+    SimStats s = simulate(config(2, 1), ts, PlacementMap(2, {0, 1}));
+    EXPECT_EQ(s.procs[0].finishTime, 40u);
+    EXPECT_EQ(s.procs[1].finishTime, 40u);
+}
+
+TEST(Barrier, MismatchedBarrierCountsAreFatal)
+{
+    TraceSet ts("bad");
+    ThreadTrace t0(0);
+    t0.appendBarrier();
+    ThreadTrace t1(1);
+    t1.appendWork(5);  // no barrier
+    ts.addThread(std::move(t0));
+    ts.addThread(std::move(t1));
+    EXPECT_THROW(simulate(config(2, 1), ts, PlacementMap(2, {0, 1})),
+                 util::FatalError);
+}
+
+TEST(Barrier, PendingThreadsWithBarriersAreFatal)
+{
+    // Two threads, one context: the queued thread could never reach
+    // the barrier while the loaded one blocks on it.
+    TraceSet ts("overflow");
+    for (uint32_t tid = 0; tid < 2; ++tid) {
+        ThreadTrace t(tid);
+        t.appendWork(5);
+        t.appendBarrier();
+        t.appendWork(5);
+        ts.addThread(std::move(t));
+    }
+    EXPECT_THROW(simulate(config(1, 1), ts, PlacementMap(1, {0, 0})),
+                 util::FatalError);
+}
+
+TEST(Barrier, BarrierFreeTracesUnaffected)
+{
+    TraceSet ts("plain");
+    ThreadTrace t0(0);
+    t0.appendWork(10);
+    ts.addThread(std::move(t0));
+    SimStats s = simulate(config(1, 1), ts, PlacementMap(1, {0}));
+    EXPECT_EQ(s.executionTime(), 10u);
+    EXPECT_EQ(s.procs[0].barrierCycles, 0u);
+}
+
+TEST(Barrier, GeneratedBarrierWorkloadRunsToCompletion)
+{
+    workload::AppProfile p = workload::profile(workload::AppId::Water);
+    p.barriers = true;
+    auto traces = workload::generateTraces(p, 32);
+    for (const auto &t : traces.threads())
+        EXPECT_EQ(t.barrierCount(), p.phases - 1);
+
+    auto map =
+        placement::loadBalancedPlacement(traces.threadLengths(), 2);
+    SimConfig cfg = config(2, 4);
+    cfg.cacheBytes = 8192;
+    SimStats s = simulate(cfg, traces, map);
+    EXPECT_EQ(s.totalInstructions(), traces.totalInstructions());
+    for (const auto &ps : s.procs)
+        EXPECT_EQ(ps.busyCycles + ps.switchCycles + ps.idleCycles,
+                  ps.finishTime);
+}
+
+TEST(Barrier, MissLatencyOverlapsBarrierWait)
+{
+    // t0 misses right before the barrier; t1 arrives later than t0's
+    // miss completes. The barrier releases when t1 arrives, not when
+    // t0's miss returns.
+    TraceSet ts("missbarrier");
+    ThreadTrace t0(0);
+    t0.appendLoad(AddressSpace::sharedWord(0));  // miss: ready at 51
+    t0.appendBarrier();
+    t0.appendWork(5);
+    ThreadTrace t1(1);
+    t1.appendWork(80);
+    t1.appendBarrier();
+    t1.appendWork(5);
+    ts.addThread(std::move(t0));
+    ts.addThread(std::move(t1));
+    SimStats s = simulate(config(2, 1), ts, PlacementMap(2, {0, 1}));
+    // t0: miss issued at 0, retires at 1, context stalls to 51,
+    // arrives at barrier at 51. t1 arrives at 80 -> release at 80;
+    // both finish at 85.
+    EXPECT_EQ(s.procs[0].finishTime, 85u);
+    EXPECT_EQ(s.procs[1].finishTime, 85u);
+    EXPECT_EQ(s.procs[0].barrierCycles, 80u - 51u);
+}
+
+TEST(Barrier, WaiterKeepsRunningOtherContext)
+{
+    // One processor, two contexts: ctx0 blocks at a barrier while
+    // ctx1 (a barrier-free co-runner cannot exist — barriers must be
+    // uniform — so give both threads barriers but stagger them).
+    TraceSet ts("overlap");
+    ThreadTrace t0(0);
+    t0.appendWork(5);
+    t0.appendBarrier();
+    t0.appendWork(10);
+    ThreadTrace t1(1);
+    t1.appendWork(40);
+    t1.appendBarrier();
+    t1.appendWork(10);
+    ts.addThread(std::move(t0));
+    ts.addThread(std::move(t1));
+    SimStats s = simulate(config(1, 2), ts, PlacementMap(1, {0, 0}));
+    // t0 arrives at 5; processor switches to t1 (6 cycles), which
+    // works 40 -> arrives at 51 -> release; both run their last 10.
+    const auto &ps = s.procs[0];
+    EXPECT_EQ(ps.busyCycles, 65u);
+    EXPECT_EQ(ps.barrierCycles, 51u - 5u);
+    EXPECT_EQ(ps.busyCycles + ps.switchCycles + ps.idleCycles,
+              ps.finishTime);
+}
+
+TEST(Barrier, SynchronizedRunNotFasterThanFreeRun)
+{
+    // Barriers only add waiting; execution time must not drop.
+    workload::AppProfile p = workload::profile(workload::AppId::Water);
+    auto free = workload::generateTraces(p, 32);
+    p.barriers = true;
+    auto sync = workload::generateTraces(p, 32);
+
+    auto map =
+        placement::loadBalancedPlacement(free.threadLengths(), 4);
+    SimConfig cfg = config(4, 2);
+    uint64_t freeTime = simulate(cfg, free, map).executionTime();
+    uint64_t syncTime = simulate(cfg, sync, map).executionTime();
+    EXPECT_GE(syncTime, freeTime * 99 / 100);
+}
+
+} // namespace
+} // namespace tsp::sim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the per-processor cache: frame mapping, presence, and
+ * the paper's four-way miss classification from departure history.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "util/error.h"
+
+namespace tsp::sim {
+namespace {
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.processors = 1;
+    cfg.contexts = 1;
+    cfg.cacheBytes = 1024;  // 32 frames of 32 B
+    cfg.blockBytes = 32;
+    return cfg;
+}
+
+TEST(Cache, FrameCountMatchesConfig)
+{
+    Cache c(smallConfig());
+    EXPECT_EQ(c.numFrames(), 32u);
+}
+
+/** Install @p block into @p c as if a miss fill happened. */
+Cache::Frame &
+install(Cache &c, uint64_t block, uint32_t tid,
+        CoherenceState state = CoherenceState::Shared)
+{
+    Cache::Frame &f = c.victimFor(block);
+    f.tag = block;
+    f.state = state;
+    f.threadId = tid;
+    c.touch(f);
+    return f;
+}
+
+TEST(Cache, DirectMappedAliasing)
+{
+    Cache c(smallConfig());
+    // Blocks 0 and 32 map to the same set in a 32-set cache; with one
+    // way, installing 32 evicts 0.
+    install(c, 0, 0);
+    EXPECT_TRUE(c.present(0));
+    Cache::Frame &v = c.victimFor(32);
+    EXPECT_EQ(v.tag, 0u);  // the victim is block 0's frame
+    install(c, 32, 0);
+    EXPECT_TRUE(c.present(32));
+    EXPECT_FALSE(c.present(0));
+}
+
+TEST(Cache, PresenceRequiresValidMatchingTag)
+{
+    Cache c(smallConfig());
+    EXPECT_FALSE(c.present(5));
+    Cache::Frame &f = install(c, 5, 0);
+    EXPECT_TRUE(c.present(5));
+    EXPECT_FALSE(c.present(5 + 32));  // alias, different tag
+    f.state = CoherenceState::Invalid;
+    EXPECT_FALSE(c.present(5));
+}
+
+TEST(Cache, TwoWaySetHoldsAliases)
+{
+    SimConfig cfg = smallConfig();
+    cfg.associativity = 2;
+    Cache c(cfg);
+    EXPECT_EQ(c.ways(), 2u);
+    EXPECT_EQ(c.numFrames(), 32u);  // 16 sets x 2 ways
+    // Blocks 0 and 16 alias in a 16-set cache but coexist in 2 ways.
+    install(c, 0, 0);
+    install(c, 16, 0);
+    EXPECT_TRUE(c.present(0));
+    EXPECT_TRUE(c.present(16));
+    // A third alias evicts the LRU one (block 0).
+    Cache::Frame &v = c.victimFor(32);
+    EXPECT_EQ(v.tag, 0u);
+}
+
+TEST(Cache, LruVictimFollowsTouches)
+{
+    SimConfig cfg = smallConfig();
+    cfg.associativity = 2;
+    Cache cache(cfg);
+    install(cache, 0, 0);
+    install(cache, 16, 0);
+    // Re-touch block 0: block 16 becomes LRU.
+    cache.touch(*cache.lookup(0));
+    EXPECT_EQ(cache.victimFor(32).tag, 16u);
+}
+
+TEST(Cache, FirstMissIsCompulsory)
+{
+    Cache c(smallConfig());
+    EXPECT_EQ(c.classifyMiss(7, 0), MissKind::Compulsory);
+}
+
+TEST(Cache, EvictionByOwnThreadIsIntraConflict)
+{
+    Cache c(smallConfig());
+    c.recordEviction(7, 3);
+    EXPECT_EQ(c.classifyMiss(7, 3), MissKind::IntraConflict);
+}
+
+TEST(Cache, EvictionByOtherThreadIsInterConflict)
+{
+    Cache c(smallConfig());
+    c.recordEviction(7, 3);
+    EXPECT_EQ(c.classifyMiss(7, 9), MissKind::InterConflict);
+}
+
+TEST(Cache, InvalidationHistoryWinsRegardlessOfThread)
+{
+    Cache c(smallConfig());
+    install(c, 7, /*tid=*/2);
+    int32_t resident = c.invalidate(7, /*writerTid=*/5);
+    EXPECT_EQ(resident, 2);
+    EXPECT_FALSE(c.present(7));
+    EXPECT_EQ(c.classifyMiss(7, 2), MissKind::Invalidation);
+    EXPECT_EQ(c.classifyMiss(7, 9), MissKind::Invalidation);
+    EXPECT_EQ(c.invalidatingWriter(7), 5);
+}
+
+TEST(Cache, InvalidateAbsentBlockReturnsMinusOne)
+{
+    Cache c(smallConfig());
+    EXPECT_EQ(c.invalidate(9, 1), -1);
+    EXPECT_EQ(c.invalidatingWriter(9), -1);
+}
+
+TEST(Cache, LaterEvictionOverwritesInvalidationHistory)
+{
+    Cache c(smallConfig());
+    install(c, 4, /*tid=*/0);
+    c.invalidate(4, 1);
+    // Block comes back, then gets evicted by thread 0.
+    c.recordEviction(4, 0);
+    EXPECT_EQ(c.classifyMiss(4, 0), MissKind::IntraConflict);
+    EXPECT_EQ(c.invalidatingWriter(4), -1);
+}
+
+TEST(Cache, DirtyFlagTracksModified)
+{
+    Cache::Frame f;
+    EXPECT_FALSE(f.valid());
+    f.state = CoherenceState::Modified;
+    EXPECT_TRUE(f.dirty());
+    f.state = CoherenceState::Exclusive;
+    EXPECT_FALSE(f.dirty());
+    EXPECT_TRUE(f.valid());
+}
+
+TEST(Cache, InvalidConfigIsFatal)
+{
+    SimConfig cfg = smallConfig();
+    cfg.cacheBytes = 1000;  // not a power of two
+    EXPECT_THROW(Cache c(cfg), util::FatalError);
+}
+
+TEST(MissKindNames, AllDistinct)
+{
+    EXPECT_EQ(missKindName(MissKind::Compulsory), "compulsory");
+    EXPECT_EQ(missKindName(MissKind::IntraConflict),
+              "intra-thread conflict");
+    EXPECT_EQ(missKindName(MissKind::InterConflict),
+              "inter-thread conflict");
+    EXPECT_EQ(missKindName(MissKind::Invalidation), "invalidation");
+}
+
+} // namespace
+} // namespace tsp::sim

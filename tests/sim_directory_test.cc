@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the directory protocol state machine: reads, writes,
+ * upgrades, evictions, sharer bookkeeping and writer/toucher tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/directory.h"
+#include "util/error.h"
+
+namespace tsp::sim {
+namespace {
+
+TEST(Directory, FirstReadGrantsExclusive)
+{
+    Directory d(4);
+    auto txn = d.read(/*proc=*/1, /*tid=*/10, /*block=*/100);
+    EXPECT_FALSE(txn.blockSeenBefore);
+    EXPECT_TRUE(txn.grantedExclusive);
+    EXPECT_TRUE(txn.invalidate.empty());
+    const auto *e = d.find(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, Directory::State::Owned);
+    EXPECT_EQ(e->owner, 1u);
+    EXPECT_EQ(e->lastToucher, 10);
+    EXPECT_EQ(e->lastWriter, -1);
+}
+
+TEST(Directory, SecondReadDowngradesOwner)
+{
+    Directory d(4);
+    d.read(0, 5, 100);
+    auto txn = d.read(2, 7, 100);
+    EXPECT_TRUE(txn.blockSeenBefore);
+    EXPECT_TRUE(txn.downgradeOwner);
+    EXPECT_EQ(txn.prevOwner, 0u);
+    EXPECT_EQ(txn.prevLastToucher, 5);
+    EXPECT_FALSE(txn.grantedExclusive);
+    const auto *e = d.find(100);
+    EXPECT_EQ(e->state, Directory::State::Shared);
+    EXPECT_EQ(e->sharerCount(), 2u);
+    EXPECT_TRUE(e->isSharer(0));
+    EXPECT_TRUE(e->isSharer(2));
+}
+
+TEST(Directory, ThirdReadJustAddsSharer)
+{
+    Directory d(4);
+    d.read(0, 1, 100);
+    d.read(1, 2, 100);
+    auto txn = d.read(2, 3, 100);
+    EXPECT_FALSE(txn.downgradeOwner);
+    EXPECT_EQ(d.find(100)->sharerCount(), 3u);
+}
+
+TEST(Directory, WriteMissInvalidatesAllOtherSharers)
+{
+    Directory d(4);
+    d.read(0, 1, 100);
+    d.read(1, 2, 100);
+    d.read(2, 3, 100);
+    auto txn = d.write(3, 9, 100);
+    EXPECT_EQ(txn.invalidate,
+              (std::vector<uint32_t>{0, 1, 2}));
+    const auto *e = d.find(100);
+    EXPECT_EQ(e->state, Directory::State::Owned);
+    EXPECT_EQ(e->owner, 3u);
+    EXPECT_EQ(e->sharerCount(), 1u);
+    EXPECT_EQ(e->lastWriter, 9);
+}
+
+TEST(Directory, WriteToOwnedInvalidatesOwnerOnly)
+{
+    Directory d(4);
+    d.write(0, 1, 100);
+    auto txn = d.write(2, 5, 100);
+    EXPECT_EQ(txn.invalidate, std::vector<uint32_t>{0});
+    EXPECT_EQ(txn.prevLastWriter, 1);
+}
+
+TEST(Directory, UpgradeFromSharedSkipsSelf)
+{
+    Directory d(4);
+    d.read(0, 1, 100);
+    d.read(1, 2, 100);  // Shared {0, 1}
+    auto txn = d.write(0, 1, 100);  // proc 0 upgrades
+    EXPECT_EQ(txn.invalidate, std::vector<uint32_t>{1});
+    EXPECT_EQ(d.find(100)->owner, 0u);
+}
+
+TEST(Directory, WriteToUncachedIsQuiet)
+{
+    Directory d(2);
+    auto txn = d.write(1, 4, 50);
+    EXPECT_FALSE(txn.blockSeenBefore);
+    EXPECT_TRUE(txn.invalidate.empty());
+    EXPECT_EQ(d.find(50)->lastWriter, 4);
+}
+
+TEST(Directory, EvictionRemovesSharerAndEmptiesEntry)
+{
+    Directory d(2);
+    d.read(0, 1, 7);
+    d.read(1, 2, 7);
+    d.evict(0, 7);
+    const auto *e = d.find(7);
+    EXPECT_EQ(e->sharerCount(), 1u);
+    EXPECT_FALSE(e->isSharer(0));
+    d.evict(1, 7);
+    EXPECT_EQ(d.find(7)->state, Directory::State::Uncached);
+}
+
+TEST(Directory, OwnerEvictionClearsOwnership)
+{
+    Directory d(2);
+    d.write(0, 1, 7);
+    d.evict(0, 7);
+    EXPECT_EQ(d.find(7)->state, Directory::State::Uncached);
+    // A later read must be granted Exclusive again.
+    auto txn = d.read(1, 2, 7);
+    EXPECT_TRUE(txn.grantedExclusive);
+    EXPECT_TRUE(txn.blockSeenBefore);
+}
+
+TEST(Directory, ProtocolErrorsPanic)
+{
+    Directory d(2);
+    d.read(0, 1, 7);
+    EXPECT_THROW(d.read(0, 1, 7), util::PanicError);     // re-read owned
+    EXPECT_THROW(d.evict(1, 7), util::PanicError);       // non-sharer
+    EXPECT_THROW(d.evict(0, 999), util::PanicError);     // unknown block
+    EXPECT_THROW(d.write(0, 1, 7), util::PanicError);    // owner rewrite
+}
+
+TEST(Directory, SharerBitsAboveSixtyFour)
+{
+    Directory d(128);
+    d.read(100, 1, 7);
+    d.read(127, 2, 7);
+    const auto *e = d.find(7);
+    EXPECT_TRUE(e->isSharer(100));
+    EXPECT_TRUE(e->isSharer(127));
+    EXPECT_FALSE(e->isSharer(64));
+    EXPECT_EQ(e->sharerCount(), 2u);
+
+    auto txn = d.write(100, 1, 7);
+    EXPECT_EQ(txn.invalidate, std::vector<uint32_t>{127});
+}
+
+TEST(Directory, TooManyProcessorsIsFatal)
+{
+    EXPECT_THROW(Directory d(129), util::FatalError);
+    EXPECT_THROW(Directory d(0), util::FatalError);
+}
+
+TEST(Directory, FindUnknownBlockIsNull)
+{
+    Directory d(2);
+    EXPECT_EQ(d.find(1234), nullptr);
+    EXPECT_EQ(d.entryCount(), 0u);
+}
+
+TEST(Directory, LastWriterSurvivesEviction)
+{
+    // Departure of all sharers must not erase attribution history: a
+    // later compulsory miss still learns who wrote the data.
+    Directory d(2);
+    d.write(0, 3, 7);
+    d.evict(0, 7);
+    auto txn = d.read(1, 4, 7);
+    EXPECT_EQ(txn.prevLastWriter, 3);
+    EXPECT_EQ(txn.prevLastToucher, 3);
+}
+
+} // namespace
+} // namespace tsp::sim

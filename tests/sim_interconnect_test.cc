@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Interconnect model tests: the paper's contention-free default, the
+ * bounded-channel queueing behaviour, and end-to-end effects on the
+ * machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/placement_map.h"
+#include "sim/interconnect.h"
+#include "sim/machine.h"
+#include "trace/address_space.h"
+#include "trace/trace_set.h"
+#include "util/error.h"
+
+namespace tsp::sim {
+namespace {
+
+using placement::PlacementMap;
+using trace::AddressSpace;
+using trace::ThreadTrace;
+using trace::TraceSet;
+
+TEST(Interconnect, ContentionFreeIsFlat)
+{
+    Interconnect net(0, 50, 4);
+    for (uint64_t t : {0ull, 1ull, 1ull, 2ull})
+        EXPECT_EQ(net.transactionLatency(t), 50u);
+    EXPECT_EQ(net.transactions(), 4u);
+    EXPECT_EQ(net.queueingCycles(), 0u);
+    EXPECT_EQ(net.maxQueueing(), 0u);
+}
+
+TEST(Interconnect, SingleChannelSerializes)
+{
+    Interconnect net(1, 50, 10);
+    EXPECT_EQ(net.transactionLatency(100), 50u);  // channel free
+    // Issued while the channel is busy until 110: waits 10 - 0 = ...
+    EXPECT_EQ(net.transactionLatency(100), 10u + 50u);
+    EXPECT_EQ(net.transactionLatency(100), 20u + 50u);
+    EXPECT_EQ(net.queueingCycles(), 30u);
+    EXPECT_EQ(net.maxQueueing(), 20u);
+}
+
+TEST(Interconnect, ChannelFreesOverTime)
+{
+    Interconnect net(1, 50, 10);
+    net.transactionLatency(0);               // busy until 10
+    EXPECT_EQ(net.transactionLatency(10), 50u);  // exactly free again
+    EXPECT_EQ(net.transactionLatency(30), 50u);  // long idle
+}
+
+TEST(Interconnect, MultipleChannelsOverlap)
+{
+    Interconnect net(2, 50, 10);
+    EXPECT_EQ(net.transactionLatency(0), 50u);
+    EXPECT_EQ(net.transactionLatency(0), 50u);  // second channel
+    EXPECT_EQ(net.transactionLatency(0), 60u);  // queues behind first
+}
+
+TEST(Interconnect, ImplausibleChannelCountIsFatal)
+{
+    EXPECT_THROW(Interconnect(5000, 50, 4), util::FatalError);
+}
+
+TEST(Interconnect, MachineReportsQueueingStats)
+{
+    // Two processors miss on distinct blocks at the same cycle; one
+    // channel serializes them.
+    TraceSet ts("contend");
+    for (uint32_t tid = 0; tid < 2; ++tid) {
+        ThreadTrace t(tid);
+        t.appendLoad(AddressSpace::sharedWord(64 * tid));
+        ts.addThread(std::move(t));
+    }
+    SimConfig cfg;
+    cfg.processors = 2;
+    cfg.contexts = 1;
+    cfg.cacheBytes = 4096;
+    cfg.networkChannels = 1;
+    cfg.channelOccupancy = 8;
+
+    SimStats s = simulate(cfg, ts, PlacementMap(2, {0, 1}));
+    EXPECT_EQ(s.networkTransactions, 2u);
+    EXPECT_EQ(s.networkQueueingCycles, 8u);
+    EXPECT_EQ(s.networkMaxQueueing, 8u);
+    // One processor finishes 8 cycles later than the other.
+    uint64_t f0 = s.procs[0].finishTime, f1 = s.procs[1].finishTime;
+    EXPECT_EQ(std::max(f0, f1) - std::min(f0, f1), 8u);
+}
+
+TEST(Interconnect, ContentionNeverSpeedsExecution)
+{
+    TraceSet ts("more");
+    for (uint32_t tid = 0; tid < 4; ++tid) {
+        ThreadTrace t(tid);
+        for (int i = 0; i < 20; ++i) {
+            t.appendLoad(AddressSpace::sharedWord(64 * (tid * 20 + i)));
+            t.appendWork(5);
+        }
+        ts.addThread(std::move(t));
+    }
+    PlacementMap map(4, {0, 1, 2, 3});
+    SimConfig free;
+    free.processors = 4;
+    free.contexts = 1;
+    free.cacheBytes = 64 * 1024;
+    SimConfig tight = free;
+    tight.networkChannels = 1;
+    tight.channelOccupancy = 16;
+
+    uint64_t freeTime = simulate(free, ts, map).executionTime();
+    auto tightStats = simulate(tight, ts, map);
+    EXPECT_GT(tightStats.executionTime(), freeTime);
+    EXPECT_GT(tightStats.networkQueueingCycles, 0u);
+}
+
+TEST(Interconnect, DefaultConfigHasNoContention)
+{
+    TraceSet ts("defaultnet");
+    ThreadTrace t0(0);
+    t0.appendLoad(AddressSpace::sharedWord(0));
+    ts.addThread(std::move(t0));
+    SimConfig cfg;
+    cfg.processors = 1;
+    cfg.contexts = 1;
+    cfg.cacheBytes = 4096;
+    SimStats s = simulate(cfg, ts, PlacementMap(1, {0}));
+    EXPECT_EQ(s.networkTransactions, 1u);
+    EXPECT_EQ(s.networkQueueingCycles, 0u);
+}
+
+} // namespace
+} // namespace tsp::sim

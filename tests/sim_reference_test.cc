@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Differential verification: an independent, deliberately simple
+ * reference model of the caches + invalidation protocol consumes the
+ * Machine's access stream (via the access observer) in the exact
+ * global order the Machine processed it, re-derives every hit/miss
+ * decision and miss classification with naive data structures, and
+ * must agree access-for-access. Any divergence in victim selection,
+ * sharer tracking, invalidation delivery or history bookkeeping fails
+ * loudly here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/placement_map.h"
+#include "sim/machine.h"
+#include "trace/address_space.h"
+#include "trace/trace_set.h"
+#include "util/rng.h"
+
+namespace tsp::sim {
+namespace {
+
+using placement::PlacementMap;
+using trace::AddressSpace;
+using trace::ThreadTrace;
+using trace::TraceSet;
+
+/**
+ * Naive re-implementation: per-processor set-associative cache as a
+ * recency-ordered std::list per set, directory as std::set<proc> per
+ * block, departure history as std::map. No clever packing anywhere.
+ */
+class ReferenceModel
+{
+  public:
+    ReferenceModel(const SimConfig &cfg) : cfg_(cfg)
+    {
+        caches_.resize(cfg.processors);
+    }
+
+    struct Outcome
+    {
+        bool hit;
+        MissKind kind;  // valid when !hit
+    };
+
+    Outcome
+    access(uint32_t proc, uint32_t tid, uint64_t block, bool isWrite)
+    {
+        auto &cache = caches_[proc];
+        uint64_t set = block % cfg_.numSets();
+        auto &ways = cache.sets[set];
+
+        // Hit?
+        for (auto it = ways.begin(); it != ways.end(); ++it) {
+            if (it->block == block) {
+                // Move to MRU position.
+                Line line = *it;
+                ways.erase(it);
+                if (isWrite)
+                    invalidateOthers(proc, tid, block);
+                line.dirty |= isWrite;
+                ways.push_front(line);
+                dir_[block].insert(proc);
+                return {true, MissKind::Compulsory};
+            }
+        }
+
+        // Miss: classify.
+        MissKind kind;
+        auto hist = cache.history.find(block);
+        if (hist == cache.history.end()) {
+            kind = MissKind::Compulsory;
+        } else if (hist->second.invalidated) {
+            kind = MissKind::Invalidation;
+        } else if (hist->second.departedBy == tid) {
+            kind = MissKind::IntraConflict;
+        } else {
+            kind = MissKind::InterConflict;
+        }
+
+        // Evict LRU if the set is full.
+        if (ways.size() == cfg_.associativity) {
+            Line victim = ways.back();
+            ways.pop_back();
+            cache.history[victim.block] = {false, tid};
+            dir_[victim.block].erase(proc);
+        }
+
+        // Install; a write invalidates all other copies.
+        if (isWrite)
+            invalidateOthers(proc, tid, block);
+        ways.push_front({block, isWrite});
+        dir_[block].insert(proc);
+        return {false, kind};
+    }
+
+  private:
+    struct Line
+    {
+        uint64_t block;
+        bool dirty;
+    };
+
+    struct Departure
+    {
+        bool invalidated;
+        uint32_t departedBy;  //!< evictor thread or invalidating writer
+    };
+
+    struct RefCache
+    {
+        std::map<uint64_t, std::list<Line>> sets;
+        std::map<uint64_t, Departure> history;
+    };
+
+    void
+    invalidateOthers(uint32_t proc, uint32_t tid, uint64_t block)
+    {
+        auto it = dir_.find(block);
+        if (it == dir_.end())
+            return;
+        for (uint32_t other : std::set<uint32_t>(it->second)) {
+            if (other == proc)
+                continue;
+            auto &cache = caches_[other];
+            uint64_t set = block % cfg_.numSets();
+            auto &ways = cache.sets[set];
+            for (auto w = ways.begin(); w != ways.end(); ++w) {
+                if (w->block == block) {
+                    ways.erase(w);
+                    break;
+                }
+            }
+            cache.history[block] = {true, tid};
+            it->second.erase(other);
+        }
+    }
+
+    SimConfig cfg_;
+    std::vector<RefCache> caches_;
+    std::map<uint64_t, std::set<uint32_t>> dir_;
+};
+
+/** Random trace set mixing shared and private references. */
+TraceSet
+randomTraces(util::Rng &rng, uint32_t threads, uint32_t events,
+             uint64_t sharedWords)
+{
+    TraceSet ts("diff");
+    for (uint32_t tid = 0; tid < threads; ++tid) {
+        ThreadTrace t(tid);
+        for (uint32_t e = 0; e < events; ++e) {
+            switch (rng.nextBelow(5)) {
+              case 0:
+                t.appendWork(1 + rng.nextBelow(40));
+                break;
+              case 1:
+                t.appendStore(AddressSpace::sharedWord(
+                    rng.nextBelow(sharedWords)));
+                break;
+              case 2:
+              case 3:
+                t.appendLoad(AddressSpace::sharedWord(
+                    rng.nextBelow(sharedWords)));
+                break;
+              default:
+                t.appendLoad(AddressSpace::privateWord(
+                    tid, rng.nextBelow(128)));
+                break;
+            }
+        }
+        ts.addThread(std::move(t));
+    }
+    return ts;
+}
+
+class DifferentialTest
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t>>
+{};
+
+TEST_P(DifferentialTest, MachineAgreesWithReferenceModel)
+{
+    auto [seed, assoc] = GetParam();
+    util::Rng rng(88000 + seed);
+    uint32_t threads = 3 + static_cast<uint32_t>(rng.nextBelow(4));
+    uint32_t procs = 2 + static_cast<uint32_t>(rng.nextBelow(3));
+    TraceSet ts = randomTraces(rng, threads, 250, 300);
+
+    std::vector<uint32_t> procOf(threads);
+    for (uint32_t i = 0; i < threads; ++i)
+        procOf[i] = static_cast<uint32_t>(rng.nextBelow(procs));
+    PlacementMap map(procs, procOf);
+
+    SimConfig cfg;
+    cfg.processors = procs;
+    cfg.contexts = 2;
+    cfg.cacheBytes = 1024;  // small: lots of evictions
+    cfg.associativity = assoc;
+
+    ReferenceModel ref(cfg);
+    uint64_t compared = 0, misses = 0;
+    Machine machine(cfg, ts, map);
+    machine.setAccessObserver([&](uint32_t proc, uint32_t tid,
+                                  uint64_t block, bool isStore,
+                                  bool hit, MissKind kind) {
+        auto expected = ref.access(proc, tid, block, isStore);
+        ASSERT_EQ(hit, expected.hit)
+            << "access " << compared << " proc " << proc << " block "
+            << block;
+        if (!hit) {
+            ASSERT_EQ(static_cast<int>(kind),
+                      static_cast<int>(expected.kind))
+                << "access " << compared << " proc " << proc
+                << " block " << block;
+            ++misses;
+        }
+        ++compared;
+    });
+    SimStats stats = machine.run();
+
+    EXPECT_EQ(compared, stats.totalMemRefs());
+    EXPECT_EQ(misses, stats.totalMisses());
+    EXPECT_GT(misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, DifferentialTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const auto &info) {
+        return "seed" + std::to_string(std::get<0>(info.param)) +
+               "_assoc" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DifferentialTest, ObserverUnsetCostsNothing)
+{
+    util::Rng rng(123);
+    TraceSet ts = randomTraces(rng, 3, 50, 64);
+    PlacementMap map(2, {0, 1, 0});
+    SimConfig cfg;
+    cfg.processors = 2;
+    cfg.contexts = 2;
+    cfg.cacheBytes = 1024;
+    SimStats s = simulate(cfg, ts, map);
+    EXPECT_EQ(s.totalMemRefs(), ts.totalMemRefs());
+}
+
+} // namespace
+} // namespace tsp::sim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the write-run sharing monitor (Section 4.2's migratory /
+ * read-shared taxonomy) and its integration with the Machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/placement_map.h"
+#include "sim/machine.h"
+#include "sim/sharing_monitor.h"
+#include "trace/address_space.h"
+#include "trace/trace_set.h"
+
+namespace tsp::sim {
+namespace {
+
+using trace::AddressSpace;
+using trace::ThreadTrace;
+using trace::TraceSet;
+
+TEST(SharingMonitor, SingleThreadBlockIsPrivate)
+{
+    SharingMonitor m;
+    for (int i = 0; i < 10; ++i)
+        m.onAccess(1, 0, i % 2 == 0);
+    auto p = m.finalize();
+    EXPECT_EQ(p.privateBlocks, 1u);
+    EXPECT_EQ(p.sharedBlocks, 0u);
+}
+
+TEST(SharingMonitor, ReadOnlySharedBlock)
+{
+    SharingMonitor m;
+    for (uint32_t tid = 0; tid < 4; ++tid)
+        for (int i = 0; i < 5; ++i)
+            m.onAccess(7, tid, false);
+    auto p = m.finalize();
+    EXPECT_EQ(p.sharedBlocks, 1u);
+    EXPECT_EQ(p.readOnlyShared, 1u);
+    EXPECT_EQ(p.migratoryShared, 0u);
+    EXPECT_DOUBLE_EQ(p.readOnlyFraction(), 1.0);
+    // Four read runs of length 5.
+    EXPECT_DOUBLE_EQ(p.readRunLength.mean(), 5.0);
+}
+
+TEST(SharingMonitor, LongWriteRunsAreMigratory)
+{
+    SharingMonitor m;
+    // Threads take turns making read-modify-write runs of length 8.
+    for (int round = 0; round < 6; ++round) {
+        uint32_t tid = round % 3;
+        for (int i = 0; i < 8; ++i)
+            m.onAccess(42, tid, i % 2 == 1);
+    }
+    auto p = m.finalize();
+    EXPECT_EQ(p.sharedBlocks, 1u);
+    EXPECT_EQ(p.migratoryShared, 1u);
+    EXPECT_DOUBLE_EQ(p.migratoryFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(p.writeRunLength.mean(), 8.0);
+}
+
+TEST(SharingMonitor, WordPingPongIsOtherShared)
+{
+    SharingMonitor m;
+    // Alternating single writes by two threads: write runs of length
+    // 1, below the migratory threshold.
+    for (int i = 0; i < 20; ++i)
+        m.onAccess(9, i % 2, true);
+    auto p = m.finalize();
+    EXPECT_EQ(p.sharedBlocks, 1u);
+    EXPECT_EQ(p.migratoryShared, 0u);
+    EXPECT_EQ(p.otherShared, 1u);
+    EXPECT_DOUBLE_EQ(p.writeRunLength.mean(), 1.0);
+}
+
+TEST(SharingMonitor, MostlyReadSharedWithRareWritesIsOther)
+{
+    SharingMonitor m;
+    // 90% interleaved reads by two threads, occasional writes: write
+    // runs exist but cover a small fraction of accesses.
+    for (int i = 0; i < 100; ++i)
+        m.onAccess(5, i % 2, false);
+    m.onAccess(5, 0, true);
+    m.onAccess(5, 1, false);
+    auto p = m.finalize();
+    EXPECT_EQ(p.sharedBlocks, 1u);
+    EXPECT_EQ(p.migratoryShared, 0u);
+    EXPECT_EQ(p.otherShared, 1u);
+}
+
+TEST(SharingMonitor, ThresholdsAreConfigurable)
+{
+    SharingMonitor::Options opts;
+    opts.minWriteRunLength = 100.0;  // nothing qualifies
+    SharingMonitor m(opts);
+    for (int round = 0; round < 4; ++round)
+        for (int i = 0; i < 8; ++i)
+            m.onAccess(1, round % 2, true);
+    auto p = m.finalize();
+    EXPECT_EQ(p.migratoryShared, 0u);
+    EXPECT_EQ(p.otherShared, 1u);
+}
+
+TEST(SharingMonitor, HighThreadIdsUseSecondMaskWord)
+{
+    SharingMonitor m;
+    m.onAccess(3, 2, false);
+    m.onAccess(3, 100, false);  // > 63: second bitmask word
+    auto p = m.finalize();
+    EXPECT_EQ(p.sharedBlocks, 1u);
+}
+
+TEST(SharingMonitor, MachineIntegration)
+{
+    TraceSet ts("profiled");
+    ThreadTrace t0(0);
+    ThreadTrace t1(1);
+    // Shared block with migratory hand-off plus private data each.
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 6; ++i)
+            t0.appendStore(AddressSpace::sharedWord(0));
+        t0.appendWork(400);
+        t1.appendWork(200);
+        for (int i = 0; i < 6; ++i)
+            t1.appendStore(AddressSpace::sharedWord(0));
+        t1.appendWork(200);
+    }
+    t0.appendLoad(AddressSpace::privateWord(0, 0));
+    t1.appendLoad(AddressSpace::privateWord(1, 0));
+    ts.addThread(std::move(t0));
+    ts.addThread(std::move(t1));
+
+    SimConfig cfg;
+    cfg.processors = 2;
+    cfg.contexts = 1;
+    cfg.cacheBytes = 4096;
+    cfg.profileSharing = true;
+    SimStats s =
+        simulate(cfg, ts, placement::PlacementMap(2, {0, 1}));
+    ASSERT_TRUE(s.profiledSharing);
+    EXPECT_EQ(s.sharingProfile.sharedBlocks, 1u);
+    EXPECT_EQ(s.sharingProfile.migratoryShared, 1u);
+    EXPECT_EQ(s.sharingProfile.privateBlocks, 2u);
+}
+
+TEST(SharingMonitor, MachineSkipsProfilingByDefault)
+{
+    TraceSet ts("plain");
+    ThreadTrace t0(0);
+    t0.appendLoad(AddressSpace::sharedWord(0));
+    ts.addThread(std::move(t0));
+    SimConfig cfg;
+    cfg.processors = 1;
+    cfg.contexts = 1;
+    cfg.cacheBytes = 4096;
+    SimStats s = simulate(cfg, ts, placement::PlacementMap(1, {0}));
+    EXPECT_FALSE(s.profiledSharing);
+    EXPECT_EQ(s.sharingProfile.sharedBlocks, 0u);
+}
+
+} // namespace
+} // namespace tsp::sim

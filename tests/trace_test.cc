@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Unit tests for the trace module: event packing, thread traces,
+ * cursors, trace sets, address layout and serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/address_space.h"
+#include "trace/event.h"
+#include "trace/thread_trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_set.h"
+#include "util/error.h"
+
+namespace tsp::trace {
+namespace {
+
+// ----------------------------------------------------------------- event
+
+TEST(TraceEvent, PackUnpackLoad)
+{
+    TraceEvent e = TraceEvent::load(0xDEADBEEF);
+    EXPECT_EQ(e.kind(), EventKind::Load);
+    EXPECT_TRUE(e.isMemRef());
+    EXPECT_FALSE(e.isStore());
+    EXPECT_EQ(e.address(), 0xDEADBEEFull);
+    EXPECT_EQ(e.instructions(), 1u);
+}
+
+TEST(TraceEvent, PackUnpackStore)
+{
+    TraceEvent e = TraceEvent::store(0x1234);
+    EXPECT_EQ(e.kind(), EventKind::Store);
+    EXPECT_TRUE(e.isStore());
+    EXPECT_EQ(e.address(), 0x1234ull);
+}
+
+TEST(TraceEvent, PackUnpackWork)
+{
+    TraceEvent e = TraceEvent::work(1000);
+    EXPECT_EQ(e.kind(), EventKind::Work);
+    EXPECT_FALSE(e.isMemRef());
+    EXPECT_EQ(e.instructions(), 1000u);
+}
+
+TEST(TraceEvent, RawRoundTrip)
+{
+    TraceEvent e = TraceEvent::store(TraceEvent::maxPayload);
+    EXPECT_EQ(TraceEvent::fromRaw(e.raw()), e);
+}
+
+TEST(TraceEvent, BoundsChecked)
+{
+    EXPECT_THROW(TraceEvent::work(0), util::PanicError);
+    EXPECT_THROW(TraceEvent::work(TraceEvent::maxPayload + 1),
+                 util::PanicError);
+    EXPECT_THROW(TraceEvent::load(TraceEvent::maxPayload + 1),
+                 util::PanicError);
+    EXPECT_EQ(TraceEvent::load(0).address(), 0u);
+}
+
+TEST(TraceEvent, AddressOnWorkPanics)
+{
+    EXPECT_THROW(TraceEvent::work(5).address(), util::PanicError);
+}
+
+TEST(TraceEvent, PackUnpackBarrier)
+{
+    TraceEvent e = TraceEvent::barrier(4);
+    EXPECT_EQ(e.kind(), EventKind::Barrier);
+    EXPECT_FALSE(e.isMemRef());
+    EXPECT_EQ(e.instructions(), 0u);
+    EXPECT_EQ(e.barrierIndex(), 4u);
+    EXPECT_EQ(TraceEvent::fromRaw(e.raw()), e);
+    EXPECT_THROW(TraceEvent::work(1).barrierIndex(), util::PanicError);
+}
+
+TEST(ThreadTrace, BarriersAreNumberedAndCounted)
+{
+    ThreadTrace t;
+    t.appendWork(3);
+    t.appendBarrier();
+    t.appendLoad(4);
+    t.appendBarrier();
+    EXPECT_EQ(t.barrierCount(), 2u);
+    EXPECT_EQ(t.instructionCount(), 4u);  // barriers cost nothing
+    EXPECT_EQ(t.events()[1].barrierIndex(), 0u);
+    EXPECT_EQ(t.events()[3].barrierIndex(), 1u);
+}
+
+TEST(TraceCursor, BarrierEndsChunk)
+{
+    ThreadTrace t;
+    t.appendWork(5);
+    t.appendBarrier();
+    t.appendWork(2);
+    TraceCursor cur(t);
+    auto c1 = cur.next();
+    EXPECT_EQ(c1.work, 5u);
+    EXPECT_FALSE(c1.hasRef);
+    EXPECT_TRUE(c1.isBarrier);
+    auto c2 = cur.next();
+    EXPECT_EQ(c2.work, 2u);
+    EXPECT_FALSE(c2.isBarrier);
+    EXPECT_TRUE(cur.done());
+}
+
+TEST(TraceIo, BarrierEventsRoundTrip)
+{
+    TraceSet s("sync-app");
+    ThreadTrace t0(0);
+    t0.appendWork(5);
+    t0.appendBarrier();
+    t0.appendStore(8);
+    s.addThread(std::move(t0));
+    std::stringstream buf;
+    saveBinary(s, buf);
+    TraceSet loaded = loadBinary(buf);
+    EXPECT_EQ(loaded.thread(0), s.thread(0));
+    EXPECT_EQ(loaded.thread(0).barrierCount(), 1u);
+}
+
+// ----------------------------------------------------------- thread trace
+
+TEST(ThreadTrace, CountsAreExact)
+{
+    ThreadTrace t(3);
+    t.appendWork(10);
+    t.appendLoad(100);
+    t.appendStore(200);
+    t.appendWork(5);
+    EXPECT_EQ(t.id(), 3u);
+    EXPECT_EQ(t.instructionCount(), 17u);
+    EXPECT_EQ(t.memRefCount(), 2u);
+    EXPECT_EQ(t.loadCount(), 1u);
+    EXPECT_EQ(t.storeCount(), 1u);
+}
+
+TEST(ThreadTrace, AdjacentWorkRunsMerge)
+{
+    ThreadTrace t;
+    t.appendWork(10);
+    t.appendWork(20);
+    EXPECT_EQ(t.events().size(), 1u);
+    EXPECT_EQ(t.instructionCount(), 30u);
+}
+
+TEST(ThreadTrace, ZeroWorkIsNoOp)
+{
+    ThreadTrace t;
+    t.appendWork(0);
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(ThreadTrace, AppendEventDispatches)
+{
+    ThreadTrace t;
+    t.append(TraceEvent::work(4));
+    t.append(TraceEvent::load(8));
+    t.append(TraceEvent::store(12));
+    EXPECT_EQ(t.instructionCount(), 6u);
+    EXPECT_EQ(t.memRefCount(), 2u);
+}
+
+// ---------------------------------------------------------------- cursor
+
+TEST(TraceCursor, ChunksCombineWorkAndRef)
+{
+    ThreadTrace t;
+    t.appendWork(7);
+    t.appendLoad(100);
+    t.appendStore(200);
+    t.appendWork(3);
+
+    TraceCursor cur(t);
+    auto c1 = cur.next();
+    EXPECT_EQ(c1.work, 7u);
+    EXPECT_TRUE(c1.hasRef);
+    EXPECT_FALSE(c1.isStore);
+    EXPECT_EQ(c1.addr, 100u);
+    EXPECT_EQ(c1.instructions(), 8u);
+
+    auto c2 = cur.next();
+    EXPECT_EQ(c2.work, 0u);
+    EXPECT_TRUE(c2.isStore);
+    EXPECT_EQ(c2.addr, 200u);
+
+    auto c3 = cur.next();
+    EXPECT_EQ(c3.work, 3u);
+    EXPECT_FALSE(c3.hasRef);
+    EXPECT_TRUE(cur.done());
+}
+
+TEST(TraceCursor, ChunkInstructionTotalMatchesTrace)
+{
+    ThreadTrace t;
+    t.appendWork(5);
+    t.appendLoad(4);
+    t.appendWork(2);
+    t.appendStore(8);
+    t.appendWork(9);
+    TraceCursor cur(t);
+    uint64_t total = 0;
+    while (!cur.done())
+        total += cur.next().instructions();
+    EXPECT_EQ(total, t.instructionCount());
+}
+
+TEST(TraceCursor, EmptyTraceIsImmediatelyDone)
+{
+    ThreadTrace t;
+    TraceCursor cur(t);
+    EXPECT_TRUE(cur.done());
+}
+
+// -------------------------------------------------------------- trace set
+
+TEST(TraceSet, ThreadsMustBeDense)
+{
+    TraceSet s("app");
+    s.addThread(ThreadTrace(0));
+    EXPECT_THROW(s.addThread(ThreadTrace(5)), util::FatalError);
+}
+
+TEST(TraceSet, TotalsAggregate)
+{
+    TraceSet s("app");
+    ThreadTrace t0(0);
+    t0.appendWork(10);
+    t0.appendLoad(4);
+    ThreadTrace t1(1);
+    t1.appendStore(8);
+    s.addThread(std::move(t0));
+    s.addThread(std::move(t1));
+    EXPECT_EQ(s.threadCount(), 2u);
+    EXPECT_EQ(s.totalInstructions(), 12u);
+    EXPECT_EQ(s.totalMemRefs(), 2u);
+    EXPECT_EQ(s.threadLengths(), (std::vector<uint64_t>{11, 1}));
+}
+
+// ---------------------------------------------------------- address space
+
+TEST(AddressSpace, SharedAndPrivateDisjoint)
+{
+    EXPECT_TRUE(AddressSpace::isShared(AddressSpace::sharedWord(0)));
+    EXPECT_TRUE(AddressSpace::isShared(
+        AddressSpace::sharedWord(AddressSpace::sharedSpan /
+                                     AddressSpace::wordBytes -
+                                 1)));
+    for (uint32_t tid : {0u, 1u, 64u, 127u}) {
+        EXPECT_FALSE(AddressSpace::isShared(
+            AddressSpace::privateWord(tid, 0)));
+    }
+}
+
+TEST(AddressSpace, PrivateRegionsDisjointAcrossThreads)
+{
+    // A full private span of thread t must end before thread t+1's.
+    for (uint32_t tid = 0; tid < 127; ++tid) {
+        EXPECT_LE(AddressSpace::privateBase(tid) +
+                      AddressSpace::privateSpan,
+                  AddressSpace::privateBase(tid + 1));
+    }
+}
+
+TEST(AddressSpace, PrivateBasesAvoid8MBIndexCollisions)
+{
+    // For the Section 4.3 "infinite cache" study: consecutive threads'
+    // private pools must map to distinct 8 MB cache index windows
+    // (given realistic per-thread footprints).
+    constexpr uint64_t cache = 8ull * 1024 * 1024;
+    constexpr uint64_t footprint = 48 * 1024;  // generous
+    for (uint32_t a = 0; a < 32; ++a) {
+        uint64_t ia = AddressSpace::privateBase(a) % cache;
+        for (uint32_t b = a + 1; b < 32; ++b) {
+            uint64_t ib = AddressSpace::privateBase(b) % cache;
+            uint64_t lo = std::min(ia, ib), hi = std::max(ia, ib);
+            EXPECT_GE(hi - lo, footprint)
+                << "threads " << a << " and " << b;
+        }
+    }
+}
+
+TEST(AddressSpace, WordAddressesAreAligned)
+{
+    EXPECT_EQ(AddressSpace::sharedWord(5) % AddressSpace::wordBytes, 0u);
+    EXPECT_EQ(AddressSpace::privateWord(3, 7) % AddressSpace::wordBytes,
+              0u);
+}
+
+// -------------------------------------------------------------------- io
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    TraceSet s("roundtrip-app");
+    ThreadTrace t0(0);
+    t0.appendWork(100);
+    t0.appendLoad(AddressSpace::sharedWord(1));
+    t0.appendStore(AddressSpace::privateWord(0, 2));
+    ThreadTrace t1(1);
+    t1.appendStore(44);
+    s.addThread(std::move(t0));
+    s.addThread(std::move(t1));
+
+    std::stringstream buf;
+    saveBinary(s, buf);
+    TraceSet loaded = loadBinary(buf);
+
+    EXPECT_EQ(loaded.name(), "roundtrip-app");
+    ASSERT_EQ(loaded.threadCount(), 2u);
+    EXPECT_EQ(loaded.thread(0), s.thread(0));
+    EXPECT_EQ(loaded.thread(1), s.thread(1));
+    EXPECT_EQ(loaded.totalInstructions(), s.totalInstructions());
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream buf;
+    buf << "NOPE-not-a-trace";
+    EXPECT_THROW(loadBinary(buf), util::FatalError);
+}
+
+TEST(TraceIo, RejectsTruncatedFile)
+{
+    TraceSet s("x");
+    ThreadTrace t0(0);
+    t0.appendWork(5);
+    s.addThread(std::move(t0));
+    std::stringstream buf;
+    saveBinary(s, buf);
+    std::string whole = buf.str();
+    std::stringstream cut(whole.substr(0, whole.size() - 4));
+    EXPECT_THROW(loadBinary(cut), util::FatalError);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    TraceSet s("file-app");
+    ThreadTrace t0(0);
+    t0.appendLoad(16);
+    s.addThread(std::move(t0));
+    std::string path = testing::TempDir() + "/tsp_trace_test.tspt";
+    saveFile(s, path);
+    TraceSet loaded = loadFile(path);
+    EXPECT_EQ(loaded.name(), "file-app");
+    EXPECT_EQ(loaded.thread(0), s.thread(0));
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadFile("/nonexistent/path/to/trace.tspt"),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace tsp::trace

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Workload generator tests: the trace composer's ratio bookkeeping,
+ * layout construction, thread-length sampling, suite registry, and a
+ * parameterized validation of all fourteen calibrated applications
+ * against their Table 2 targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/static_analysis.h"
+#include "trace/address_space.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workload/composer.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+#include "workload/validate.h"
+
+namespace tsp::workload {
+namespace {
+
+using trace::AddressSpace;
+
+// --------------------------------------------------------------- composer
+
+TEST(Composer, HitsLengthExactly)
+{
+    TraceComposer::Params params;
+    params.targetLength = 10000;
+    params.dataRefFrac = 0.4;
+    params.sharedRefFrac = 0.5;
+    params.writeFrac = 0.3;
+    params.privatePoolBase = AddressSpace::privateBase(0);
+    params.privatePoolWords = 256;
+    TraceComposer c(0, params, util::Rng(1));
+    uint64_t addr = AddressSpace::sharedWord(0);
+    while (c.sharedRef(addr, false)) {
+    }
+    auto trace = c.finish();
+    EXPECT_EQ(trace.instructionCount(), 10000u);
+}
+
+TEST(Composer, RatiosApproximateTargets)
+{
+    TraceComposer::Params params;
+    params.targetLength = 50000;
+    params.dataRefFrac = 0.35;
+    params.sharedRefFrac = 0.6;
+    params.writeFrac = 0.3;
+    params.privatePoolBase = AddressSpace::privateBase(1);
+    params.privatePoolWords = 512;
+    TraceComposer c(1, params, util::Rng(2));
+    uint64_t i = 0;
+    while (c.sharedRef(AddressSpace::sharedWord(i++ % 1000), false)) {
+    }
+    auto trace = c.finish();
+
+    double refFrac = static_cast<double>(trace.memRefCount()) /
+                     static_cast<double>(trace.instructionCount());
+    EXPECT_NEAR(refFrac, 0.35, 0.02);
+
+    // Shared = refs into the shared region.
+    uint64_t shared = 0;
+    for (const auto &e : trace.events())
+        if (e.isMemRef() && AddressSpace::isShared(e.address()))
+            ++shared;
+    double sharedFrac = static_cast<double>(shared) /
+                        static_cast<double>(trace.memRefCount());
+    EXPECT_NEAR(sharedFrac, 0.6, 0.03);
+}
+
+TEST(Composer, FinishPadsShortBudget)
+{
+    TraceComposer::Params params;
+    params.targetLength = 500;
+    params.dataRefFrac = 0.5;
+    params.sharedRefFrac = 0.0;  // no shared refs at all
+    params.writeFrac = 0.2;
+    params.privatePoolBase = AddressSpace::privateBase(2);
+    params.privatePoolWords = 64;
+    TraceComposer c(2, params, util::Rng(3));
+    auto trace = c.finish();
+    EXPECT_EQ(trace.instructionCount(), 500u);
+    EXPECT_GT(trace.memRefCount(), 0u);
+}
+
+TEST(Composer, BadParamsAreFatal)
+{
+    TraceComposer::Params params;
+    params.targetLength = 100;
+    params.dataRefFrac = 0.0;  // invalid
+    params.sharedRefFrac = 0.5;
+    params.writeFrac = 0.3;
+    params.privatePoolBase = AddressSpace::privateBase(0);
+    params.privatePoolWords = 8;
+    EXPECT_THROW(TraceComposer(0, params, util::Rng(4)),
+                 util::FatalError);
+}
+
+// ----------------------------------------------------------------- layout
+
+TEST(Layout, PoolSizesFollowBudgets)
+{
+    AppProfile p;
+    p.threads = 8;
+    p.meanLength = 100000;
+    p.dataRefFrac = 0.4;
+    p.sharedRefFrac = 0.5;      // 20k shared refs per thread
+    p.refsPerSharedAddr = 20.0; // -> ~1000 addresses
+    p.globalFrac = 1.0;
+    auto layout = computeLayout(p, 1);
+    EXPECT_NEAR(static_cast<double>(layout.globalWords), 1000.0, 64.0);
+    EXPECT_EQ(layout.edgeWords, 0u);
+    EXPECT_EQ(layout.mailboxWords, 0u);
+    EXPECT_EQ(layout.sliceWords, 0u);
+}
+
+TEST(Layout, MixtureMustSumToOne)
+{
+    AppProfile p;
+    p.globalFrac = 0.5;
+    p.neighborFrac = 0.2;  // sums to 0.7
+    EXPECT_THROW(computeLayout(p, 1), util::FatalError);
+}
+
+TEST(Layout, RegionsDoNotOverlap)
+{
+    AppProfile p;
+    p.threads = 4;
+    p.meanLength = 200000;
+    p.globalFrac = 0.4;
+    p.neighborFrac = 0.2;
+    p.mailboxFrac = 0.2;
+    p.sliceFrac = 0.2;
+    auto layout = computeLayout(p, 1);
+    EXPECT_LE(layout.globalBase + layout.globalWords,
+              layout.edgesBase);
+    EXPECT_LE(layout.edgesBase + 4 * layout.edgeWords,
+              layout.mailboxBase);
+    EXPECT_LE(layout.mailboxBase + 16 * layout.mailboxWords,
+              layout.slicesBase);
+    EXPECT_GT(layout.totalWords(), 0u);
+}
+
+// ---------------------------------------------------------------- lengths
+
+TEST(Lengths, ZeroDevIsUniform)
+{
+    AppProfile p;
+    p.threads = 8;
+    p.meanLength = 80000;
+    p.lengthDevPct = 0.0;
+    auto lengths = sampleThreadLengths(p, 1);
+    for (uint64_t l : lengths)
+        EXPECT_EQ(l, 80000u);
+}
+
+TEST(Lengths, MeanIsPinnedAndDeterministic)
+{
+    AppProfile p;
+    p.threads = 16;
+    p.meanLength = 100000;
+    p.lengthDevPct = 60.0;
+    p.seed = 9;
+    auto a = sampleThreadLengths(p, 1);
+    auto b = sampleThreadLengths(p, 1);
+    EXPECT_EQ(a, b);
+    double sum = 0;
+    for (uint64_t l : a)
+        sum += static_cast<double>(l);
+    EXPECT_NEAR(sum / 16.0, 100000.0, 2000.0);
+}
+
+TEST(Lengths, ScaleDividesMean)
+{
+    AppProfile p;
+    p.threads = 4;
+    p.meanLength = 64000;
+    p.lengthDevPct = 0.0;
+    auto lengths = sampleThreadLengths(p, 8);
+    for (uint64_t l : lengths)
+        EXPECT_EQ(l, 8000u);
+}
+
+TEST(Lengths, HighDevProducesImbalance)
+{
+    AppProfile p;
+    p.threads = 32;
+    p.meanLength = 50000;
+    p.lengthDevPct = 180.0;
+    p.seed = 13;
+    auto lengths = sampleThreadLengths(p, 1);
+    uint64_t mx = 0, mn = UINT64_MAX;
+    for (uint64_t l : lengths) {
+        mx = std::max(mx, l);
+        mn = std::min(mn, l);
+    }
+    EXPECT_GT(mx, 3 * mn);
+}
+
+// ------------------------------------------------------------------ suite
+
+TEST(Suite, FourteenAppsSplitByGrain)
+{
+    EXPECT_EQ(allApps().size(), 14u);
+    EXPECT_EQ(coarseApps().size(), 7u);
+    EXPECT_EQ(mediumApps().size(), 7u);
+    for (AppId app : coarseApps())
+        EXPECT_EQ(profile(app).grain, Grain::Coarse);
+    for (AppId app : mediumApps())
+        EXPECT_EQ(profile(app).grain, Grain::Medium);
+}
+
+TEST(Suite, GaussHasTheMostThreads)
+{
+    EXPECT_EQ(profile(AppId::Gauss).threads, 127u);
+    for (AppId app : allApps())
+        EXPECT_LE(profile(app).threads, 127u);
+}
+
+TEST(Suite, FFTHasLargestLengthDeviation)
+{
+    double fft = profile(AppId::FFT).lengthDevPct;
+    for (AppId app : allApps())
+        EXPECT_LE(profile(app).lengthDevPct, fft);
+    EXPECT_NEAR(fft, 187.6, 1e-9);
+}
+
+TEST(Suite, CacheSizesFollowThePaper)
+{
+    // Coarse apps + Health + FFT: 32 KB; other medium: 64 KB.
+    for (AppId app : coarseApps())
+        EXPECT_EQ(profile(app).cacheBytes, 32u * 1024);
+    EXPECT_EQ(profile(AppId::Health).cacheBytes, 32u * 1024);
+    EXPECT_EQ(profile(AppId::FFT).cacheBytes, 32u * 1024);
+    EXPECT_EQ(profile(AppId::Gauss).cacheBytes, 64u * 1024);
+    EXPECT_EQ(profile(AppId::Fullconn).cacheBytes, 64u * 1024);
+}
+
+TEST(Suite, NamesRoundTrip)
+{
+    for (AppId app : allApps())
+        EXPECT_EQ(appByName(appName(app)), app);
+    EXPECT_THROW(appByName("NotAnApp"), util::FatalError);
+}
+
+TEST(Suite, ScaledCacheFloorsAt4KB)
+{
+    EXPECT_EQ(scaledCacheBytes(AppId::Water, 1), 32u * 1024);
+    EXPECT_EQ(scaledCacheBytes(AppId::Water, 4), 8u * 1024);
+    EXPECT_EQ(scaledCacheBytes(AppId::Water, 64), 4u * 1024);
+}
+
+TEST(Suite, TracesAreMemoized)
+{
+    auto a = appTraces(AppId::FFT, 64);
+    auto b = appTraces(AppId::FFT, 64);
+    EXPECT_EQ(a.get(), b.get());
+}
+
+// -------------------------------------------- per-app profile validation
+
+class SuiteValidation : public ::testing::TestWithParam<AppId>
+{};
+
+TEST_P(SuiteValidation, GeneratedTracesMatchProfileTargets)
+{
+    AppId app = GetParam();
+    const AppProfile &p = profile(app);
+    const uint32_t scale = 16;
+    auto traces = appTraces(app, scale);
+    auto report = validateTraces(p, *traces, scale);
+    EXPECT_TRUE(report.allOk()) << report.render();
+}
+
+TEST_P(SuiteValidation, AddressesStayInDesignatedRegions)
+{
+    AppId app = GetParam();
+    const uint32_t scale = 16;
+    auto traces = appTraces(app, scale);
+    for (const auto &t : traces->threads()) {
+        uint64_t privLo = AddressSpace::privateBase(t.id());
+        uint64_t privHi = privLo + AddressSpace::privateSpan;
+        for (const auto &e : t.events()) {
+            if (!e.isMemRef())
+                continue;
+            uint64_t a = e.address();
+            bool inShared = AddressSpace::isShared(a);
+            bool inOwnPrivate = a >= privLo && a < privHi;
+            ASSERT_TRUE(inShared || inOwnPrivate)
+                << appName(app) << " thread " << t.id() << " addr "
+                << std::hex << a;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SuiteValidation,
+                         ::testing::ValuesIn(allApps()),
+                         [](const auto &info) {
+                             std::string n = appName(info.param);
+                             std::string out;
+                             for (char c : n)
+                                 if (std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     out.push_back(c);
+                             return out;
+                         });
+
+TEST(Generator, DeterministicAcrossCalls)
+{
+    const AppProfile &p = profile(AppId::Water);
+    auto a = generateTraces(p, 32);
+    auto b = generateTraces(p, 32);
+    ASSERT_EQ(a.threadCount(), b.threadCount());
+    for (uint32_t i = 0; i < a.threadCount(); ++i)
+        EXPECT_EQ(a.thread(i), b.thread(i));
+}
+
+TEST(Generator, SharingActuallyExists)
+{
+    // Every app must have at least one pair of threads with shared
+    // references, or the placement study is vacuous.
+    for (AppId app : allApps()) {
+        auto traces = appTraces(app, 16);
+        auto an = analysis::StaticAnalysis::analyze(*traces);
+        EXPECT_GT(an.sharedRefs().total(), 0.0) << appName(app);
+    }
+}
+
+TEST(Generator, ScaleIsValidated)
+{
+    EXPECT_THROW(generateTraces(profile(AppId::Water), 3),
+                 util::FatalError);
+}
+
+TEST(DefaultScale, FallsBackToEight)
+{
+    // (Environment-dependent: only checked when TSP_SCALE is unset.)
+    if (getenv("TSP_SCALE") == nullptr) {
+        EXPECT_EQ(defaultScale(), 8u);
+    }
+}
+
+} // namespace
+} // namespace tsp::workload

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Additional workload tests: the validation module itself, the
+ * false-sharing layout strides, the write-fraction knob, and
+ * barrier-emission behaviour under budget exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/static_analysis.h"
+#include "sim/coherence_probe.h"
+#include "trace/address_space.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+#include "workload/validate.h"
+
+namespace tsp::workload {
+namespace {
+
+AppProfile
+smallProfile()
+{
+    AppProfile p;
+    p.name = "small";
+    p.threads = 6;
+    p.meanLength = 30000;
+    p.sharedRefFrac = 0.5;
+    p.refsPerSharedAddr = 15.0;
+    p.globalFrac = 1.0;
+    p.seed = 77;
+    return p;
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(Validate, PassesOnItsOwnOutput)
+{
+    AppProfile p = smallProfile();
+    auto traces = generateTraces(p, 1);
+    auto report = validateTraces(p, traces, 1);
+    EXPECT_TRUE(report.allOk()) << report.render();
+    EXPECT_EQ(report.app, "small");
+    EXPECT_GE(report.items.size(), 4u);
+}
+
+TEST(Validate, DetectsMismatchedProfile)
+{
+    AppProfile p = smallProfile();
+    auto traces = generateTraces(p, 1);
+    AppProfile wrong = p;
+    wrong.sharedRefFrac = 0.05;  // traces were built at 0.5
+    auto report = validateTraces(wrong, traces, 1);
+    EXPECT_FALSE(report.allOk());
+    std::string text = report.render();
+    EXPECT_NE(text.find("FAIL"), std::string::npos);
+    EXPECT_NE(text.find("shared refs %"), std::string::npos);
+}
+
+TEST(Validate, RenderListsEveryItem)
+{
+    AppProfile p = smallProfile();
+    auto traces = generateTraces(p, 1);
+    auto report = validateTraces(p, traces, 1);
+    std::string text = report.render();
+    for (const auto &item : report.items)
+        EXPECT_NE(text.find(item.metric), std::string::npos);
+}
+
+// --------------------------------------------------------------- layout
+
+TEST(LayoutStrides, AlignedPoolsLandOnBlockBoundaries)
+{
+    AppProfile p = smallProfile();
+    p.globalFrac = 0.4;
+    p.neighborFrac = 0.2;
+    p.mailboxFrac = 0.2;
+    p.sliceFrac = 0.2;
+    p.alignSharedPools = true;
+    auto layout = computeLayout(p, 1);
+    EXPECT_EQ(layout.edgeStride % 8, 0u);
+    EXPECT_EQ(layout.mailboxStride % 8, 0u);
+    EXPECT_EQ(layout.sliceStride % 8, 0u);
+    EXPECT_EQ(layout.edgesBase % 8, 0u);
+    EXPECT_EQ(layout.mailboxBase % 8, 0u);
+    EXPECT_EQ(layout.slicesBase % 8, 0u);
+    EXPECT_GE(layout.edgeStride, layout.edgeWords);
+}
+
+TEST(LayoutStrides, PackedPoolsUseExactSizes)
+{
+    AppProfile p = smallProfile();
+    p.globalFrac = 0.6;
+    p.sliceFrac = 0.4;
+    p.alignSharedPools = false;
+    auto layout = computeLayout(p, 1);
+    EXPECT_EQ(layout.sliceStride, layout.sliceWords);
+}
+
+TEST(LayoutStrides, AlignmentRemovesBoundaryInvalidations)
+{
+    // Slice-heavy profile: neighbors read each other's slices, so
+    // word-packed slice boundaries create false sharing.
+    AppProfile p;
+    p.name = "fs";
+    p.threads = 8;
+    p.meanLength = 40000;
+    p.sharedRefFrac = 0.6;
+    p.refsPerSharedAddr = 12.0;
+    p.globalFrac = 0.3;
+    p.sliceFrac = 0.7;
+    p.phases = 8;
+    p.seed = 123;
+
+    sim::SimConfig cfg;
+    cfg.cacheBytes = 16 * 1024;
+
+    p.alignSharedPools = true;
+    auto aligned = sim::measureCoherenceTraffic(generateTraces(p, 1),
+                                                cfg);
+    p.alignSharedPools = false;
+    auto packed = sim::measureCoherenceTraffic(generateTraces(p, 1),
+                                               cfg);
+    EXPECT_GE(packed.stats.totalInvalidationsSent(),
+              aligned.stats.totalInvalidationsSent());
+}
+
+// ----------------------------------------------------------------- knobs
+
+TEST(Knobs, WrittenFracZeroMakesGlobalPoolReadOnly)
+{
+    AppProfile p = smallProfile();
+    p.globalWriteMode = GlobalWriteMode::Migratory;
+    p.globalWrittenFrac = 0.0;
+    auto traces = generateTraces(p, 1);
+    for (const auto &t : traces.threads()) {
+        for (const auto &e : t.events()) {
+            if (e.isMemRef() && e.isStore()) {
+                // Only private stores may exist.
+                EXPECT_FALSE(trace::AddressSpace::isShared(e.address()))
+                    << "shared store at " << std::hex << e.address();
+            }
+        }
+    }
+}
+
+TEST(Knobs, HigherWrittenFracRaisesCoherenceTraffic)
+{
+    AppProfile p = smallProfile();
+    p.globalWriteMode = GlobalWriteMode::Migratory;
+    sim::SimConfig cfg;
+    cfg.cacheBytes = 16 * 1024;
+
+    p.globalWrittenFrac = 0.05;
+    auto low = sim::measureCoherenceTraffic(generateTraces(p, 1), cfg);
+    p.globalWrittenFrac = 0.8;
+    auto high = sim::measureCoherenceTraffic(generateTraces(p, 1), cfg);
+    EXPECT_GT(high.stats.totalInvalidationsSent(),
+              low.stats.totalInvalidationsSent());
+}
+
+TEST(Knobs, OwnerWritesNeverCollideWithinAPhase)
+{
+    // With OwnerWrites, two threads never write the same address:
+    // every shared address has at most one writing thread overall.
+    AppProfile p = smallProfile();
+    p.threads = 8;
+    p.globalWriteMode = GlobalWriteMode::OwnerWrites;
+    auto traces = generateTraces(p, 1);
+    auto an = analysis::StaticAnalysis::analyze(traces);
+
+    std::map<uint64_t, std::set<uint32_t>> writersPerAddr;
+    for (const auto &t : traces.threads()) {
+        for (const auto &e : t.events()) {
+            if (e.isMemRef() && e.isStore() &&
+                trace::AddressSpace::isShared(e.address())) {
+                writersPerAddr[e.address()].insert(t.id());
+            }
+        }
+    }
+    for (const auto &[addr, writers] : writersPerAddr) {
+        EXPECT_EQ(writers.size(), 1u)
+            << "address " << std::hex << addr << " written by "
+            << writers.size() << " threads";
+    }
+    EXPECT_GT(an.sharedRefs().total(), 0.0);
+}
+
+TEST(Knobs, BarrierCountUniformEvenWhenBudgetsDiffer)
+{
+    AppProfile p = smallProfile();
+    p.lengthDevPct = 150.0;  // extreme skew: some budgets exhaust
+    p.barriers = true;
+    p.phases = 6;
+    auto traces = generateTraces(p, 1);
+    for (const auto &t : traces.threads())
+        EXPECT_EQ(t.barrierCount(), 5u);
+}
+
+} // namespace
+} // namespace tsp::workload

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * tsp_run — one-shot experiment CLI: place one suite application with
+ * one algorithm on one machine configuration and print the full
+ * statistics.
+ *
+ *   tsp_run <app> <algorithm> <processors> [options]
+ *
+ * options:
+ *   --contexts N     hardware contexts/processor (default: fit all)
+ *   --cache BYTES    cache size (default: the app's paper cache,
+ *                    scaled)
+ *   --assoc N        associativity (default 1, direct-mapped)
+ *   --latency N      memory latency cycles (default 50)
+ *   --switch N       context switch cycles (default 6)
+ *   --scale N        workload scale divisor (default TSP_SCALE or 8)
+ *   --infinite       use the 8 MB "infinite" cache
+ *   --profile        collect the write-run sharing profile
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiment/lab.h"
+#include "sim/machine.h"
+#include "util/bits.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "workload/suite.h"
+
+namespace {
+
+using namespace tsp;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: tsp_run <app> <algorithm> <processors> [options]\n"
+        "  --contexts N  --cache BYTES  --assoc N  --latency N\n"
+        "  --switch N    --scale N      --infinite --profile\n"
+        "algorithms: ");
+    for (placement::Algorithm alg : placement::allAlgorithms())
+        std::fprintf(stderr, "%s ",
+                     placement::algorithmName(alg).c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    try {
+        workload::AppId app = workload::appByName(argv[1]);
+        auto alg = placement::algorithmFromName(argv[2]);
+        if (!alg) {
+            std::fprintf(stderr, "unknown algorithm: %s\n", argv[2]);
+            return usage();
+        }
+        uint32_t procs = static_cast<uint32_t>(
+            std::strtoul(argv[3], nullptr, 10));
+
+        uint32_t contexts = 0, assoc = 1, latency = 50, switchCy = 6;
+        uint64_t cacheBytes = 0;
+        uint32_t scale = workload::defaultScale();
+        bool infinite = false, profile = false;
+        for (int i = 4; i < argc; ++i) {
+            auto next = [&](const char *flag) -> const char * {
+                util::fatalIf(i + 1 >= argc,
+                              std::string(flag) + " needs a value");
+                return argv[++i];
+            };
+            if (!std::strcmp(argv[i], "--contexts"))
+                contexts = static_cast<uint32_t>(
+                    std::strtoul(next("--contexts"), nullptr, 10));
+            else if (!std::strcmp(argv[i], "--cache"))
+                cacheBytes = std::strtoull(next("--cache"), nullptr,
+                                           10);
+            else if (!std::strcmp(argv[i], "--assoc"))
+                assoc = static_cast<uint32_t>(
+                    std::strtoul(next("--assoc"), nullptr, 10));
+            else if (!std::strcmp(argv[i], "--latency"))
+                latency = static_cast<uint32_t>(
+                    std::strtoul(next("--latency"), nullptr, 10));
+            else if (!std::strcmp(argv[i], "--switch"))
+                switchCy = static_cast<uint32_t>(
+                    std::strtoul(next("--switch"), nullptr, 10));
+            else if (!std::strcmp(argv[i], "--scale"))
+                scale = static_cast<uint32_t>(
+                    std::strtoul(next("--scale"), nullptr, 10));
+            else if (!std::strcmp(argv[i], "--infinite"))
+                infinite = true;
+            else if (!std::strcmp(argv[i], "--profile"))
+                profile = true;
+            else
+                return usage();
+        }
+
+        experiment::Lab lab(scale);
+        const auto &an = lab.analysis(app);
+        if (contexts == 0) {
+            contexts = static_cast<uint32_t>(
+                util::divCeil(an.threadCount(), procs));
+        }
+
+        sim::SimConfig cfg =
+            lab.configFor(app, {procs, contexts}, infinite);
+        if (cacheBytes)
+            cfg.cacheBytes = cacheBytes;
+        cfg.associativity = assoc;
+        cfg.memoryLatency = latency;
+        cfg.contextSwitchCycles = switchCy;
+        cfg.profileSharing = profile;
+        cfg.validate();
+
+        auto placement = lab.placementFor(app, *alg, procs);
+        auto stats = sim::simulate(cfg, lab.traces(app), placement);
+
+        std::printf("%s | %s | %s\n", workload::appName(app).c_str(),
+                    placement::algorithmName(*alg).c_str(),
+                    cfg.describe().c_str());
+        std::printf("placement: %s\n", placement.describe().c_str());
+        std::printf("load imbalance: %s\n\n",
+                    util::fmtFixed(placement.loadImbalance(
+                                       an.threadLength()),
+                                   3)
+                        .c_str());
+
+        util::TextTable table;
+        table.setHeader({"metric", "value"});
+        auto add = [&](const std::string &k, uint64_t v) {
+            table.addRow({k, util::fmtThousands(
+                                 static_cast<int64_t>(v))});
+        };
+        add("execution time (cycles)", stats.executionTime());
+        add("instructions", stats.totalInstructions());
+        add("data references", stats.totalMemRefs());
+        add("hits", stats.totalHits());
+        add("compulsory misses",
+            stats.totalMissCount(sim::MissKind::Compulsory));
+        add("intra-thread conflicts",
+            stats.totalMissCount(sim::MissKind::IntraConflict));
+        add("inter-thread conflicts",
+            stats.totalMissCount(sim::MissKind::InterConflict));
+        add("invalidation misses",
+            stats.totalMissCount(sim::MissKind::Invalidation));
+        add("upgrades", stats.totalUpgrades());
+        add("invalidations sent", stats.totalInvalidationsSent());
+        add("sharing compulsory", stats.sharingCompulsoryMisses);
+        table.addRow({"miss rate",
+                      util::fmtPercent(stats.missRate())});
+        table.print();
+
+        if (stats.profiledSharing) {
+            const auto &p = stats.sharingProfile;
+            std::printf("\nsharing profile: %llu shared blocks "
+                        "(read-only %s, migratory %s), mean write run "
+                        "%s\n",
+                        static_cast<unsigned long long>(
+                            p.sharedBlocks),
+                        util::fmtPercent(p.readOnlyFraction(), 1)
+                            .c_str(),
+                        util::fmtPercent(p.migratoryFraction(), 1)
+                            .c_str(),
+                        util::fmtFixed(p.writeRunLength.mean(), 1)
+                            .c_str());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
