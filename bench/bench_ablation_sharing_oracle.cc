@@ -6,79 +6,119 @@
  * execution time over LOAD-BAL, because the misses it can remove are
  * a negligible share of the reference stream.
  *
- * Runs on the 8-thread applications (the oracle is exponential).
+ * Runs on the 8-thread applications (the oracle is exponential); the
+ * (application x processors) cells are independent, so they fan out
+ * over the worker pool and the rows print in deterministic order.
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.h"
 #include "core/optimal.h"
 #include "experiment/lab.h"
+#include "experiment/parallel.h"
 #include "sim/machine.h"
 #include "util/format.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workload/suite.h"
+
+namespace {
+
+using namespace tsp;
+using placement::Algorithm;
+
+struct OracleCell
+{
+    workload::AppId app{};
+    uint32_t procs = 0;
+    double greedyCapture = 0.0;
+    double oracleCapture = 0.0;
+    double totalSharing = 0.0;
+    uint64_t oracleExec = 0;
+    uint64_t greedyExec = 0;
+    uint64_t loadBalExec = 0;
+};
+
+} // namespace
 
 int
 main()
 {
-    using namespace tsp;
-    using placement::Algorithm;
     const uint32_t scale = workload::defaultScale();
     experiment::Lab lab(scale);
+    const unsigned jobs = util::ThreadPool::defaultJobs();
 
     std::printf("Ablation: exhaustively optimal sharing capture vs. "
-                "LOAD-BAL (scale 1/%u)\n\n",
-                scale);
+                "LOAD-BAL (scale 1/%u, %u jobs)\n\n",
+                scale, jobs);
+
+    const std::vector<workload::AppId> apps = {
+        workload::AppId::Water, workload::AppId::MP3D,
+        workload::AppId::BarnesHut, workload::AppId::Cholesky};
+    experiment::ParallelRunner runner(lab, jobs);
+    runner.warmup(apps);
+
+    std::vector<OracleCell> cells;
+    for (workload::AppId app : apps) {
+        if (lab.analysis(app).threadCount() >
+            placement::maxOracleThreads)
+            continue;
+        for (uint32_t procs : {2u, 4u})
+            cells.push_back({app, procs, 0, 0, 0, 0, 0, 0});
+    }
+
+    bench::WallTimer timer;
+    util::ThreadPool pool(jobs > 1 ? jobs - 1 : 0);
+    pool.parallelFor(cells.size(), [&](size_t i) {
+        OracleCell &cell = cells[i];
+        const auto &an = lab.analysis(cell.app);
+        cell.totalSharing = an.sharedRefs().total();
+
+        auto oracle = placement::optimalSharingCapture(
+            an.sharedRefs(), cell.procs);
+        auto greedy = lab.placementFor(cell.app, Algorithm::ShareRefs,
+                                       cell.procs);
+        for (const auto &cluster : greedy.clusters())
+            cell.greedyCapture += an.sharedRefs().withinSum(cluster);
+        cell.oracleCapture = oracle.value;
+
+        experiment::MachinePoint point{
+            cell.procs,
+            static_cast<uint32_t>(
+                (an.threadCount() + cell.procs - 1) / cell.procs)};
+        sim::SimConfig cfg = lab.configFor(cell.app, point);
+        cell.oracleExec =
+            sim::simulate(cfg, lab.traces(cell.app), oracle.map)
+                .executionTime();
+        cell.greedyExec =
+            sim::simulate(cfg, lab.traces(cell.app), greedy)
+                .executionTime();
+        cell.loadBalExec =
+            lab.run(cell.app, Algorithm::LoadBal, point).executionTime;
+    });
+    bench::printWallClock("oracle ablation cells", timer, jobs);
 
     util::TextTable table;
     table.setHeader({"application", "procs", "greedy capture %",
                      "oracle capture %", "oracle exec / LOAD-BAL",
                      "greedy exec / LOAD-BAL"});
-    for (workload::AppId app :
-         {workload::AppId::Water, workload::AppId::MP3D,
-          workload::AppId::BarnesHut, workload::AppId::Cholesky}) {
-        const auto &an = lab.analysis(app);
-        if (an.threadCount() > placement::maxOracleThreads)
-            continue;
-        double totalSharing = an.sharedRefs().total();
-
-        for (uint32_t procs : {2u, 4u}) {
-            auto oracle =
-                placement::optimalSharingCapture(an.sharedRefs(),
-                                                 procs);
-            auto greedy = lab.placementFor(app, Algorithm::ShareRefs,
-                                           procs);
-            double greedyCapture = 0.0;
-            for (const auto &cluster : greedy.clusters())
-                greedyCapture += an.sharedRefs().withinSum(cluster);
-
-            experiment::MachinePoint point{
-                procs,
-                static_cast<uint32_t>(
-                    (an.threadCount() + procs - 1) / procs)};
-            sim::SimConfig cfg = lab.configFor(app, point);
-            uint64_t oracleExec =
-                sim::simulate(cfg, lab.traces(app), oracle.map)
-                    .executionTime();
-            uint64_t greedyExec =
-                sim::simulate(cfg, lab.traces(app), greedy)
-                    .executionTime();
-            uint64_t loadBalExec =
-                lab.run(app, Algorithm::LoadBal, point).executionTime;
-
-            table.addRow({
-                workload::appName(app),
-                std::to_string(procs),
-                util::fmtPercent(greedyCapture / totalSharing, 1),
-                util::fmtPercent(oracle.value / totalSharing, 1),
-                util::fmtFixed(static_cast<double>(oracleExec) /
-                                   static_cast<double>(loadBalExec),
-                               3),
-                util::fmtFixed(static_cast<double>(greedyExec) /
-                                   static_cast<double>(loadBalExec),
-                               3),
-            });
-        }
+    for (const OracleCell &cell : cells) {
+        table.addRow({
+            workload::appName(cell.app),
+            std::to_string(cell.procs),
+            util::fmtPercent(cell.greedyCapture / cell.totalSharing,
+                             1),
+            util::fmtPercent(cell.oracleCapture / cell.totalSharing,
+                             1),
+            util::fmtFixed(static_cast<double>(cell.oracleExec) /
+                               static_cast<double>(cell.loadBalExec),
+                           3),
+            util::fmtFixed(static_cast<double>(cell.greedyExec) /
+                               static_cast<double>(cell.loadBalExec),
+                           3),
+        });
     }
     table.print();
     std::printf("\nexpected: the greedy engine captures nearly all the "

@@ -1,12 +1,15 @@
 /**
  * @file
  * Shared helpers for the paper-reproduction bench binaries: the
- * execution-time figure renderer (Figures 2-4) and scale banner.
+ * execution-time figure renderer (Figures 2-4), the scale/jobs
+ * banner, and wall-clock timing lines (so the parallel experiment
+ * engine's speedup is visible in BENCH_* output).
  */
 
 #ifndef TSP_BENCH_BENCH_COMMON_H
 #define TSP_BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -18,11 +21,42 @@
 #include "experiment/studies.h"
 #include "util/format.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workload/suite.h"
 
 namespace tsp::bench {
 
-/** Print the standard banner: workload scale and app configuration. */
+/** Monotonic stopwatch for the bench timing lines. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds since construction (or the last reset()). */
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Print the standard wall-clock line: `[wall] <what>: N ms (jobs=J)`. */
+inline void
+printWallClock(const std::string &what, const WallTimer &timer,
+               unsigned jobs = util::ThreadPool::defaultJobs())
+{
+    std::printf("[wall] %s: %.1f ms (jobs=%u)\n", what.c_str(),
+                timer.elapsedMs(), jobs);
+}
+
+/** Print the standard banner: workload scale, app config, pool width. */
 inline void
 banner(const std::string &what, experiment::Lab &lab,
        workload::AppId app)
@@ -30,7 +64,7 @@ banner(const std::string &what, experiment::Lab &lab,
     const auto &p = workload::profile(app);
     std::printf("%s\n", what.c_str());
     std::printf("workload: %s (%u threads, mean length %s, scale 1/%u,"
-                " cache %s)\n\n",
+                " cache %s)\n",
                 p.name.c_str(), p.threads,
                 util::fmtCompact(static_cast<double>(p.meanLength))
                     .c_str(),
@@ -38,22 +72,27 @@ banner(const std::string &what, experiment::Lab &lab,
                 util::fmtBytes(workload::scaledCacheBytes(
                                    app, lab.scale()))
                     .c_str());
+    std::printf("parallel: %u jobs (TSP_JOBS overrides; results are "
+                "identical at any width)\n\n",
+                util::ThreadPool::defaultJobs());
 }
 
 /**
  * Render an execution-time figure (the layout of Figures 2-4): one
  * row per placement algorithm, one column per (processors, contexts)
  * machine point, each cell the execution time normalized to RANDOM at
- * that point. When TSP_OUT names a directory, also writes
- * <csvName>.csv there.
+ * that point. Prints the sweep's wall-clock line. When TSP_OUT names
+ * a directory, also writes <csvName>.csv there.
  */
 inline void
 printExecTimeFigure(const std::string &title, experiment::Lab &lab,
                     workload::AppId app,
                     const std::string &csvName = "")
 {
+    WallTimer timer;
     auto points = experiment::execTimeStudy(
         lab, app, placement::figureAlgorithms());
+    printWallClock(title + " sweep", timer);
 
     if (!csvName.empty()) {
         if (auto dir = experiment::outputDirectory()) {

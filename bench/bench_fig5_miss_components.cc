@@ -34,7 +34,9 @@ main()
         Algorithm::MinInvs,  Algorithm::MaxWrites,
         Algorithm::MinShare, Algorithm::LoadBal,
     };
+    bench::WallTimer timer;
     auto rows = experiment::missComponentStudy(lab, app, algs);
+    bench::printWallClock("Figure 5 sweep", timer);
 
     util::TextTable table("Figure 5 (miss counts; comp+inval is the "
                           "component sharing-based placement targets)");

@@ -1,18 +1,29 @@
 /**
  * @file
  * Micro-benchmarks of the event-driven simulator: references per
- * second across processor counts, context counts and cache sizes.
+ * second across processor counts, context counts and cache sizes,
+ * plus the parallel experiment engine's scaling curve (speedup and
+ * efficiency of the same sweep at jobs in {1, 2, 4, N}).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "core/load_balance.h"
 #include "core/random_placement.h"
+#include "experiment/parallel.h"
+#include "experiment/studies.h"
 #include "sim/machine.h"
 #include "trace/address_space.h"
+#include "util/format.h"
 #include "util/rng.h"
 #include "workload/app_profile.h"
 #include "workload/generator.h"
+#include "workload/suite.h"
 
 namespace {
 
@@ -99,5 +110,65 @@ BM_LoadBalancedSimulation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_LoadBalancedSimulation);
+
+/**
+ * Scaling curve of the parallel experiment engine: one full
+ * execution-time sweep (Figures 2-4 shape) at a fixed workload,
+ * fanned over jobs worker threads. The label reports speedup over
+ * the jobs=1 baseline and parallel efficiency (speedup / jobs);
+ * results are bit-identical at every width, so only wall-clock moves.
+ */
+void
+BM_ParallelSweepJobs(benchmark::State &state)
+{
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    // Warm the Lab's caches outside the timed region so every width
+    // measures pure fan-out over identical read-only inputs.
+    experiment::Lab lab(workload::defaultScale());
+    lab.warmup(workload::AppId::Water);
+
+    uint64_t sims = 0;
+    auto wallStart = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+        auto points = experiment::execTimeStudy(
+            lab, workload::AppId::Water,
+            placement::figureAlgorithms(), jobs);
+        sims += points.size();
+        benchmark::DoNotOptimize(points.data());
+    }
+    double wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wallStart)
+                        .count();
+    double msPerSweep =
+        state.iterations() ? wallMs / state.iterations() : 0.0;
+
+    // Speedup/efficiency vs. the jobs=1 run (registered first, so the
+    // baseline is always populated by the time wider runs report).
+    static double baselineMsPerSweep = 0.0;
+    if (jobs == 1 && msPerSweep > 0.0)
+        baselineMsPerSweep = msPerSweep;
+    double speedup = (baselineMsPerSweep > 0.0 && msPerSweep > 0.0)
+        ? baselineMsPerSweep / msPerSweep
+        : 1.0;
+
+    state.SetItemsProcessed(static_cast<int64_t>(sims));
+    state.counters["jobs"] = jobs;
+    state.counters["speedup"] = speedup;
+    state.counters["efficiency"] = speedup / jobs;
+    state.SetLabel("speedup " + util::fmtFixed(speedup, 2) + "x, " +
+                   util::fmtPercent(speedup / jobs, 0) +
+                   " efficient");
+}
+BENCHMARK(BM_ParallelSweepJobs)
+    ->Apply([](benchmark::internal::Benchmark *b) {
+        std::vector<int> widths{1, 2, 4};
+        int hw = static_cast<int>(std::thread::hardware_concurrency());
+        if (hw > 0 &&
+            std::find(widths.begin(), widths.end(), hw) == widths.end())
+            widths.push_back(hw);
+        for (int w : widths)
+            b->Arg(w);
+        b->UseRealTime()->Unit(benchmark::kMillisecond);
+    });
 
 } // namespace

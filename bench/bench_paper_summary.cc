@@ -21,11 +21,14 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_common.h"
 #include "experiment/lab.h"
+#include "experiment/parallel.h"
 #include "experiment/studies.h"
 #include "sim/results.h"
 #include "util/format.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workload/suite.h"
 
 namespace {
@@ -47,8 +50,16 @@ int
 main()
 {
     const uint32_t scale = workload::defaultScale();
+    const unsigned jobs = tsp::util::ThreadPool::defaultJobs();
     experiment::Lab lab(scale);
     std::vector<Claim> claims;
+
+    // Materialize every app's traces/analysis/probe across the pool
+    // up front; each claim below then fans its runs out as well.
+    bench::WallTimer total;
+    experiment::ParallelRunner(lab, jobs)
+        .warmup(workload::allApps(), /*coherence=*/true);
+    bench::printWallClock("warmup (14 apps)", total, jobs);
 
     // ---- 1 & 2: execution-time ordering on FFT -----------------------
     {
@@ -119,8 +130,8 @@ main()
     {
         double worstRatio = 1e18, worstPct = 0.0;
         std::string worstApp;
-        for (AppId app : workload::allApps()) {
-            auto row = experiment::table4Row(lab, app);
+        for (const auto &row :
+             experiment::table4Study(lab, workload::allApps(), jobs)) {
             if (row.staticOverDynamic < worstRatio) {
                 worstRatio = row.staticOverDynamic;
                 worstApp = row.app;
@@ -161,7 +172,9 @@ main()
     }
 
     // ---- report -------------------------------------------------------
-    std::printf("Reproduction checklist (scale 1/%u)\n\n", scale);
+    bench::printWallClock("all claims", total, jobs);
+    std::printf("Reproduction checklist (scale 1/%u, %u jobs)\n\n",
+                scale, jobs);
     util::TextTable table;
     table.setHeader({"claim", "measured", "status"});
     bool allPass = true;

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "experiment/lab.h"
 #include "experiment/report.h"
 #include "experiment/studies.h"
@@ -28,8 +29,9 @@ main()
     experiment::Lab lab(scale);
 
     std::printf("Table 5: Execution times normalized to LOAD-BAL with "
-                "an 8 MB cache (no conflict misses), scale 1/%u\n\n",
-                scale);
+                "an 8 MB cache (no conflict misses), scale 1/%u, "
+                "%u jobs\n\n",
+                scale, util::ThreadPool::defaultJobs());
 
     // The paper's six apps: three coarse, three medium, chosen for
     // least-uniform sharing.
@@ -43,6 +45,7 @@ main()
                      "best static sharing alg", "best static / LOAD-BAL",
                      "coherence traffic / LOAD-BAL"});
     std::vector<experiment::Table5Cell> allCells;
+    bench::WallTimer total;
     for (AppId app : apps) {
         auto cells = experiment::table5Study(lab, app);
         allCells.insert(allCells.end(), cells.begin(), cells.end());
@@ -57,6 +60,7 @@ main()
         }
         table.addSeparator();
     }
+    bench::printWallClock("Table 5 study (6 apps)", total);
     table.print();
     if (auto dir = experiment::outputDirectory()) {
         std::string path = *dir + "/table5_infinite_cache.csv";

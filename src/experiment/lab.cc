@@ -13,25 +13,28 @@ Lab::Lab(uint32_t scale) : scale_(scale) {}
 const trace::TraceSet &
 Lab::traces(AppId app)
 {
-    auto it = traces_.find(app);
-    if (it == traces_.end()) {
-        it = traces_
-                 .emplace(app, workload::appTraces(app, scale_))
-                 .first;
-    }
-    return *it->second;
+    auto &entry = memoEntry(traces_, app);
+    std::call_once(entry.once, [&] {
+        entry.value = workload::appTraces(app, scale_);
+    });
+    return *entry.value;
 }
 
 const analysis::StaticAnalysis &
 Lab::analysis(AppId app)
 {
-    auto it = analyses_.find(app);
-    if (it == analyses_.end()) {
-        auto result = std::make_unique<analysis::StaticAnalysis>(
+    auto &entry = memoEntry(analyses_, app);
+    std::call_once(entry.once, [&] {
+        entry.value = std::make_unique<analysis::StaticAnalysis>(
             analysis::StaticAnalysis::analyze(traces(app)));
-        it = analyses_.emplace(app, std::move(result)).first;
-    }
-    return *it->second;
+    });
+    return *entry.value;
+}
+
+const std::vector<uint64_t> &
+Lab::threadLength(AppId app)
+{
+    return analysis(app).threadLength();
 }
 
 const stats::PairMatrix &
@@ -43,15 +46,22 @@ Lab::coherenceMatrix(AppId app)
 const sim::SimStats &
 Lab::coherenceStats(AppId app)
 {
-    auto it = probes_.find(app);
-    if (it == probes_.end()) {
+    auto &entry = memoEntry(probes_, app);
+    std::call_once(entry.once, [&] {
         sim::SimConfig base;
         base.cacheBytes = workload::scaledCacheBytes(app, scale_);
-        auto probe = std::make_unique<sim::CoherenceProbeResult>(
+        entry.value = std::make_unique<sim::CoherenceProbeResult>(
             sim::measureCoherenceTraffic(traces(app), base));
-        it = probes_.emplace(app, std::move(probe)).first;
-    }
-    return it->second->stats;
+    });
+    return entry.value->stats;
+}
+
+void
+Lab::warmup(AppId app, bool coherence)
+{
+    analysis(app);  // materializes traces(app) first
+    if (coherence)
+        coherenceStats(app);
 }
 
 sim::SimConfig
@@ -69,9 +79,9 @@ Lab::configFor(AppId app, const MachinePoint &point,
 }
 
 placement::PlacementMap
-Lab::placementFor(AppId app, Algorithm alg, uint32_t processors)
+Lab::placementWith(const analysis::StaticAnalysis &an, AppId app,
+                   Algorithm alg, uint32_t processors)
 {
-    const auto &an = analysis(app);
     // Deterministic seed per (app, algorithm, processors).
     uint64_t seed = 0x51ed2701u;
     seed = seed * 1099511628211ull + static_cast<uint64_t>(app);
@@ -85,17 +95,26 @@ Lab::placementFor(AppId app, Algorithm alg, uint32_t processors)
     return placement::place(alg, an, processors, rng, coherence);
 }
 
+placement::PlacementMap
+Lab::placementFor(AppId app, Algorithm alg, uint32_t processors)
+{
+    return placementWith(analysis(app), app, alg, processors);
+}
+
 RunResult
 Lab::run(AppId app, Algorithm alg, const MachinePoint &point,
          bool infiniteCache)
 {
+    // One analysis lookup serves the placement, the load-imbalance
+    // figure and the thread lengths for the whole run.
+    const analysis::StaticAnalysis &an = analysis(app);
     RunResult result;
-    result.placement = placementFor(app, alg, point.processors);
+    result.placement = placementWith(an, app, alg, point.processors);
     sim::SimConfig cfg = configFor(app, point, infiniteCache);
     result.stats = sim::simulate(cfg, traces(app), result.placement);
     result.executionTime = result.stats.executionTime();
     result.loadImbalance =
-        result.placement.loadImbalance(analysis(app).threadLength());
+        result.placement.loadImbalance(an.threadLength());
     return result;
 }
 

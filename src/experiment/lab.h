@@ -10,6 +10,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 
 #include "analysis/static_analysis.h"
 #include "core/algorithms.h"
@@ -38,6 +40,15 @@ struct RunResult
  * A Lab binds a workload scale and caches everything derivable from
  * it. All results are deterministic: the RANDOM placement's seed is a
  * hash of (application, algorithm, processors).
+ *
+ * Thread-safety contract: every public method may be called from any
+ * number of threads concurrently. The lazy caches use per-key
+ * once-initialization — the first caller of traces()/analysis()/
+ * coherenceStats() for an application materializes the artifact while
+ * concurrent callers for the *same* application block on it and then
+ * share the one cached instance; callers for *different* applications
+ * proceed in parallel. Returned references stay valid for the Lab's
+ * lifetime (entries are never evicted).
  */
 class Lab
 {
@@ -55,6 +66,13 @@ class Lab
     const analysis::StaticAnalysis &analysis(workload::AppId app);
 
     /**
+     * Per-thread dynamic instruction lengths of @p app — the cached
+     * vector inside analysis(app); exposed so hot loops do not repeat
+     * the analysis lookup per run.
+     */
+    const std::vector<uint64_t> &threadLength(workload::AppId app);
+
+    /**
      * Thread-pair coherence traffic of @p app, measured with one
      * thread per processor (memoized; Section 4.2).
      */
@@ -62,6 +80,15 @@ class Lab
 
     /** Full statistics of the coherence measurement run (memoized). */
     const sim::SimStats &coherenceStats(workload::AppId app);
+
+    /**
+     * Pre-materialize the cached artifacts of @p app (traces and
+     * analysis; the coherence probe too when @p coherence). Purely an
+     * optimization — the lazy path computes the same values — used by
+     * ParallelRunner to overlap per-app materialization across a pool
+     * before a fan-out.
+     */
+    void warmup(workload::AppId app, bool coherence = false);
 
     /** Architectural configuration for @p app at @p point. */
     sim::SimConfig configFor(workload::AppId app,
@@ -79,13 +106,48 @@ class Lab
                   bool infiniteCache = false);
 
   private:
+    /**
+     * One lazily-initialized cache slot. The map node (and so the
+     * slot) is created under memoMutex_; the value is produced exactly
+     * once via the flag, outside the map lock, so different
+     * applications materialize concurrently.
+     */
+    template <typename T>
+    struct Memo
+    {
+        std::once_flag once;
+        T value{};
+    };
+
+    /** Find-or-create the slot of @p app in @p map (locked). */
+    template <typename T>
+    Memo<T> &
+    memoEntry(std::map<workload::AppId, Memo<T>> &map,
+              workload::AppId app)
+    {
+        {
+            std::shared_lock<std::shared_mutex> lock(memoMutex_);
+            auto it = map.find(app);
+            if (it != map.end())
+                return it->second;
+        }
+        std::unique_lock<std::shared_mutex> lock(memoMutex_);
+        return map[app];  // std::map nodes are reference-stable
+    }
+
+    /** placementFor with the analysis lookup already done. */
+    placement::PlacementMap placementWith(
+        const analysis::StaticAnalysis &an, workload::AppId app,
+        placement::Algorithm alg, uint32_t processors);
+
     uint32_t scale_;
+    std::shared_mutex memoMutex_;
     std::map<workload::AppId,
-             std::shared_ptr<const trace::TraceSet>> traces_;
+             Memo<std::shared_ptr<const trace::TraceSet>>> traces_;
     std::map<workload::AppId,
-             std::unique_ptr<analysis::StaticAnalysis>> analyses_;
+             Memo<std::unique_ptr<analysis::StaticAnalysis>>> analyses_;
     std::map<workload::AppId,
-             std::unique_ptr<sim::CoherenceProbeResult>> probes_;
+             Memo<std::unique_ptr<sim::CoherenceProbeResult>>> probes_;
 };
 
 } // namespace tsp::experiment

@@ -1,0 +1,67 @@
+#include "experiment/parallel.h"
+
+#include <map>
+#include <tuple>
+
+namespace tsp::experiment {
+
+namespace {
+
+/** Orderable identity of a job, for deduplication. */
+std::tuple<int, int, uint32_t, uint32_t, bool>
+jobKey(const RunJob &job)
+{
+    return {static_cast<int>(job.app), static_cast<int>(job.alg),
+            job.point.processors, job.point.contexts,
+            job.infiniteCache};
+}
+
+} // namespace
+
+ParallelRunner::ParallelRunner(Lab &lab, unsigned jobs)
+    : lab_(lab), jobs_(jobs > 0 ? jobs : 1)
+{}
+
+std::vector<RunResult>
+ParallelRunner::runAll(const std::vector<RunJob> &jobs)
+{
+    // Deduplicate: unique jobs simulate once, duplicates copy.
+    std::vector<size_t> uniqueOf(jobs.size());
+    std::vector<size_t> uniqueJobs;
+    std::map<std::tuple<int, int, uint32_t, uint32_t, bool>, size_t>
+        firstSeen;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        auto [it, inserted] =
+            firstSeen.try_emplace(jobKey(jobs[i]), uniqueJobs.size());
+        if (inserted)
+            uniqueJobs.push_back(i);
+        uniqueOf[i] = it->second;
+    }
+
+    std::vector<RunResult> unique(uniqueJobs.size());
+    // jobs_ == 1 runs inline (ThreadPool(0)); wider pools keep the
+    // calling thread as one of the workers via parallelFor.
+    util::ThreadPool pool(jobs_ > 1 ? jobs_ - 1 : 0);
+    pool.parallelFor(uniqueJobs.size(), [&](size_t u) {
+        const RunJob &job = jobs[uniqueJobs[u]];
+        unique[u] =
+            lab_.run(job.app, job.alg, job.point, job.infiniteCache);
+    });
+
+    std::vector<RunResult> out(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        out[i] = unique[uniqueOf[i]];
+    return out;
+}
+
+void
+ParallelRunner::warmup(const std::vector<workload::AppId> &apps,
+                       bool coherence)
+{
+    util::ThreadPool pool(jobs_ > 1 ? jobs_ - 1 : 0);
+    pool.parallelFor(apps.size(), [&](size_t i) {
+        lab_.warmup(apps[i], coherence);
+    });
+}
+
+} // namespace tsp::experiment

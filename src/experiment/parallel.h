@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The parallel experiment engine: fans the cross-product of
+ * (application x placement algorithm x machine point) simulation jobs
+ * across a util::ThreadPool and reassembles the results in
+ * deterministic input order.
+ *
+ * Determinism guarantee: every job is independent (Lab seeds each run
+ * from (app, algorithm, processors) alone, and the shared caches are
+ * read-only once materialized), so results are bit-identical to the
+ * serial path for any pool width — ordering is the only hazard, and
+ * runAll() removes it by indexing results by input position.
+ */
+
+#ifndef TSP_EXPERIMENT_PARALLEL_H
+#define TSP_EXPERIMENT_PARALLEL_H
+
+#include <vector>
+
+#include "experiment/lab.h"
+#include "util/thread_pool.h"
+
+namespace tsp::experiment {
+
+/** One simulation job of a fan-out. */
+struct RunJob
+{
+    workload::AppId app{};
+    placement::Algorithm alg{};
+    MachinePoint point;
+    bool infiniteCache = false;
+};
+
+/**
+ * Fans independent Lab::run jobs over a fixed-width worker pool.
+ * `jobs == 1` (or 0) executes inline on the calling thread — the
+ * serial path — which the determinism tests diff against wide runs.
+ */
+class ParallelRunner
+{
+  public:
+    explicit ParallelRunner(
+        Lab &lab, unsigned jobs = util::ThreadPool::defaultJobs());
+
+    /** Effective pool width (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run every job and return the results in input order. Identical
+     * jobs (same app, algorithm, point, cache mode) are simulated
+     * once and the result is replicated, matching the serial drivers
+     * that reuse baseline runs.
+     */
+    std::vector<RunResult> runAll(const std::vector<RunJob> &jobs);
+
+    /**
+     * Pre-materialize the per-app caches (traces, analysis, and the
+     * coherence probe when @p coherence) for all @p apps, one app per
+     * worker. Concurrent-safe and idempotent.
+     */
+    void warmup(const std::vector<workload::AppId> &apps,
+                bool coherence = false);
+
+  private:
+    Lab &lab_;
+    unsigned jobs_;
+};
+
+} // namespace tsp::experiment
+
+#endif // TSP_EXPERIMENT_PARALLEL_H

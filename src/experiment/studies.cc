@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "experiment/parallel.h"
+#include "sim/results.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -12,27 +14,47 @@ using workload::AppId;
 
 std::vector<ExecTimePoint>
 execTimeStudy(Lab &lab, AppId app,
-              const std::vector<Algorithm> &algs)
+              const std::vector<Algorithm> &algs, unsigned jobs)
 {
-    const uint32_t threads =
-        static_cast<uint32_t>(lab.analysis(app).threadCount());
+    const analysis::StaticAnalysis &an = lab.analysis(app);
+    const auto sweep =
+        standardSweep(static_cast<uint32_t>(an.threadCount()));
+
+    // Job layout: per point, the RANDOM baseline then every non-RANDOM
+    // algorithm (RANDOM rows reuse the baseline, like the serial loop
+    // always did).
+    std::vector<RunJob> fanout;
+    std::vector<size_t> randomIdx(sweep.size());
+    std::vector<std::vector<size_t>> algIdx(sweep.size());
+    for (size_t p = 0; p < sweep.size(); ++p) {
+        randomIdx[p] = fanout.size();
+        fanout.push_back({app, Algorithm::Random, sweep[p], false});
+        algIdx[p].reserve(algs.size());
+        for (Algorithm alg : algs) {
+            if (alg == Algorithm::Random) {
+                algIdx[p].push_back(randomIdx[p]);
+            } else {
+                algIdx[p].push_back(fanout.size());
+                fanout.push_back({app, alg, sweep[p], false});
+            }
+        }
+    }
+
+    auto results = ParallelRunner(lab, jobs).runAll(fanout);
+
     std::vector<ExecTimePoint> out;
-    for (const MachinePoint &point : standardSweep(threads)) {
-        RunResult random = lab.run(app, Algorithm::Random, point);
+    out.reserve(sweep.size() * algs.size());
+    for (size_t p = 0; p < sweep.size(); ++p) {
+        const RunResult &random = results[randomIdx[p]];
         util::fatalIf(random.executionTime == 0,
                       "RANDOM baseline ran for zero cycles");
-        for (Algorithm alg : algs) {
+        for (size_t a = 0; a < algs.size(); ++a) {
+            const RunResult &r = results[algIdx[p][a]];
             ExecTimePoint pt;
-            pt.alg = alg;
-            pt.point = point;
-            if (alg == Algorithm::Random) {
-                pt.cycles = random.executionTime;
-                pt.loadImbalance = random.loadImbalance;
-            } else {
-                RunResult r = lab.run(app, alg, point);
-                pt.cycles = r.executionTime;
-                pt.loadImbalance = r.loadImbalance;
-            }
+            pt.alg = algs[a];
+            pt.point = sweep[p];
+            pt.cycles = r.executionTime;
+            pt.loadImbalance = r.loadImbalance;
             pt.normalizedToRandom =
                 static_cast<double>(pt.cycles) /
                 static_cast<double>(random.executionTime);
@@ -44,28 +66,37 @@ execTimeStudy(Lab &lab, AppId app,
 
 std::vector<MissComponentRow>
 missComponentStudy(Lab &lab, AppId app,
-                   const std::vector<Algorithm> &algs)
+                   const std::vector<Algorithm> &algs, unsigned jobs)
 {
-    const uint32_t threads =
-        static_cast<uint32_t>(lab.analysis(app).threadCount());
+    const analysis::StaticAnalysis &an = lab.analysis(app);
+    const auto sweep =
+        standardSweep(static_cast<uint32_t>(an.threadCount()));
+
+    std::vector<RunJob> fanout;
+    fanout.reserve(sweep.size() * algs.size());
+    for (const MachinePoint &point : sweep)
+        for (Algorithm alg : algs)
+            fanout.push_back({app, alg, point, false});
+
+    auto results = ParallelRunner(lab, jobs).runAll(fanout);
+
     std::vector<MissComponentRow> out;
-    for (const MachinePoint &point : standardSweep(threads)) {
-        for (Algorithm alg : algs) {
-            RunResult r = lab.run(app, alg, point);
-            MissComponentRow row;
-            row.alg = alg;
-            row.point = point;
-            row.compulsory =
-                r.stats.totalMissCount(sim::MissKind::Compulsory);
-            row.intraConflict =
-                r.stats.totalMissCount(sim::MissKind::IntraConflict);
-            row.interConflict =
-                r.stats.totalMissCount(sim::MissKind::InterConflict);
-            row.invalidation =
-                r.stats.totalMissCount(sim::MissKind::Invalidation);
-            row.refs = r.stats.totalMemRefs();
-            out.push_back(row);
-        }
+    out.reserve(fanout.size());
+    for (size_t i = 0; i < fanout.size(); ++i) {
+        const RunResult &r = results[i];
+        MissComponentRow row;
+        row.alg = fanout[i].alg;
+        row.point = fanout[i].point;
+        row.compulsory =
+            r.stats.totalMissCount(sim::MissKind::Compulsory);
+        row.intraConflict =
+            r.stats.totalMissCount(sim::MissKind::IntraConflict);
+        row.interConflict =
+            r.stats.totalMissCount(sim::MissKind::InterConflict);
+        row.invalidation =
+            r.stats.totalMissCount(sim::MissKind::Invalidation);
+        row.refs = r.stats.totalMemRefs();
+        out.push_back(row);
     }
     return out;
 }
@@ -97,39 +128,74 @@ table4Row(Lab &lab, AppId app)
     return row;
 }
 
-std::vector<Table5Cell>
-table5Study(Lab &lab, AppId app)
+std::vector<Table4Row>
+table4Study(Lab &lab, const std::vector<AppId> &apps, unsigned jobs)
 {
-    const uint32_t threads =
-        static_cast<uint32_t>(lab.analysis(app).threadCount());
+    // The row math is trivial; the traces + analysis + coherence
+    // probe behind it are not. Materialize those one app per worker,
+    // then fold the rows serially in input order.
+    ParallelRunner(lab, jobs).warmup(apps, /*coherence=*/true);
+    std::vector<Table4Row> rows;
+    rows.reserve(apps.size());
+    for (AppId app : apps)
+        rows.push_back(table4Row(lab, app));
+    return rows;
+}
+
+std::vector<Table5Cell>
+table5Study(Lab &lab, AppId app, unsigned jobs)
+{
+    const analysis::StaticAnalysis &an = lab.analysis(app);
+    const auto sweep =
+        standardSweep(static_cast<uint32_t>(an.threadCount()));
+    const auto &pool = placement::staticSharingAlgorithmsWithLB();
+
+    std::vector<RunJob> fanout;
+    std::vector<size_t> loadBalIdx(sweep.size());
+    std::vector<size_t> cohIdx(sweep.size());
+    std::vector<std::vector<size_t>> poolIdx(sweep.size());
+    for (size_t p = 0; p < sweep.size(); ++p) {
+        loadBalIdx[p] = fanout.size();
+        fanout.push_back({app, Algorithm::LoadBal, sweep[p], true});
+        poolIdx[p].reserve(pool.size());
+        for (Algorithm alg : pool) {
+            poolIdx[p].push_back(fanout.size());
+            fanout.push_back({app, alg, sweep[p], true});
+        }
+        cohIdx[p] = fanout.size();
+        fanout.push_back(
+            {app, Algorithm::CoherenceTraffic, sweep[p], true});
+    }
+
+    auto results = ParallelRunner(lab, jobs).runAll(fanout);
+
     std::vector<Table5Cell> out;
-    for (const MachinePoint &point : standardSweep(threads)) {
-        RunResult loadBal =
-            lab.run(app, Algorithm::LoadBal, point, true);
+    out.reserve(sweep.size());
+    for (size_t p = 0; p < sweep.size(); ++p) {
+        const RunResult &loadBal = results[loadBalIdx[p]];
         util::fatalIf(loadBal.executionTime == 0,
                       "LOAD-BAL baseline ran for zero cycles");
 
         Table5Cell cell;
         cell.app = workload::appName(app);
-        cell.processors = point.processors;
+        cell.processors = sweep[p].processors;
 
         double best = 0.0;
         bool first = true;
-        for (Algorithm alg :
-             placement::staticSharingAlgorithmsWithLB()) {
-            RunResult r = lab.run(app, alg, point, true);
-            double norm = static_cast<double>(r.executionTime) /
-                          static_cast<double>(loadBal.executionTime);
+        for (size_t a = 0; a < pool.size(); ++a) {
+            const RunResult &r = results[poolIdx[p][a]];
+            double norm =
+                static_cast<double>(r.executionTime) /
+                static_cast<double>(loadBal.executionTime);
             if (first || norm < best) {
                 best = norm;
-                cell.bestStatic = alg;
+                cell.bestStatic = pool[a];
                 first = false;
             }
         }
         cell.bestStaticVsLoadBal = best;
 
-        RunResult coh =
-            lab.run(app, Algorithm::CoherenceTraffic, point, true);
+        const RunResult &coh = results[cohIdx[p]];
         cell.coherenceVsLoadBal =
             static_cast<double>(coh.executionTime) /
             static_cast<double>(loadBal.executionTime);

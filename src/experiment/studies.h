@@ -3,6 +3,10 @@
  * Per-figure and per-table experiment drivers. Each driver reproduces
  * one evaluation artifact of the paper and returns plain data; the
  * bench binaries render it. See DESIGN.md's experiment index.
+ *
+ * Every sweep driver takes a `jobs` pool width (default: TSP_JOBS or
+ * the hardware concurrency) and fans its independent simulation runs
+ * over a ParallelRunner; results are bit-identical to `jobs == 1`.
  */
 
 #ifndef TSP_EXPERIMENT_STUDIES_H
@@ -14,7 +18,7 @@
 #include "analysis/characteristics.h"
 #include "core/algorithms.h"
 #include "experiment/lab.h"
-#include "sim/results.h"
+#include "util/thread_pool.h"
 
 namespace tsp::experiment {
 
@@ -37,7 +41,8 @@ struct ExecTimePoint
  */
 std::vector<ExecTimePoint> execTimeStudy(
     Lab &lab, workload::AppId app,
-    const std::vector<placement::Algorithm> &algs);
+    const std::vector<placement::Algorithm> &algs,
+    unsigned jobs = util::ThreadPool::defaultJobs());
 
 // ------------------------------------------------------------------- Fig 5
 
@@ -65,7 +70,8 @@ struct MissComponentRow
  */
 std::vector<MissComponentRow> missComponentStudy(
     Lab &lab, workload::AppId app,
-    const std::vector<placement::Algorithm> &algs);
+    const std::vector<placement::Algorithm> &algs,
+    unsigned jobs = util::ThreadPool::defaultJobs());
 
 // ----------------------------------------------------------------- Table 4
 
@@ -98,6 +104,15 @@ struct Table4Row
 /** Compute Table 4's row for @p app. */
 Table4Row table4Row(Lab &lab, workload::AppId app);
 
+/**
+ * Table 4 rows for all of @p apps. The heavy per-app artifacts
+ * (traces, analysis, coherence probe) materialize one app per worker;
+ * rows come back in @p apps order and match serial table4Row calls.
+ */
+std::vector<Table4Row> table4Study(
+    Lab &lab, const std::vector<workload::AppId> &apps,
+    unsigned jobs = util::ThreadPool::defaultJobs());
+
 // ----------------------------------------------------------------- Table 5
 
 /** One (application, processors) cell pair of Table 5. */
@@ -120,7 +135,9 @@ struct Table5Cell
  * twelve — the six metrics and their +LB variants) and of the
  * coherence-traffic algorithm, normalized to LOAD-BAL.
  */
-std::vector<Table5Cell> table5Study(Lab &lab, workload::AppId app);
+std::vector<Table5Cell> table5Study(
+    Lab &lab, workload::AppId app,
+    unsigned jobs = util::ThreadPool::defaultJobs());
 
 // ----------------------------------------------------------------- Table 2
 

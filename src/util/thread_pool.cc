@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace tsp::util {
+
+namespace {
+
+/** Programmatic override of defaultJobs(); 0 = unset. */
+std::atomic<unsigned> defaultJobsOverride{0};
+
+unsigned
+jobsFromEnvironment()
+{
+    if (const char *env = std::getenv("TSP_JOBS")) {
+        char *end = nullptr;
+        unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0 &&
+            parsed <= 1024) {
+            return static_cast<unsigned>(parsed);
+        }
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();  // packaged_task captures any exception
+    }
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    unsigned override = defaultJobsOverride.load();
+    if (override > 0)
+        return override;
+    return jobsFromEnvironment();
+}
+
+void
+ThreadPool::setDefaultJobs(unsigned jobs)
+{
+    defaultJobsOverride.store(jobs);
+}
+
+} // namespace tsp::util

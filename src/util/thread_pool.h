@@ -1,0 +1,166 @@
+/**
+ * @file
+ * A fixed-size worker pool with a futures-based submit/parallelFor
+ * API, used to fan independent simulation runs across cores.
+ *
+ * Design points:
+ *  - `workers == 0` degenerates to fully inline execution on the
+ *    calling thread (no threads are created), so callers can treat
+ *    "serial" as just another pool width;
+ *  - tasks may not block on futures of tasks submitted to the *same*
+ *    pool (no work-stealing; a nested wait can deadlock). The
+ *    experiment layer never nests pools;
+ *  - exceptions thrown by tasks propagate: through the future for
+ *    submit(), and out of parallelFor() (the exception of the
+ *    lowest-index failing iteration, deterministically).
+ *
+ * The default pool width is `TSP_JOBS` when set, else the hardware
+ * concurrency; `setDefaultJobs` lets CLI `--jobs` flags override both.
+ */
+
+#ifndef TSP_UTIL_THREAD_POOL_H
+#define TSP_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tsp::util {
+
+/** Fixed-size worker pool. Threads start in the constructor and join
+ *  in the destructor; the task queue is unbounded. */
+class ThreadPool
+{
+  public:
+    /** @param workers worker threads; 0 = run every task inline. */
+    explicit ThreadPool(unsigned workers = defaultJobs());
+
+    /** Drains nothing: joins after finishing already-queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (0 = inline mode). */
+    unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+    /**
+     * Schedule @p fn and return a future for its result. In inline
+     * mode the task runs before submit returns (the future is ready).
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        if (threads_.empty()) {
+            (*task)();
+            return future;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /**
+     * Run @p fn(i) for every i in [0, @p n), blocking until all
+     * iterations finish. Iterations are distributed dynamically over
+     * the workers (plus the calling thread). If any iteration throws,
+     * the exception of the lowest-index failing iteration is
+     * rethrown after all iterations have run.
+     */
+    template <typename F>
+    void
+    parallelFor(size_t n, F &&fn)
+    {
+        if (n == 0)
+            return;
+        if (threads_.empty() || n == 1) {
+            // Same semantics as the pooled path: every iteration
+            // runs; the lowest-index exception is rethrown after.
+            std::exception_ptr error;
+            for (size_t i = 0; i < n; ++i) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    if (!error)
+                        error = std::current_exception();
+                }
+            }
+            if (error)
+                std::rethrow_exception(error);
+            return;
+        }
+
+        std::atomic<size_t> next{0};
+        std::mutex errMutex;
+        size_t errIndex = std::numeric_limits<size_t>::max();
+        std::exception_ptr error;
+
+        auto shard = [&] {
+            for (size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1)) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errMutex);
+                    if (i < errIndex) {
+                        errIndex = i;
+                        error = std::current_exception();
+                    }
+                }
+            }
+        };
+
+        size_t shards = std::min<size_t>(workers(), n);
+        std::vector<std::future<void>> pending;
+        pending.reserve(shards);
+        for (size_t s = 0; s < shards; ++s)
+            pending.push_back(submit(shard));
+        // The calling thread works too instead of idling on the gets.
+        shard();
+        for (auto &f : pending)
+            f.get();
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+    /**
+     * The default pool width: the last setDefaultJobs() override if
+     * any, else the TSP_JOBS environment variable if it parses to a
+     * positive integer, else std::thread::hardware_concurrency()
+     * (minimum 1).
+     */
+    static unsigned defaultJobs();
+
+    /** Override defaultJobs() (0 clears the override). */
+    static void setDefaultJobs(unsigned jobs);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace tsp::util
+
+#endif // TSP_UTIL_THREAD_POOL_H

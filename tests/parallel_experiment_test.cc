@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests of the parallel experiment engine: ParallelRunner fan-out
+ * order and deduplication, Lab's concurrent memoization, and the
+ * headline guarantee — study results are bit-identical between
+ * serial (jobs=1) and wide (jobs=N) execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "experiment/lab.h"
+#include "experiment/parallel.h"
+#include "experiment/studies.h"
+#include "util/thread_pool.h"
+
+namespace tsp::experiment {
+namespace {
+
+using placement::Algorithm;
+using workload::AppId;
+
+constexpr uint32_t kScale = 64;
+
+unsigned
+wideJobs()
+{
+    return std::max(4u, std::thread::hardware_concurrency());
+}
+
+// ---------------------------------------------------------- ParallelRunner
+
+TEST(ParallelRunner, ResultsComeBackInInputOrder)
+{
+    Lab lab(kScale);
+    std::vector<RunJob> jobs = {
+        {AppId::Water, Algorithm::LoadBal, {4, 2}, false},
+        {AppId::Water, Algorithm::Random, {2, 4}, false},
+        {AppId::Water, Algorithm::ShareRefs, {8, 1}, false},
+    };
+    auto parallel = ParallelRunner(lab, wideJobs()).runAll(jobs);
+    ASSERT_EQ(parallel.size(), jobs.size());
+
+    Lab serialLab(kScale);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        auto expect = serialLab.run(jobs[i].app, jobs[i].alg,
+                                    jobs[i].point,
+                                    jobs[i].infiniteCache);
+        EXPECT_EQ(parallel[i].executionTime, expect.executionTime);
+        EXPECT_EQ(parallel[i].placement.assignment(),
+                  expect.placement.assignment());
+        EXPECT_EQ(parallel[i].loadImbalance, expect.loadImbalance);
+    }
+}
+
+TEST(ParallelRunner, DuplicateJobsShareOneResult)
+{
+    Lab lab(kScale);
+    RunJob job{AppId::Water, Algorithm::Random, {4, 2}, false};
+    auto results =
+        ParallelRunner(lab, wideJobs()).runAll({job, job, job});
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].executionTime, results[1].executionTime);
+    EXPECT_EQ(results[0].executionTime, results[2].executionTime);
+    EXPECT_EQ(results[0].placement.assignment(),
+              results[2].placement.assignment());
+}
+
+TEST(ParallelRunner, ZeroJobsClampsToSerial)
+{
+    Lab lab(kScale);
+    ParallelRunner runner(lab, 0);
+    EXPECT_EQ(runner.jobs(), 1u);
+    auto results = runner.runAll(
+        {{AppId::Water, Algorithm::LoadBal, {2, 4}, false}});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GT(results[0].executionTime, 0u);
+}
+
+TEST(ParallelRunner, WarmupMatchesLazyMaterialization)
+{
+    Lab warm(kScale), lazy(kScale);
+    ParallelRunner(warm, wideJobs())
+        .warmup({AppId::Water, AppId::BarnesHut}, /*coherence=*/true);
+    for (AppId app : {AppId::Water, AppId::BarnesHut}) {
+        EXPECT_EQ(warm.analysis(app).totalRefs(),
+                  lazy.analysis(app).totalRefs());
+        EXPECT_EQ(warm.coherenceMatrix(app).total(),
+                  lazy.coherenceMatrix(app).total());
+    }
+}
+
+// ------------------------------------------------- concurrent memoization
+
+TEST(LabConcurrency, ConcurrentCallersShareOneCachedInstance)
+{
+    Lab lab(kScale);
+    constexpr size_t n = 16;
+    std::vector<const trace::TraceSet *> traces(n, nullptr);
+    std::vector<const analysis::StaticAnalysis *> analyses(n, nullptr);
+    util::ThreadPool pool(4);
+    pool.parallelFor(n, [&](size_t i) {
+        traces[i] = &lab.traces(AppId::Water);
+        analyses[i] = &lab.analysis(AppId::Water);
+    });
+    for (size_t i = 1; i < n; ++i) {
+        EXPECT_EQ(traces[i], traces[0]);
+        EXPECT_EQ(analyses[i], analyses[0]);
+    }
+}
+
+TEST(LabConcurrency, DifferentAppsMaterializeConcurrently)
+{
+    Lab lab(kScale);
+    const std::vector<AppId> apps = {AppId::Water, AppId::BarnesHut,
+                                     AppId::MP3D, AppId::Cholesky};
+    util::ThreadPool pool(4);
+    std::atomic<uint64_t> totalRefs{0};
+    pool.parallelFor(apps.size(), [&](size_t i) {
+        totalRefs += lab.analysis(apps[i]).totalRefs();
+    });
+    uint64_t expect = 0;
+    Lab serial(kScale);
+    for (AppId app : apps)
+        expect += serial.analysis(app).totalRefs();
+    EXPECT_EQ(totalRefs.load(), expect);
+}
+
+// -------------------------------------------- serial/parallel determinism
+
+TEST(Determinism, ExecTimeStudyBitIdenticalAcrossJobs)
+{
+    const std::vector<Algorithm> algs = {
+        Algorithm::Random, Algorithm::LoadBal, Algorithm::ShareRefs,
+        Algorithm::MinShare};
+    for (AppId app : {AppId::Water, AppId::BarnesHut}) {
+        Lab serialLab(kScale), parallelLab(kScale);
+        auto serial = execTimeStudy(serialLab, app, algs, /*jobs=*/1);
+        auto wide = execTimeStudy(parallelLab, app, algs, wideJobs());
+        ASSERT_EQ(serial.size(), wide.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].alg, wide[i].alg);
+            EXPECT_EQ(serial[i].point.processors,
+                      wide[i].point.processors);
+            EXPECT_EQ(serial[i].point.contexts,
+                      wide[i].point.contexts);
+            EXPECT_EQ(serial[i].cycles, wide[i].cycles);
+            // Exact (bitwise) double equality is the contract.
+            EXPECT_EQ(serial[i].normalizedToRandom,
+                      wide[i].normalizedToRandom);
+            EXPECT_EQ(serial[i].loadImbalance, wide[i].loadImbalance);
+        }
+    }
+}
+
+TEST(Determinism, MissComponentStudyBitIdenticalAcrossJobs)
+{
+    const std::vector<Algorithm> algs = {
+        Algorithm::Random, Algorithm::ShareRefs, Algorithm::LoadBal};
+    for (AppId app : {AppId::Water, AppId::BarnesHut}) {
+        Lab serialLab(kScale), parallelLab(kScale);
+        auto serial =
+            missComponentStudy(serialLab, app, algs, /*jobs=*/1);
+        auto wide =
+            missComponentStudy(parallelLab, app, algs, wideJobs());
+        ASSERT_EQ(serial.size(), wide.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].alg, wide[i].alg);
+            EXPECT_EQ(serial[i].compulsory, wide[i].compulsory);
+            EXPECT_EQ(serial[i].intraConflict, wide[i].intraConflict);
+            EXPECT_EQ(serial[i].interConflict, wide[i].interConflict);
+            EXPECT_EQ(serial[i].invalidation, wide[i].invalidation);
+            EXPECT_EQ(serial[i].refs, wide[i].refs);
+        }
+    }
+}
+
+TEST(Determinism, Table5StudyBitIdenticalAcrossJobs)
+{
+    Lab serialLab(kScale), parallelLab(kScale);
+    auto serial = table5Study(serialLab, AppId::Water, /*jobs=*/1);
+    auto wide = table5Study(parallelLab, AppId::Water, wideJobs());
+    ASSERT_EQ(serial.size(), wide.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].processors, wide[i].processors);
+        EXPECT_EQ(serial[i].bestStatic, wide[i].bestStatic);
+        EXPECT_EQ(serial[i].bestStaticVsLoadBal,
+                  wide[i].bestStaticVsLoadBal);
+        EXPECT_EQ(serial[i].coherenceVsLoadBal,
+                  wide[i].coherenceVsLoadBal);
+    }
+}
+
+TEST(Determinism, Table4StudyMatchesSerialRows)
+{
+    Lab serialLab(kScale), parallelLab(kScale);
+    const std::vector<AppId> apps = {AppId::Water, AppId::BarnesHut};
+    auto wide = table4Study(parallelLab, apps, wideJobs());
+    ASSERT_EQ(wide.size(), apps.size());
+    for (size_t i = 0; i < apps.size(); ++i) {
+        auto expect = table4Row(serialLab, apps[i]);
+        EXPECT_EQ(wide[i].app, expect.app);
+        EXPECT_EQ(wide[i].staticTotal, expect.staticTotal);
+        EXPECT_EQ(wide[i].dynamicTotal, expect.dynamicTotal);
+        EXPECT_EQ(wide[i].staticOverDynamic,
+                  expect.staticOverDynamic);
+        EXPECT_EQ(wide[i].dynamicPairDevPct,
+                  expect.dynamicPairDevPct);
+    }
+}
+
+} // namespace
+} // namespace tsp::experiment

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests of util::ThreadPool: submit/parallelFor at 0/1/N workers,
+ * exception propagation, deterministic error selection, and the
+ * TSP_JOBS/default-jobs resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace tsp::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnCaller)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 0u);
+    auto future =
+        pool.submit([] { return std::this_thread::get_id(); });
+    // Inline mode: the task already ran, on this very thread.
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, WorkersRunTasksOffTheCallingThread)
+{
+    ThreadPool pool(1);
+    auto future =
+        pool.submit([] { return std::this_thread::get_id(); });
+    EXPECT_NE(future.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SubmitManyTasksAllComplete)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 1; i <= 100; ++i)
+        futures.push_back(pool.submit([&sum, i] { sum += i; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+class ThreadPoolParallelFor
+    : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(ThreadPoolParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(GetParam());
+    constexpr size_t n = 257;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_P(ThreadPoolParallelFor, ZeroIterationsIsANoOp)
+{
+    ThreadPool pool(GetParam());
+    bool touched = false;
+    pool.parallelFor(0, [&](size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST_P(ThreadPoolParallelFor, RethrowsLowestIndexException)
+{
+    ThreadPool pool(GetParam());
+    // Two failing iterations: the lower index must win, at any pool
+    // width, so error reporting is deterministic.
+    try {
+        pool.parallelFor(64, [&](size_t i) {
+            if (i == 3)
+                throw std::runtime_error("low");
+            if (i == 57)
+                throw std::runtime_error("high");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "low");
+    }
+}
+
+TEST_P(ThreadPoolParallelFor, RunsEveryIterationDespiteFailures)
+{
+    ThreadPool pool(GetParam());
+    constexpr size_t n = 64;
+    std::vector<std::atomic<int>> hits(n);
+    EXPECT_THROW(pool.parallelFor(n,
+                                  [&](size_t i) {
+                                      hits[i]++;
+                                      if (i % 7 == 0)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ThreadPoolParallelFor,
+                         ::testing::Values(0u, 1u, 4u));
+
+TEST(ThreadPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ThreadPool, SetDefaultJobsOverridesAndClears)
+{
+    unsigned before = ThreadPool::defaultJobs();
+    ThreadPool::setDefaultJobs(3);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    ThreadPool::setDefaultJobs(0);  // clear the override
+    EXPECT_EQ(ThreadPool::defaultJobs(), before);
+}
+
+TEST(ThreadPool, ParallelForUsesMultipleThreads)
+{
+    ThreadPool pool(4);
+    std::mutex m;
+    std::set<std::thread::id> ids;
+    // Enough iterations with a tiny stall that at least two threads
+    // participate (the calling thread always does).
+    pool.parallelFor(64, [&](size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(std::this_thread::get_id());
+    });
+    EXPECT_GE(ids.size(), 2u);
+}
+
+} // namespace
+} // namespace tsp::util

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Run every bench binary with TSP_OUT set and collect per-bench
+# wall-clock into one CSV for trend tracking.
+#
+# usage: tools/run_benches.sh [build-dir] [out-dir]
+#
+#   build-dir  where the bench binaries live (default: build)
+#   out-dir    where logs, per-bench CSVs and the wall-clock summary
+#              go (default: $TSP_OUT, else bench_out)
+#
+# Honors TSP_SCALE and TSP_JOBS. The summary CSV has one row per
+# bench: name, exit status, wall-clock seconds.
+
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-${TSP_OUT:-bench_out}}
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+    echo "error: $BENCH_DIR not found (build first: cmake --build $BUILD_DIR)" >&2
+    exit 2
+fi
+
+mkdir -p "$OUT_DIR"
+SUMMARY="$OUT_DIR/bench_wallclock.csv"
+echo "bench,status,wall_seconds,jobs" > "$SUMMARY"
+JOBS=${TSP_JOBS:-$(nproc 2>/dev/null || echo 1)}
+
+overall_start=$(date +%s)
+failures=0
+for bench in "$BENCH_DIR"/*; do
+    [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    log="$OUT_DIR/$name.log"
+    start_ns=$(date +%s%N)
+    if TSP_OUT="$OUT_DIR" "$bench" > "$log" 2>&1; then
+        status=ok
+    else
+        status=fail
+        failures=$((failures + 1))
+    fi
+    end_ns=$(date +%s%N)
+    secs=$(awk -v a="$start_ns" -v b="$end_ns" \
+               'BEGIN { printf "%.3f", (b - a) / 1e9 }')
+    echo "$name,$status,$secs,$JOBS" >> "$SUMMARY"
+    echo "[$status] $name ${secs}s"
+done
+overall_end=$(date +%s)
+
+echo
+echo "wrote $SUMMARY ($(($(wc -l < "$SUMMARY") - 1)) benches," \
+     "$((overall_end - overall_start))s total, TSP_JOBS=$JOBS)"
+[ "$failures" -eq 0 ] || echo "WARNING: $failures bench(es) failed" >&2
+exit 0

@@ -16,6 +16,9 @@
  *   --scale N        workload scale divisor (default TSP_SCALE or 8)
  *   --infinite       use the 8 MB "infinite" cache
  *   --profile        collect the write-run sharing profile
+ *   --jobs N         worker threads for parallel experiment drivers
+ *                    (overrides TSP_JOBS; results are identical at
+ *                    any width)
  */
 
 #include <cstdio>
@@ -29,6 +32,7 @@
 #include "util/error.h"
 #include "util/format.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workload/suite.h"
 
 namespace {
@@ -43,6 +47,7 @@ usage()
         "usage: tsp_run <app> <algorithm> <processors> [options]\n"
         "  --contexts N  --cache BYTES  --assoc N  --latency N\n"
         "  --switch N    --scale N      --infinite --profile\n"
+        "  --jobs N\n"
         "algorithms: ");
     for (placement::Algorithm alg : placement::allAlgorithms())
         std::fprintf(stderr, "%s ",
@@ -100,6 +105,9 @@ main(int argc, char **argv)
                 infinite = true;
             else if (!std::strcmp(argv[i], "--profile"))
                 profile = true;
+            else if (!std::strcmp(argv[i], "--jobs"))
+                util::ThreadPool::setDefaultJobs(static_cast<unsigned>(
+                    std::strtoul(next("--jobs"), nullptr, 10)));
             else
                 return usage();
         }
