@@ -83,6 +83,10 @@ banner(const std::string &what, experiment::Lab &lab,
  * machine point, each cell the execution time normalized to RANDOM at
  * that point. Prints the sweep's wall-clock line. When TSP_OUT names
  * a directory, also writes <csvName>.csv there.
+ *
+ * Runs the sweep in degraded (fault-isolating) mode: a cell whose
+ * simulation throws renders as FAILED and the failure summary prints
+ * after the table instead of aborting the whole figure.
  */
 inline void
 printExecTimeFigure(const std::string &title, experiment::Lab &lab,
@@ -90,8 +94,11 @@ printExecTimeFigure(const std::string &title, experiment::Lab &lab,
                     const std::string &csvName = "")
 {
     WallTimer timer;
+    std::vector<experiment::JobFailure> failures;
+    experiment::SweepOptions options;
+    options.failures = &failures;
     auto points = experiment::execTimeStudy(
-        lab, app, placement::figureAlgorithms());
+        lab, app, placement::figureAlgorithms(), options);
     printWallClock(title + " sweep", timer);
 
     if (!csvName.empty()) {
@@ -124,14 +131,18 @@ printExecTimeFigure(const std::string &title, experiment::Lab &lab,
         for (const auto &pt : points) {
             if (pt.alg != alg)
                 continue;
-            row[1 + colIndex[pt.point.label()]] =
-                util::fmtFixed(pt.normalizedToRandom, 3);
+            row[1 + colIndex[pt.point.label()]] = pt.failed
+                ? "FAILED"
+                : util::fmtFixed(pt.normalizedToRandom, 3);
         }
         table.addRow(row);
     }
     table.print();
     std::printf("\n(execution time normalized to RANDOM; < 1.000 is "
                 "faster than RANDOM)\n");
+    std::string summary = experiment::renderFailureSummary(failures);
+    if (!summary.empty())
+        std::printf("\n%s", summary.c_str());
 }
 
 } // namespace tsp::bench

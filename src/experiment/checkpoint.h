@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Crash-safe checkpoint/resume for experiment sweeps.
+ *
+ * A Checkpoint journals every completed (app x algorithm x point) run
+ * result to an on-disk file so a killed multi-hour sweep resumes by
+ * replaying the journal and simulating only the missing cells.
+ *
+ * File format ("TSPC", version 1, little-endian):
+ *
+ *     magic "TSPC" | u32 version | u32 workload scale
+ *     record*:  u32 payloadBytes | u32 crc32(payload) | payload
+ *
+ * The payload serializes the job key and the full RunResult (placement
+ * map, per-processor statistics, coherence pair matrix, sharing
+ * profile), bit-exactly, so a replayed sweep's report is identical to
+ * an uninterrupted run.
+ *
+ * Durability strategy: every append rewrites the journal to a sibling
+ * `.tmp` file and renames it over the original (an atomic publish on
+ * POSIX), with bounded retry on transient filesystem failures. On
+ * load, a truncated or corrupt trailing record — the signature of a
+ * kill mid-append — is detected by its length/CRC frame and dropped
+ * with a warning; every intact record before it is recovered.
+ */
+
+#ifndef TSP_EXPERIMENT_CHECKPOINT_H
+#define TSP_EXPERIMENT_CHECKPOINT_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "experiment/lab.h"
+
+namespace tsp::experiment {
+
+struct RunJob;
+
+/** Append-only, checksummed journal of completed sweep cells. */
+class Checkpoint
+{
+  public:
+    /**
+     * Open (or create) the journal at @p path for a lab at workload
+     * @p scale. Replays every intact record; throws FatalError when
+     * the file exists but is not a TSPC journal or was written at a
+     * different scale (its results would not be comparable).
+     */
+    Checkpoint(std::string path, uint32_t scale);
+
+    /** The journal path. */
+    const std::string &path() const { return path_; }
+
+    /** The workload scale the journal is bound to. */
+    uint32_t scale() const { return scale_; }
+
+    /** Number of completed job results currently journaled. */
+    size_t size() const;
+
+    /** Bytes of truncated/corrupt trailing data dropped on load. */
+    uint64_t droppedBytes() const { return dropped_; }
+
+    /** The journaled result of @p job, if any. Thread-safe. */
+    std::optional<RunResult> lookup(const RunJob &job) const;
+
+    /**
+     * Journal @p result for @p job and persist. Idempotent (a
+     * duplicate key is a no-op) and thread-safe; throws FatalError if
+     * the journal cannot be persisted after bounded retries.
+     */
+    void record(const RunJob &job, const RunResult &result);
+
+  private:
+    struct Key
+    {
+        uint32_t app = 0;
+        uint32_t alg = 0;
+        uint32_t processors = 0;
+        uint32_t contexts = 0;
+        uint8_t infiniteCache = 0;
+
+        auto operator<=>(const Key &) const = default;
+    };
+
+    static Key keyOf(const RunJob &job);
+    void load();
+    void persist() const;
+
+    std::string path_;
+    uint32_t scale_;
+    uint64_t dropped_ = 0;
+
+    mutable std::mutex mutex_;
+    std::map<Key, RunResult> results_;
+    std::string journal_;  //!< serialized header + intact records
+};
+
+} // namespace tsp::experiment
+
+#endif // TSP_EXPERIMENT_CHECKPOINT_H

@@ -105,12 +105,15 @@ RunResult
 Lab::run(AppId app, Algorithm alg, const MachinePoint &point,
          bool infiniteCache)
 {
+    // Validate the machine point first: an invalid point must surface
+    // as FatalError (so a sweep can isolate the bad cell) before the
+    // placement algorithms ever see its processor count.
+    sim::SimConfig cfg = configFor(app, point, infiniteCache);
     // One analysis lookup serves the placement, the load-imbalance
     // figure and the thread lengths for the whole run.
     const analysis::StaticAnalysis &an = analysis(app);
     RunResult result;
     result.placement = placementWith(an, app, alg, point.processors);
-    sim::SimConfig cfg = configFor(app, point, infiniteCache);
     result.stats = sim::simulate(cfg, traces(app), result.placement);
     result.executionTime = result.stats.executionTime();
     result.loadImbalance =

@@ -1,7 +1,15 @@
 #include "experiment/parallel.h"
 
+#include <atomic>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <tuple>
+
+#include "experiment/checkpoint.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/watchdog.h"
 
 namespace tsp::experiment {
 
@@ -18,13 +26,39 @@ jobKey(const RunJob &job)
 
 } // namespace
 
-ParallelRunner::ParallelRunner(Lab &lab, unsigned jobs)
-    : lab_(lab), jobs_(jobs > 0 ? jobs : 1)
-{}
-
-std::vector<RunResult>
-ParallelRunner::runAll(const std::vector<RunJob> &jobs)
+std::string
+describeJob(const RunJob &job)
 {
+    return workload::appName(job.app) + "/" +
+           placement::algorithmName(job.alg) + "@" +
+           job.point.label() +
+           (job.infiniteCache ? " (8MB cache)" : "");
+}
+
+std::string
+JobFailure::describe() const
+{
+    return describeJob(job) + ": " + error;
+}
+
+ParallelRunner::ParallelRunner(Lab &lab, unsigned jobs) : lab_(lab)
+{
+    options_.jobs = jobs > 0 ? jobs : 1;
+}
+
+ParallelRunner::ParallelRunner(Lab &lab, const SweepOptions &options)
+    : lab_(lab), options_(options)
+{
+    if (options_.jobs == 0)
+        options_.jobs = 1;
+}
+
+std::vector<Outcome<RunResult>>
+ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
+{
+    stats_ = SweepStats{};
+    stats_.total = jobs.size();
+
     // Deduplicate: unique jobs simulate once, duplicates copy.
     std::vector<size_t> uniqueOf(jobs.size());
     std::vector<size_t> uniqueJobs;
@@ -37,20 +71,108 @@ ParallelRunner::runAll(const std::vector<RunJob> &jobs)
             uniqueJobs.push_back(i);
         uniqueOf[i] = it->second;
     }
+    stats_.unique = uniqueJobs.size();
 
-    std::vector<RunResult> unique(uniqueJobs.size());
-    // jobs_ == 1 runs inline (ThreadPool(0)); wider pools keep the
-    // calling thread as one of the workers via parallelFor.
-    util::ThreadPool pool(jobs_ > 1 ? jobs_ - 1 : 0);
-    pool.parallelFor(uniqueJobs.size(), [&](size_t u) {
-        const RunJob &job = jobs[uniqueJobs[u]];
-        unique[u] =
-            lab_.run(job.app, job.alg, job.point, job.infiniteCache);
+    std::vector<Outcome<RunResult>> unique(uniqueJobs.size());
+
+    // Replay journaled cells; only the rest hit the pool.
+    std::vector<size_t> pending;
+    pending.reserve(uniqueJobs.size());
+    for (size_t u = 0; u < uniqueJobs.size(); ++u) {
+        if (options_.checkpoint) {
+            if (auto hit =
+                    options_.checkpoint->lookup(jobs[uniqueJobs[u]])) {
+                unique[u] =
+                    Outcome<RunResult>::success(std::move(*hit));
+                ++stats_.fromCheckpoint;
+                continue;
+            }
+        }
+        pending.push_back(u);
+    }
+
+    std::optional<util::Watchdog> watchdog;
+    if (options_.jobDeadline.count() > 0)
+        watchdog.emplace(options_.jobDeadline);
+
+    // PanicError means a library bug: fail the sweep fast. The flag
+    // short-circuits iterations that have not started yet; the first
+    // panic (by pool schedule) is rethrown after the pool drains.
+    std::atomic<bool> panicked{false};
+    std::exception_ptr panic;
+    std::mutex panicMutex;
+
+    util::ThreadPool pool(
+        options_.jobs > 1 ? options_.jobs - 1 : 0);
+    pool.parallelFor(pending.size(), [&](size_t k) {
+        if (panicked.load(std::memory_order_relaxed))
+            return;
+        const RunJob &job = jobs[uniqueJobs[pending[k]]];
+        std::optional<util::Watchdog::Guard> guard;
+        if (watchdog)
+            guard.emplace(watchdog->watch(describeJob(job)));
+        try {
+            if (options_.faultInjector)
+                options_.faultInjector(job);
+            RunResult result = lab_.run(job.app, job.alg, job.point,
+                                        job.infiniteCache);
+            if (options_.checkpoint) {
+                try {
+                    options_.checkpoint->record(job, result);
+                } catch (const std::exception &e) {
+                    // A journaling failure must not fail the cell —
+                    // the result is still good, only resumability of
+                    // this cell is lost.
+                    util::warn(util::concat(
+                        "checkpoint record failed for ",
+                        describeJob(job), ": ", e.what()));
+                }
+            }
+            unique[pending[k]] =
+                Outcome<RunResult>::success(std::move(result));
+        } catch (const util::PanicError &) {
+            std::lock_guard<std::mutex> lock(panicMutex);
+            if (!panic)
+                panic = std::current_exception();
+            panicked.store(true, std::memory_order_relaxed);
+        } catch (const std::exception &e) {
+            unique[pending[k]] =
+                Outcome<RunResult>::failure(e.what());
+        }
     });
 
-    std::vector<RunResult> out(jobs.size());
+    if (panic)
+        std::rethrow_exception(panic);
+
+    stats_.executed = pending.size();
+    for (size_t u : pending) {
+        if (!unique[u].ok())
+            ++stats_.failed;
+    }
+    if (watchdog)
+        stats_.watchdogFlagged =
+            static_cast<size_t>(watchdog->overdueCount());
+
+    std::vector<Outcome<RunResult>> out(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i)
         out[i] = unique[uniqueOf[i]];
+    if (options_.statsOut)
+        *options_.statsOut = stats_;
+    return out;
+}
+
+std::vector<RunResult>
+ParallelRunner::runAll(const std::vector<RunJob> &jobs)
+{
+    auto outcomes = runAllOutcomes(jobs);
+    std::vector<RunResult> out(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (!outcomes[i].ok()) {
+            util::fatal("sweep job " + describeJob(jobs[i]) +
+                        " failed: " + outcomes[i].error());
+        }
+        out[i] = std::move(outcomes[i].value());
+    }
     return out;
 }
 
@@ -58,7 +180,8 @@ void
 ParallelRunner::warmup(const std::vector<workload::AppId> &apps,
                        bool coherence)
 {
-    util::ThreadPool pool(jobs_ > 1 ? jobs_ - 1 : 0);
+    util::ThreadPool pool(
+        options_.jobs > 1 ? options_.jobs - 1 : 0);
     pool.parallelFor(apps.size(), [&](size_t i) {
         lab_.warmup(apps[i], coherence);
     });

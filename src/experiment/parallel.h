@@ -10,17 +10,35 @@
  * read-only once materialized), so results are bit-identical to the
  * serial path for any pool width — ordering is the only hazard, and
  * runAll() removes it by indexing results by input position.
+ *
+ * Robustness guarantees (runAllOutcomes):
+ *  - fault isolation — a job throwing FatalError (bad cell
+ *    configuration) becomes a failed Outcome; every other cell's
+ *    result is unaffected and bit-identical to a clean run.
+ *    PanicError (a library bug) still fails the whole sweep fast;
+ *  - checkpoint/resume — with a Checkpoint attached, journaled cells
+ *    are replayed instead of simulated and fresh results are
+ *    journaled as they complete, so a killed sweep re-runs only the
+ *    missing cells;
+ *  - watchdog — with a job deadline set, cells running past it are
+ *    flagged (warn + SweepStats) without being killed.
  */
 
 #ifndef TSP_EXPERIMENT_PARALLEL_H
 #define TSP_EXPERIMENT_PARALLEL_H
 
+#include <chrono>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "experiment/lab.h"
+#include "experiment/outcome.h"
 #include "util/thread_pool.h"
 
 namespace tsp::experiment {
+
+class Checkpoint;
 
 /** One simulation job of a fan-out. */
 struct RunJob
@@ -29,6 +47,60 @@ struct RunJob
     placement::Algorithm alg{};
     MachinePoint point;
     bool infiniteCache = false;
+};
+
+/** Human-readable job identity, e.g. "Water/SHARE-REFS@4p x 2c". */
+std::string describeJob(const RunJob &job);
+
+/** One failed cell of a sweep, for failure summaries. */
+struct JobFailure
+{
+    RunJob job;
+    std::string error;
+
+    /** "Water/SHARE-REFS@4p x 2c: fatal: ..." */
+    std::string describe() const;
+};
+
+/** Counters of one runAll/runAllOutcomes invocation. */
+struct SweepStats
+{
+    size_t total = 0;           //!< jobs requested (incl. duplicates)
+    size_t unique = 0;          //!< deduplicated jobs
+    size_t executed = 0;        //!< simulated this invocation
+    size_t fromCheckpoint = 0;  //!< replayed from the journal
+    size_t failed = 0;          //!< unique jobs that failed
+    size_t watchdogFlagged = 0; //!< jobs that ran past the deadline
+};
+
+/** Tuning and robustness knobs of a sweep. */
+struct SweepOptions
+{
+    /** Pool width; 1 (or 0) = serial on the calling thread. */
+    unsigned jobs = util::ThreadPool::defaultJobs();
+
+    /** Journal completed cells here and replay previous ones. */
+    Checkpoint *checkpoint = nullptr;
+
+    /**
+     * When non-null, a job throwing FatalError degrades to a failed
+     * Outcome recorded here (studies mark the cell failed); when
+     * null, the studies' strict mode rethrows the first failure.
+     */
+    std::vector<JobFailure> *failures = nullptr;
+
+    /** Filled with the sweep's counters when non-null. */
+    SweepStats *statsOut = nullptr;
+
+    /** Flag jobs running longer than this; zero disables. */
+    std::chrono::milliseconds jobDeadline{0};
+
+    /**
+     * Chaos/test hook invoked before each unique job executes; throw
+     * from it to simulate that cell failing. Never set in production
+     * paths.
+     */
+    std::function<void(const RunJob &)> faultInjector;
 };
 
 /**
@@ -42,16 +114,34 @@ class ParallelRunner
     explicit ParallelRunner(
         Lab &lab, unsigned jobs = util::ThreadPool::defaultJobs());
 
+    /** Configure from a SweepOptions (checkpoint, deadline, hooks). */
+    ParallelRunner(Lab &lab, const SweepOptions &options);
+
     /** Effective pool width (>= 1). */
-    unsigned jobs() const { return jobs_; }
+    unsigned jobs() const { return options_.jobs; }
 
     /**
-     * Run every job and return the results in input order. Identical
-     * jobs (same app, algorithm, point, cache mode) are simulated
-     * once and the result is replicated, matching the serial drivers
-     * that reuse baseline runs.
+     * Run every job and return per-job outcomes in input order.
+     * Identical jobs (same app, algorithm, point, cache mode) are
+     * simulated once and the outcome is replicated, matching the
+     * serial drivers that reuse baseline runs. A job throwing
+     * FatalError (or any std::exception other than PanicError) yields
+     * a failed Outcome; PanicError aborts the sweep (remaining jobs
+     * are skipped and the panic is rethrown).
+     */
+    std::vector<Outcome<RunResult>>
+    runAllOutcomes(const std::vector<RunJob> &jobs);
+
+    /**
+     * Strict variant: run every job and return the results in input
+     * order, throwing FatalError on the first (input-order) failed
+     * job. Completed results are still journaled to the checkpoint
+     * before the throw, so a failed sweep remains resumable.
      */
     std::vector<RunResult> runAll(const std::vector<RunJob> &jobs);
+
+    /** Counters of the most recent runAll/runAllOutcomes call. */
+    const SweepStats &lastSweepStats() const { return stats_; }
 
     /**
      * Pre-materialize the per-app caches (traces, analysis, and the
@@ -63,7 +153,8 @@ class ParallelRunner
 
   private:
     Lab &lab_;
-    unsigned jobs_;
+    SweepOptions options_;
+    SweepStats stats_;
 };
 
 } // namespace tsp::experiment

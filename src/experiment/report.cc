@@ -6,6 +6,7 @@
 #include "core/algorithms.h"
 #include "util/error.h"
 #include "util/format.h"
+#include "workload/suite.h"
 
 namespace tsp::experiment {
 
@@ -25,7 +26,6 @@ CsvWriter::CsvWriter(const std::string &path) : impl_(new Impl)
 CsvWriter::~CsvWriter()
 {
     close();
-    delete impl_;
 }
 
 void
@@ -102,7 +102,42 @@ num(double x)
     return util::fmtFixed(x, 6);
 }
 
+/** The "status" CSV cell of a row: "ok" or the failure message. */
+std::string
+statusCell(bool failed, const std::string &error)
+{
+    return failed ? "failed: " + error : "ok";
+}
+
 } // namespace
+
+std::string
+renderFailureSummary(const std::vector<JobFailure> &failures)
+{
+    if (failures.empty())
+        return "";
+    std::string out = "sweep failures: " +
+                      std::to_string(failures.size()) + "\n";
+    for (const auto &f : failures)
+        out += "  - " + f.describe() + "\n";
+    return out;
+}
+
+void
+writeFailuresCsv(const std::string &path,
+                 const std::vector<JobFailure> &failures)
+{
+    CsvWriter csv(path);
+    csv.header({"application", "algorithm", "processors", "contexts",
+                "infinite_cache", "error"});
+    for (const auto &f : failures) {
+        csv.row({workload::appName(f.job.app),
+                 placement::algorithmName(f.job.alg),
+                 std::to_string(f.job.point.processors),
+                 std::to_string(f.job.point.contexts),
+                 f.job.infiniteCache ? "1" : "0", f.error});
+    }
+}
 
 void
 writeExecTimeCsv(const std::string &path,
@@ -110,13 +145,14 @@ writeExecTimeCsv(const std::string &path,
 {
     CsvWriter csv(path);
     csv.header({"algorithm", "processors", "contexts", "cycles",
-                "normalized_to_random", "load_imbalance"});
+                "normalized_to_random", "load_imbalance", "status"});
     for (const auto &pt : points) {
         csv.row({placement::algorithmName(pt.alg),
                  std::to_string(pt.point.processors),
                  std::to_string(pt.point.contexts),
                  std::to_string(pt.cycles),
-                 num(pt.normalizedToRandom), num(pt.loadImbalance)});
+                 num(pt.normalizedToRandom), num(pt.loadImbalance),
+                 statusCell(pt.failed, pt.error)});
     }
 }
 
@@ -127,7 +163,7 @@ writeMissComponentsCsv(const std::string &path,
     CsvWriter csv(path);
     csv.header({"algorithm", "processors", "contexts", "compulsory",
                 "intra_conflict", "inter_conflict", "invalidation",
-                "refs"});
+                "refs", "status"});
     for (const auto &row : rows) {
         csv.row({placement::algorithmName(row.alg),
                  std::to_string(row.point.processors),
@@ -136,7 +172,8 @@ writeMissComponentsCsv(const std::string &path,
                  std::to_string(row.intraConflict),
                  std::to_string(row.interConflict),
                  std::to_string(row.invalidation),
-                 std::to_string(row.refs)});
+                 std::to_string(row.refs),
+                 statusCell(row.failed, row.error)});
     }
 }
 

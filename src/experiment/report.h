@@ -9,6 +9,7 @@
 #ifndef TSP_EXPERIMENT_REPORT_H
 #define TSP_EXPERIMENT_REPORT_H
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,7 +46,7 @@ class CsvWriter
     void writeRow(const std::vector<std::string> &cells);
 
     struct Impl;
-    Impl *impl_;
+    std::unique_ptr<Impl> impl_;  // owned: no leak if the ctor throws
 };
 
 /** Quote one CSV cell per RFC 4180 (only when necessary). */
@@ -56,6 +57,18 @@ std::string csvQuote(const std::string &cell);
  * when unset. Bench binaries use this to decide whether to emit CSVs.
  */
 std::optional<std::string> outputDirectory();
+
+/**
+ * Render the failure summary of a degraded sweep as a text block
+ * ("sweep failures: N\n  - <job>: <error>..."), or an empty string
+ * when nothing failed. Printed by benches/CLIs after their tables.
+ */
+std::string renderFailureSummary(
+    const std::vector<JobFailure> &failures);
+
+/** Write a degraded sweep's failure list as CSV. */
+void writeFailuresCsv(const std::string &path,
+                      const std::vector<JobFailure> &failures);
 
 /** Write an execution-time study (Figures 2-4 layout) as CSV. */
 void writeExecTimeCsv(const std::string &path,

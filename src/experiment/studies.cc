@@ -12,9 +12,35 @@ namespace tsp::experiment {
 using placement::Algorithm;
 using workload::AppId;
 
+namespace {
+
+/**
+ * Post-process a fan-out's outcomes: in strict mode (no failures
+ * sink) rethrow the first (input-order) failure; in degraded mode
+ * append every failed job to the sink and let the caller mark cells.
+ */
+void
+collectFailures(const std::vector<RunJob> &fanout,
+                const std::vector<Outcome<RunResult>> &outcomes,
+                std::vector<JobFailure> *failures)
+{
+    for (size_t i = 0; i < fanout.size(); ++i) {
+        if (outcomes[i].ok())
+            continue;
+        if (!failures) {
+            util::fatal("sweep job " + describeJob(fanout[i]) +
+                        " failed: " + outcomes[i].error());
+        }
+        failures->push_back({fanout[i], outcomes[i].error()});
+    }
+}
+
+} // namespace
+
 std::vector<ExecTimePoint>
 execTimeStudy(Lab &lab, AppId app,
-              const std::vector<Algorithm> &algs, unsigned jobs)
+              const std::vector<Algorithm> &algs,
+              const SweepOptions &options)
 {
     const analysis::StaticAnalysis &an = lab.analysis(app);
     const auto sweep =
@@ -40,33 +66,60 @@ execTimeStudy(Lab &lab, AppId app,
         }
     }
 
-    auto results = ParallelRunner(lab, jobs).runAll(fanout);
+    auto outcomes =
+        ParallelRunner(lab, options).runAllOutcomes(fanout);
+    collectFailures(fanout, outcomes, options.failures);
 
     std::vector<ExecTimePoint> out;
     out.reserve(sweep.size() * algs.size());
     for (size_t p = 0; p < sweep.size(); ++p) {
-        const RunResult &random = results[randomIdx[p]];
-        util::fatalIf(random.executionTime == 0,
-                      "RANDOM baseline ran for zero cycles");
+        const auto &baseline = outcomes[randomIdx[p]];
         for (size_t a = 0; a < algs.size(); ++a) {
-            const RunResult &r = results[algIdx[p][a]];
+            const auto &oc = outcomes[algIdx[p][a]];
             ExecTimePoint pt;
             pt.alg = algs[a];
             pt.point = sweep[p];
-            pt.cycles = r.executionTime;
-            pt.loadImbalance = r.loadImbalance;
-            pt.normalizedToRandom =
-                static_cast<double>(pt.cycles) /
-                static_cast<double>(random.executionTime);
+            if (!oc.ok()) {
+                pt.failed = true;
+                pt.error = oc.error();
+            } else {
+                const RunResult &r = oc.value();
+                pt.cycles = r.executionTime;
+                pt.loadImbalance = r.loadImbalance;
+                if (!baseline.ok()) {
+                    // The cell ran but has nothing to normalize to.
+                    pt.failed = true;
+                    pt.error = "RANDOM baseline failed: " +
+                               baseline.error();
+                } else {
+                    const RunResult &random = baseline.value();
+                    util::fatalIf(
+                        random.executionTime == 0,
+                        "RANDOM baseline ran for zero cycles");
+                    pt.normalizedToRandom =
+                        static_cast<double>(pt.cycles) /
+                        static_cast<double>(random.executionTime);
+                }
+            }
             out.push_back(pt);
         }
     }
     return out;
 }
 
+std::vector<ExecTimePoint>
+execTimeStudy(Lab &lab, AppId app,
+              const std::vector<Algorithm> &algs, unsigned jobs)
+{
+    SweepOptions options;
+    options.jobs = jobs;
+    return execTimeStudy(lab, app, algs, options);
+}
+
 std::vector<MissComponentRow>
 missComponentStudy(Lab &lab, AppId app,
-                   const std::vector<Algorithm> &algs, unsigned jobs)
+                   const std::vector<Algorithm> &algs,
+                   const SweepOptions &options)
 {
     const analysis::StaticAnalysis &an = lab.analysis(app);
     const auto sweep =
@@ -78,27 +131,43 @@ missComponentStudy(Lab &lab, AppId app,
         for (Algorithm alg : algs)
             fanout.push_back({app, alg, point, false});
 
-    auto results = ParallelRunner(lab, jobs).runAll(fanout);
+    auto outcomes =
+        ParallelRunner(lab, options).runAllOutcomes(fanout);
+    collectFailures(fanout, outcomes, options.failures);
 
     std::vector<MissComponentRow> out;
     out.reserve(fanout.size());
     for (size_t i = 0; i < fanout.size(); ++i) {
-        const RunResult &r = results[i];
         MissComponentRow row;
         row.alg = fanout[i].alg;
         row.point = fanout[i].point;
-        row.compulsory =
-            r.stats.totalMissCount(sim::MissKind::Compulsory);
-        row.intraConflict =
-            r.stats.totalMissCount(sim::MissKind::IntraConflict);
-        row.interConflict =
-            r.stats.totalMissCount(sim::MissKind::InterConflict);
-        row.invalidation =
-            r.stats.totalMissCount(sim::MissKind::Invalidation);
-        row.refs = r.stats.totalMemRefs();
+        if (!outcomes[i].ok()) {
+            row.failed = true;
+            row.error = outcomes[i].error();
+        } else {
+            const RunResult &r = outcomes[i].value();
+            row.compulsory =
+                r.stats.totalMissCount(sim::MissKind::Compulsory);
+            row.intraConflict =
+                r.stats.totalMissCount(sim::MissKind::IntraConflict);
+            row.interConflict =
+                r.stats.totalMissCount(sim::MissKind::InterConflict);
+            row.invalidation =
+                r.stats.totalMissCount(sim::MissKind::Invalidation);
+            row.refs = r.stats.totalMemRefs();
+        }
         out.push_back(row);
     }
     return out;
+}
+
+std::vector<MissComponentRow>
+missComponentStudy(Lab &lab, AppId app,
+                   const std::vector<Algorithm> &algs, unsigned jobs)
+{
+    SweepOptions options;
+    options.jobs = jobs;
+    return missComponentStudy(lab, app, algs, options);
 }
 
 Table4Row
@@ -143,7 +212,7 @@ table4Study(Lab &lab, const std::vector<AppId> &apps, unsigned jobs)
 }
 
 std::vector<Table5Cell>
-table5Study(Lab &lab, AppId app, unsigned jobs)
+table5Study(Lab &lab, AppId app, const SweepOptions &options)
 {
     const analysis::StaticAnalysis &an = lab.analysis(app);
     const auto sweep =
@@ -167,25 +236,37 @@ table5Study(Lab &lab, AppId app, unsigned jobs)
             {app, Algorithm::CoherenceTraffic, sweep[p], true});
     }
 
-    auto results = ParallelRunner(lab, jobs).runAll(fanout);
+    auto outcomes =
+        ParallelRunner(lab, options).runAllOutcomes(fanout);
+    collectFailures(fanout, outcomes, options.failures);
 
     std::vector<Table5Cell> out;
     out.reserve(sweep.size());
     for (size_t p = 0; p < sweep.size(); ++p) {
-        const RunResult &loadBal = results[loadBalIdx[p]];
-        util::fatalIf(loadBal.executionTime == 0,
-                      "LOAD-BAL baseline ran for zero cycles");
-
         Table5Cell cell;
         cell.app = workload::appName(app);
         cell.processors = sweep[p].processors;
 
+        const auto &loadBalOc = outcomes[loadBalIdx[p]];
+        if (!loadBalOc.ok()) {
+            cell.failed = true;
+            cell.error =
+                "LOAD-BAL baseline failed: " + loadBalOc.error();
+            out.push_back(cell);
+            continue;
+        }
+        const RunResult &loadBal = loadBalOc.value();
+        util::fatalIf(loadBal.executionTime == 0,
+                      "LOAD-BAL baseline ran for zero cycles");
+
         double best = 0.0;
         bool first = true;
         for (size_t a = 0; a < pool.size(); ++a) {
-            const RunResult &r = results[poolIdx[p][a]];
+            const auto &oc = outcomes[poolIdx[p][a]];
+            if (!oc.ok())
+                continue;  // failed algorithm: out of the contest
             double norm =
-                static_cast<double>(r.executionTime) /
+                static_cast<double>(oc.value().executionTime) /
                 static_cast<double>(loadBal.executionTime);
             if (first || norm < best) {
                 best = norm;
@@ -193,15 +274,35 @@ table5Study(Lab &lab, AppId app, unsigned jobs)
                 first = false;
             }
         }
+        if (first) {
+            cell.failed = true;
+            cell.error = "every static sharing algorithm failed";
+            out.push_back(cell);
+            continue;
+        }
         cell.bestStaticVsLoadBal = best;
 
-        const RunResult &coh = results[cohIdx[p]];
-        cell.coherenceVsLoadBal =
-            static_cast<double>(coh.executionTime) /
-            static_cast<double>(loadBal.executionTime);
+        const auto &cohOc = outcomes[cohIdx[p]];
+        if (!cohOc.ok()) {
+            cell.failed = true;
+            cell.error =
+                "COHERENCE-TRAFFIC failed: " + cohOc.error();
+        } else {
+            cell.coherenceVsLoadBal =
+                static_cast<double>(cohOc.value().executionTime) /
+                static_cast<double>(loadBal.executionTime);
+        }
         out.push_back(cell);
     }
     return out;
+}
+
+std::vector<Table5Cell>
+table5Study(Lab &lab, AppId app, unsigned jobs)
+{
+    SweepOptions options;
+    options.jobs = jobs;
+    return table5Study(lab, app, options);
 }
 
 analysis::CharacteristicsRow

@@ -7,6 +7,13 @@
  * Every sweep driver takes a `jobs` pool width (default: TSP_JOBS or
  * the hardware concurrency) and fans its independent simulation runs
  * over a ParallelRunner; results are bit-identical to `jobs == 1`.
+ *
+ * Every sweep driver also has a SweepOptions overload carrying the
+ * robustness knobs: a Checkpoint to journal/replay cells, a failures
+ * sink that turns per-cell FatalErrors into reported-and-skipped
+ * rows (rows carry `failed`/`error`), and a per-job watchdog
+ * deadline. Without a failures sink the drivers keep their strict
+ * behavior — the first failed cell throws.
  */
 
 #ifndef TSP_EXPERIMENT_STUDIES_H
@@ -18,6 +25,7 @@
 #include "analysis/characteristics.h"
 #include "core/algorithms.h"
 #include "experiment/lab.h"
+#include "experiment/parallel.h"
 #include "util/thread_pool.h"
 
 namespace tsp::experiment {
@@ -32,6 +40,10 @@ struct ExecTimePoint
     uint64_t cycles = 0;
     double normalizedToRandom = 0.0;  //!< < 1 means faster than RANDOM
     double loadImbalance = 1.0;
+
+    /** Cell failed (only in degraded sweeps); @ref error says why. */
+    bool failed = false;
+    std::string error;
 };
 
 /**
@@ -43,6 +55,12 @@ std::vector<ExecTimePoint> execTimeStudy(
     Lab &lab, workload::AppId app,
     const std::vector<placement::Algorithm> &algs,
     unsigned jobs = util::ThreadPool::defaultJobs());
+
+/** @copydoc execTimeStudy with full robustness options. */
+std::vector<ExecTimePoint> execTimeStudy(
+    Lab &lab, workload::AppId app,
+    const std::vector<placement::Algorithm> &algs,
+    const SweepOptions &options);
 
 // ------------------------------------------------------------------- Fig 5
 
@@ -56,6 +74,10 @@ struct MissComponentRow
     uint64_t interConflict = 0;
     uint64_t invalidation = 0;
     uint64_t refs = 0;
+
+    /** Cell failed (only in degraded sweeps); @ref error says why. */
+    bool failed = false;
+    std::string error;
 
     uint64_t
     totalMisses() const
@@ -72,6 +94,12 @@ std::vector<MissComponentRow> missComponentStudy(
     Lab &lab, workload::AppId app,
     const std::vector<placement::Algorithm> &algs,
     unsigned jobs = util::ThreadPool::defaultJobs());
+
+/** @copydoc missComponentStudy with full robustness options. */
+std::vector<MissComponentRow> missComponentStudy(
+    Lab &lab, workload::AppId app,
+    const std::vector<placement::Algorithm> &algs,
+    const SweepOptions &options);
 
 // ----------------------------------------------------------------- Table 4
 
@@ -127,6 +155,10 @@ struct Table5Cell
 
     /** Dynamic coherence-traffic algorithm. */
     double coherenceVsLoadBal = 0.0;
+
+    /** Cell failed (only in degraded sweeps); @ref error says why. */
+    bool failed = false;
+    std::string error;
 };
 
 /**
@@ -138,6 +170,10 @@ struct Table5Cell
 std::vector<Table5Cell> table5Study(
     Lab &lab, workload::AppId app,
     unsigned jobs = util::ThreadPool::defaultJobs());
+
+/** @copydoc table5Study with full robustness options. */
+std::vector<Table5Cell> table5Study(Lab &lab, workload::AppId app,
+                                    const SweepOptions &options);
 
 // ----------------------------------------------------------------- Table 2
 

@@ -1,18 +1,31 @@
 #include "trace/trace_io.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
+#include <optional>
 #include <ostream>
+#include <sstream>
+#include <vector>
 
+#include "util/checksum.h"
 #include "util/error.h"
+#include "util/logging.h"
+#include "util/retry.h"
 
 namespace tsp::trace {
 
 namespace {
 
 constexpr char kMagic[4] = {'T', 'S', 'P', 'T'};
-constexpr uint32_t kVersion = 1;
+
+// Version 2 adds a payload length + CRC-32 after the header so any
+// corruption (flip, truncation, torn write) is detected up front;
+// version 1 files (raw body, no checksum) remain readable.
+constexpr uint32_t kVersion = 2;
 
 void
 writeU32(std::ostream &os, uint32_t v)
@@ -26,31 +39,68 @@ writeU64(std::ostream &os, uint64_t v)
     os.write(reinterpret_cast<const char *>(&v), sizeof(v));
 }
 
+/** Offset of the stream's read cursor (0 when unknown). */
+uint64_t
+offsetOf(std::istream &is)
+{
+    auto pos = is.tellg();
+    return pos < 0 ? 0 : static_cast<uint64_t>(pos);
+}
+
+/** Corruption error pointing at a file offset. */
+[[noreturn]] void
+corrupt(uint64_t offset, const std::string &why)
+{
+    util::fatal(util::concat("trace file corrupt at offset ", offset,
+                             ": ", why));
+}
+
 uint32_t
 readU32(std::istream &is)
 {
+    uint64_t at = offsetOf(is);
     uint32_t v = 0;
     is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    util::fatalIf(!is, "truncated trace file");
+    if (!is)
+        corrupt(at, "truncated while reading a 4-byte field");
     return v;
 }
 
 uint64_t
 readU64(std::istream &is)
 {
+    uint64_t at = offsetOf(is);
     uint64_t v = 0;
     is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    util::fatalIf(!is, "truncated trace file");
+    if (!is)
+        corrupt(at, "truncated while reading an 8-byte field");
     return v;
 }
 
-} // namespace
-
-void
-saveBinary(const TraceSet &set, std::ostream &os)
+/**
+ * Bytes left between the read cursor and the end of the stream, or
+ * nullopt when the stream is not seekable. Every declared count/size
+ * in the file is validated against this *before* any allocation, so a
+ * corrupt length can never provoke a bad_alloc or an unbounded read.
+ */
+std::optional<uint64_t>
+streamRemaining(std::istream &is)
 {
-    os.write(kMagic, sizeof(kMagic));
-    writeU32(os, kVersion);
+    auto cur = is.tellg();
+    if (cur < 0)
+        return std::nullopt;
+    is.seekg(0, std::ios::end);
+    auto end = is.tellg();
+    is.seekg(cur, std::ios::beg);
+    if (end < 0 || !is)
+        return std::nullopt;
+    return static_cast<uint64_t>(end - cur);
+}
+
+/** Serialize the body (everything after the header) of @p set. */
+void
+writeBody(const TraceSet &set, std::ostream &os)
+{
     writeU32(os, static_cast<uint32_t>(set.name().size()));
     os.write(set.name().data(),
              static_cast<std::streamsize>(set.name().size()));
@@ -61,6 +111,74 @@ saveBinary(const TraceSet &set, std::ostream &os)
         for (const auto &e : t.events())
             writeU64(os, e.raw());
     }
+}
+
+/**
+ * Parse the body from @p is. Shared by the v1 path (reading straight
+ * from the file) and the v2 path (reading from the checksummed,
+ * length-verified payload buffer).
+ */
+TraceSet
+readBody(std::istream &is)
+{
+    uint64_t at = offsetOf(is);
+    uint32_t nameLen = readU32(is);
+    auto remaining = streamRemaining(is);
+    if (remaining && nameLen > *remaining) {
+        corrupt(at, util::concat("declared name length ", nameLen,
+                                 " exceeds the ", *remaining,
+                                 " remaining bytes"));
+    }
+    std::string name(nameLen, '\0');
+    is.read(name.data(), nameLen);
+    if (!is)
+        corrupt(at, "truncated inside the application name");
+
+    TraceSet set(name);
+    uint32_t threads = readU32(is);
+    for (uint32_t i = 0; i < threads; ++i) {
+        at = offsetOf(is);
+        uint32_t id = readU32(is);
+        if (id != i)
+            corrupt(at, util::concat("thread ids must be dense (got ",
+                                     id, ", expected ", i, ")"));
+        uint64_t count = readU64(is);
+        remaining = streamRemaining(is);
+        if (remaining && count > *remaining / sizeof(uint64_t)) {
+            corrupt(at, util::concat(
+                            "declared event count ", count,
+                            " exceeds the ", *remaining,
+                            " remaining bytes"));
+        }
+        ThreadTrace tt(id);
+        // Reserve only a validated count; on a non-seekable stream
+        // the vector grows geometrically with the data actually read,
+        // so a corrupt count still cannot force a huge allocation.
+        if (remaining)
+            tt.reserve(count);
+        for (uint64_t k = 0; k < count; ++k)
+            tt.append(TraceEvent::fromRaw(readU64(is)));
+        set.addThread(std::move(tt));
+    }
+    return set;
+}
+
+} // namespace
+
+void
+saveBinary(const TraceSet &set, std::ostream &os)
+{
+    // Buffer the body to length- and checksum-stamp the header.
+    std::ostringstream body;
+    writeBody(set, body);
+    std::string payload = body.str();
+
+    os.write(kMagic, sizeof(kMagic));
+    writeU32(os, kVersion);
+    writeU64(os, payload.size());
+    writeU32(os, util::crc32(payload));
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
     util::fatalIf(!os, "trace write failed");
 }
 
@@ -72,41 +190,87 @@ loadBinary(std::istream &is)
     util::fatalIf(!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
                   "not a TSPT trace file");
     uint32_t version = readU32(is);
-    util::fatalIf(version != kVersion, "unsupported trace file version");
+    if (version == 1)
+        return readBody(is);  // legacy: no payload checksum
+    util::fatalIf(version != kVersion,
+                  util::concat("unsupported trace file version ",
+                               version, " (supported: 1, ",
+                               kVersion, ")"));
 
-    uint32_t nameLen = readU32(is);
-    std::string name(nameLen, '\0');
-    is.read(name.data(), nameLen);
-    util::fatalIf(!is, "truncated trace file");
-
-    TraceSet set(name);
-    uint32_t threads = readU32(is);
-    for (uint32_t i = 0; i < threads; ++i) {
-        uint32_t id = readU32(is);
-        util::fatalIf(id != i, "trace file thread ids must be dense");
-        uint64_t count = readU64(is);
-        ThreadTrace tt(id);
-        tt.reserve(count);
-        for (uint64_t k = 0; k < count; ++k)
-            tt.append(TraceEvent::fromRaw(readU64(is)));
-        set.addThread(std::move(tt));
+    uint64_t at = offsetOf(is);
+    uint64_t payloadSize = readU64(is);
+    uint32_t expectCrc = readU32(is);
+    auto remaining = streamRemaining(is);
+    if (remaining && payloadSize != *remaining) {
+        corrupt(at, util::concat("declared payload size ", payloadSize,
+                                 " does not match the ", *remaining,
+                                 " remaining bytes"));
     }
-    return set;
+
+    // Chunked read: even on a non-seekable stream a corrupt size
+    // cannot trigger a huge up-front allocation — the buffer grows
+    // only as real bytes arrive and truncation surfaces as FatalError.
+    std::string payload;
+    constexpr uint64_t kChunk = 1 << 20;
+    payload.reserve(static_cast<size_t>(
+        std::min<uint64_t>(payloadSize, kChunk)));
+    std::vector<char> chunk;
+    for (uint64_t got = 0; got < payloadSize;) {
+        uint64_t want = std::min<uint64_t>(kChunk, payloadSize - got);
+        chunk.resize(static_cast<size_t>(want));
+        is.read(chunk.data(), static_cast<std::streamsize>(want));
+        if (is.gcount() <= 0)
+            corrupt(at, util::concat("payload truncated after ", got,
+                                     " of ", payloadSize, " bytes"));
+        payload.append(chunk.data(),
+                       static_cast<size_t>(is.gcount()));
+        got += static_cast<uint64_t>(is.gcount());
+    }
+
+    uint32_t gotCrc = util::crc32(payload);
+    if (gotCrc != expectCrc) {
+        corrupt(at, util::concat(
+                        "payload checksum mismatch (stored ",
+                        expectCrc, ", computed ", gotCrc, ")"));
+    }
+
+    std::istringstream body(payload);
+    return readBody(body);
 }
 
 void
 saveFile(const TraceSet &set, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary);
-    util::fatalIf(!os, "cannot open trace file for writing: " + path);
-    saveBinary(set, os);
+    // Atomic publish: write to a sibling temp file, then rename, so a
+    // crash mid-write never leaves a torn .tspt behind. The open and
+    // the rename retry on transient filesystem failures.
+    std::string tmp = path + ".tmp";
+    util::retry(
+        [&] {
+            std::ofstream os(tmp,
+                             std::ios::binary | std::ios::trunc);
+            util::fatalIf(
+                !os, "cannot open trace file for writing: " + tmp);
+            saveBinary(set, os);
+            os.flush();
+            util::fatalIf(!os, "trace write failed: " + tmp);
+            os.close();
+            util::fatalIf(std::rename(tmp.c_str(), path.c_str()) != 0,
+                          "cannot publish trace file: " + path);
+        },
+        util::RetryPolicy{}, "trace save " + path);
 }
 
 TraceSet
 loadFile(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    util::fatalIf(!is, "cannot open trace file: " + path);
+    std::ifstream is = util::retry(
+        [&] {
+            std::ifstream f(path, std::ios::binary);
+            util::fatalIf(!f, "cannot open trace file: " + path);
+            return f;
+        },
+        util::RetryPolicy{}, "trace open " + path);
     return loadBinary(is);
 }
 

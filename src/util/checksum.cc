@@ -1,0 +1,37 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace tsp::util {
+
+namespace {
+
+/** The byte-at-a-time lookup table, built once at load time. */
+constexpr std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = makeTable();
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        c = kTable[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace tsp::util

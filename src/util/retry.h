@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bounded retry with capped exponential backoff, for transient
+ * filesystem failures on the robustness paths (checkpoint journal
+ * appends, trace file IO). Deliberately small: a policy struct and one
+ * function template.
+ *
+ * PanicError is never retried — an internal invariant violation will
+ * not heal by waiting — and the last attempt's exception propagates
+ * unchanged so callers keep the original error type and message.
+ */
+
+#ifndef TSP_UTIL_RETRY_H
+#define TSP_UTIL_RETRY_H
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace tsp::util {
+
+/** Backoff schedule for retry(). */
+struct RetryPolicy
+{
+    /** Total attempts, including the first (>= 1). */
+    unsigned maxAttempts = 3;
+
+    /** Delay before the second attempt. */
+    std::chrono::milliseconds initialBackoff{10};
+
+    /** Backoff growth factor between attempts. */
+    double multiplier = 2.0;
+
+    /** Backoff ceiling. */
+    std::chrono::milliseconds maxBackoff{1000};
+};
+
+/**
+ * Invoke @p fn, retrying on any std::exception except PanicError per
+ * @p policy. Each failed attempt logs a warning naming @p what; the
+ * final failure rethrows the original exception.
+ */
+template <typename F>
+auto
+retry(F &&fn, const RetryPolicy &policy, const std::string &what)
+    -> decltype(fn())
+{
+    panicIf(policy.maxAttempts == 0, "retry policy needs >= 1 attempt");
+    std::chrono::milliseconds backoff = policy.initialBackoff;
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            return fn();
+        } catch (const PanicError &) {
+            throw;  // a bug, not a transient condition
+        } catch (const std::exception &e) {
+            if (attempt >= policy.maxAttempts)
+                throw;
+            warn(concat(what, " failed (attempt ", attempt, "/",
+                        policy.maxAttempts, "): ", e.what(),
+                        "; retrying in ", backoff.count(), " ms"));
+            std::this_thread::sleep_for(backoff);
+            auto next = std::chrono::milliseconds(
+                static_cast<long long>(
+                    static_cast<double>(backoff.count()) *
+                    policy.multiplier));
+            backoff = next < policy.maxBackoff ? next
+                                               : policy.maxBackoff;
+        }
+    }
+}
+
+} // namespace tsp::util
+
+#endif // TSP_UTIL_RETRY_H

@@ -10,13 +10,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "experiment/lab.h"
 #include "experiment/parallel.h"
 #include "experiment/studies.h"
+#include "util/error.h"
 #include "util/thread_pool.h"
 
 namespace tsp::experiment {
@@ -194,6 +197,173 @@ TEST(Determinism, Table5StudyBitIdenticalAcrossJobs)
         EXPECT_EQ(serial[i].coherenceVsLoadBal,
                   wide[i].coherenceVsLoadBal);
     }
+}
+
+// --------------------------------------------------------- fault isolation
+
+TEST(FaultIsolation, PoisonJobDegradesWithoutPollutingOthers)
+{
+    // contexts == 0 fails SimConfig::validate with a FatalError — the
+    // canonical "one bad cell in a big sweep" case.
+    const RunJob poison{AppId::Water, Algorithm::LoadBal, {4, 0},
+                        false};
+    const std::vector<RunJob> good = {
+        {AppId::Water, Algorithm::Random, {2, 4}, false},
+        {AppId::Water, Algorithm::ShareRefs, {4, 2}, false},
+        {AppId::Water, Algorithm::LoadBal, {8, 1}, false},
+    };
+    std::vector<RunJob> jobs = {good[0], poison, good[1], good[2]};
+
+    Lab cleanLab(kScale);
+    auto clean = ParallelRunner(cleanLab, 1).runAll(good);
+
+    for (unsigned width : {1u, wideJobs()}) {
+        Lab lab(kScale);
+        SweepOptions options;
+        options.jobs = width;
+        SweepStats stats;
+        options.statsOut = &stats;
+        auto outcomes =
+            ParallelRunner(lab, options).runAllOutcomes(jobs);
+        ASSERT_EQ(outcomes.size(), jobs.size());
+
+        EXPECT_FALSE(outcomes[1].ok());
+        EXPECT_NE(outcomes[1].error().find("fatal:"),
+                  std::string::npos)
+            << outcomes[1].error();
+        EXPECT_EQ(stats.failed, 1u);
+        EXPECT_EQ(stats.executed, jobs.size());
+
+        // Every healthy cell is bit-identical to the clean run.
+        const size_t cleanIdx[] = {0, 2, 3};
+        for (size_t k = 0; k < 3; ++k) {
+            const auto &oc = outcomes[cleanIdx[k]];
+            ASSERT_TRUE(oc.ok());
+            EXPECT_EQ(oc.value().executionTime,
+                      clean[k].executionTime);
+            EXPECT_EQ(oc.value().placement.assignment(),
+                      clean[k].placement.assignment());
+            EXPECT_EQ(oc.value().loadImbalance,
+                      clean[k].loadImbalance);
+        }
+    }
+}
+
+TEST(FaultIsolation, StrictRunAllThrowsNamingTheJob)
+{
+    Lab lab(kScale);
+    const RunJob poison{AppId::Water, Algorithm::LoadBal, {4, 0},
+                        false};
+    std::vector<RunJob> jobs = {
+        {AppId::Water, Algorithm::Random, {2, 4}, false}, poison};
+    try {
+        ParallelRunner(lab, wideJobs()).runAll(jobs);
+        FAIL() << "strict runAll accepted a poisoned sweep";
+    } catch (const util::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(describeJob(poison)),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(FaultIsolation, PanicStillFailsTheWholeSweepFast)
+{
+    Lab lab(kScale);
+    SweepOptions options;
+    options.jobs = wideJobs();
+    options.faultInjector = [](const RunJob &job) {
+        if (job.alg == Algorithm::ShareRefs)
+            util::panic("injected library bug");
+    };
+    std::vector<RunJob> jobs = {
+        {AppId::Water, Algorithm::Random, {2, 4}, false},
+        {AppId::Water, Algorithm::ShareRefs, {4, 2}, false},
+    };
+    EXPECT_THROW(ParallelRunner(lab, options).runAllOutcomes(jobs),
+                 util::PanicError);
+}
+
+TEST(FaultIsolation, DegradedStudyMatchesCleanStudyElsewhere)
+{
+    const std::vector<Algorithm> algs = {
+        Algorithm::Random, Algorithm::LoadBal, Algorithm::ShareRefs};
+
+    Lab cleanLab(kScale);
+    auto clean = execTimeStudy(cleanLab, AppId::Water, algs,
+                               /*jobs=*/1);
+
+    Lab lab(kScale);
+    std::vector<JobFailure> failures;
+    SweepOptions options;
+    options.jobs = wideJobs();
+    options.failures = &failures;
+    options.faultInjector = [](const RunJob &job) {
+        if (job.alg == Algorithm::ShareRefs &&
+            job.point.processors == 4)
+            util::fatal("injected cell failure");
+    };
+    auto degraded = execTimeStudy(lab, AppId::Water, algs, options);
+
+    ASSERT_EQ(degraded.size(), clean.size());
+    size_t failedCells = 0;
+    for (size_t i = 0; i < degraded.size(); ++i) {
+        if (degraded[i].failed) {
+            ++failedCells;
+            EXPECT_EQ(degraded[i].alg, Algorithm::ShareRefs);
+            EXPECT_EQ(degraded[i].point.processors, 4u);
+            EXPECT_NE(degraded[i].error.find("injected"),
+                      std::string::npos)
+                << degraded[i].error;
+            continue;
+        }
+        EXPECT_EQ(degraded[i].cycles, clean[i].cycles);
+        EXPECT_EQ(degraded[i].normalizedToRandom,
+                  clean[i].normalizedToRandom);
+        EXPECT_EQ(degraded[i].loadImbalance, clean[i].loadImbalance);
+    }
+    EXPECT_GT(failedCells, 0u);
+    EXPECT_EQ(failures.size(), failedCells);
+    for (const auto &f : failures)
+        EXPECT_NE(f.describe().find("injected"), std::string::npos);
+}
+
+TEST(FaultIsolation, StrictStudyStillThrowsOnInjectedFailure)
+{
+    Lab lab(kScale);
+    SweepOptions options;
+    options.jobs = wideJobs();
+    options.faultInjector = [](const RunJob &job) {
+        if (job.alg == Algorithm::LoadBal)
+            util::fatal("injected cell failure");
+    };
+    EXPECT_THROW(execTimeStudy(lab, AppId::Water,
+                               {Algorithm::Random,
+                                Algorithm::LoadBal},
+                               options),
+                 util::FatalError);
+}
+
+TEST(FaultIsolation, WatchdogFlagsSlowCells)
+{
+    Lab lab(kScale);
+    SweepStats stats;
+    SweepOptions options;
+    options.jobs = 2;
+    options.statsOut = &stats;
+    options.jobDeadline = std::chrono::milliseconds(5);
+    options.faultInjector = [](const RunJob &job) {
+        if (job.alg == Algorithm::ShareRefs)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(40));
+    };
+    std::vector<RunJob> jobs = {
+        {AppId::Water, Algorithm::Random, {2, 4}, false},
+        {AppId::Water, Algorithm::ShareRefs, {4, 2}, false},
+    };
+    auto outcomes = ParallelRunner(lab, options).runAllOutcomes(jobs);
+    EXPECT_TRUE(outcomes[0].ok());
+    EXPECT_TRUE(outcomes[1].ok());
+    EXPECT_GE(stats.watchdogFlagged, 1u);
 }
 
 TEST(Determinism, Table4StudyMatchesSerialRows)

@@ -13,6 +13,7 @@
 #include "util/error.h"
 #include "util/format.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -381,6 +382,58 @@ TEST(Logging, LevelFilteringWorks)
 TEST(Logging, ConcatBuildsMessage)
 {
     EXPECT_EQ(concat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+// ----------------------------------------------------------------- parse
+
+TEST(Parse, AcceptsPlainDecimal)
+{
+    EXPECT_EQ(parseUnsigned("0", "--n"), 0u);
+    EXPECT_EQ(parseUnsigned("42", "--n"), 42u);
+    EXPECT_EQ(parseUnsigned("18446744073709551615", "--n"),
+              UINT64_MAX);
+    EXPECT_EQ(parseUnsigned32("4294967295", "--n"), UINT32_MAX);
+}
+
+TEST(Parse, RejectsGarbageNamingTheFlag)
+{
+    for (const char *bad : {"", "8x", "x8", "1.5", " 8", "8 ", "+8",
+                            "0x10"}) {
+        try {
+            parseUnsigned(bad, "--contexts");
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("--contexts"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(Parse, RejectsNegativeWithAHint)
+{
+    try {
+        parseUnsigned("-3", "--jobs");
+        FAIL() << "accepted a negative value";
+    } catch (const FatalError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("--jobs"), std::string::npos) << what;
+        EXPECT_NE(what.find("negative"), std::string::npos) << what;
+    }
+}
+
+TEST(Parse, RejectsOverflow)
+{
+    EXPECT_THROW(parseUnsigned("18446744073709551616", "--n"),
+                 FatalError);
+    EXPECT_THROW(parseUnsigned32("4294967296", "--n"), FatalError);
+}
+
+TEST(Parse, EnforcesRange)
+{
+    EXPECT_EQ(parseUnsigned("5", "--n", 1, 10), 5u);
+    EXPECT_THROW(parseUnsigned("0", "--n", 1, 10), FatalError);
+    EXPECT_THROW(parseUnsigned("11", "--n", 1, 10), FatalError);
 }
 
 } // namespace

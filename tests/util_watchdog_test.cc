@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests of the robustness utilities: the deadline watchdog (flags
+ * overdue tasks exactly once, leaves fast tasks alone) and bounded
+ * retry with backoff (transient failures heal, exhaustion rethrows
+ * the original error, PanicError is never retried).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/retry.h"
+#include "util/watchdog.h"
+
+namespace tsp::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- watchdog
+
+TEST(Watchdog, FlagsOverdueTaskOnce)
+{
+    std::mutex mutex;
+    std::vector<std::string> flagged;
+    Watchdog dog(
+        20ms,
+        [&](const std::string &label, std::chrono::milliseconds) {
+            std::lock_guard<std::mutex> lock(mutex);
+            flagged.push_back(label);
+        },
+        5ms);
+    {
+        auto guard = dog.watch("slow-cell");
+        std::this_thread::sleep_for(120ms);
+    }
+    EXPECT_EQ(dog.overdueCount(), 1u);
+    ASSERT_EQ(dog.overdueLabels().size(), 1u);
+    EXPECT_EQ(dog.overdueLabels()[0], "slow-cell");
+    std::lock_guard<std::mutex> lock(mutex);
+    // Flagged exactly once despite many poll cycles past the deadline.
+    ASSERT_EQ(flagged.size(), 1u);
+    EXPECT_EQ(flagged[0], "slow-cell");
+}
+
+TEST(Watchdog, FastTasksAreNeverFlagged)
+{
+    Watchdog dog(250ms, [](const std::string &,
+                           std::chrono::milliseconds) {}, 5ms);
+    for (int i = 0; i < 5; ++i) {
+        auto guard = dog.watch("fast-cell");
+    }
+    std::this_thread::sleep_for(40ms);
+    EXPECT_EQ(dog.overdueCount(), 0u);
+    EXPECT_TRUE(dog.overdueLabels().empty());
+}
+
+TEST(Watchdog, TracksConcurrentTasksIndependently)
+{
+    Watchdog dog(20ms, [](const std::string &,
+                          std::chrono::milliseconds) {}, 5ms);
+    std::thread slow([&] {
+        auto guard = dog.watch("slow");
+        std::this_thread::sleep_for(100ms);
+    });
+    std::thread fast([&] {
+        auto guard = dog.watch("fast");
+    });
+    slow.join();
+    fast.join();
+    EXPECT_EQ(dog.overdueCount(), 1u);
+    ASSERT_EQ(dog.overdueLabels().size(), 1u);
+    EXPECT_EQ(dog.overdueLabels()[0], "slow");
+}
+
+TEST(Watchdog, DefaultCallbackWarnsWithoutCrashing)
+{
+    Watchdog dog(10ms);
+    auto guard = dog.watch("warn-path");
+    std::this_thread::sleep_for(60ms);
+    EXPECT_EQ(dog.overdueCount(), 1u);
+}
+
+// ------------------------------------------------------------------- retry
+
+TEST(Retry, SucceedsFirstTry)
+{
+    unsigned calls = 0;
+    int result = retry([&] { ++calls; return 42; }, RetryPolicy{},
+                       "test op");
+    EXPECT_EQ(result, 42);
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(Retry, TransientFailureHeals)
+{
+    unsigned calls = 0;
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.initialBackoff = 1ms;
+    int result = retry(
+        [&]() -> int {
+            if (++calls < 3)
+                fatal("transient filesystem hiccup");
+            return 7;
+        },
+        policy, "healing op");
+    EXPECT_EQ(result, 7);
+    EXPECT_EQ(calls, 3u);
+}
+
+TEST(Retry, ExhaustionRethrowsTheOriginalError)
+{
+    unsigned calls = 0;
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.initialBackoff = 1ms;
+    try {
+        retry([&]() -> int { ++calls;
+                             fatal("disk on fire"); },
+              policy, "doomed op");
+        FAIL() << "retry returned despite every attempt failing";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("disk on fire"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(calls, 3u);
+}
+
+TEST(Retry, PanicErrorIsNeverRetried)
+{
+    unsigned calls = 0;
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.initialBackoff = 1ms;
+    EXPECT_THROW(retry([&]() -> int { ++calls;
+                                      panic("invariant broken"); },
+                       policy, "buggy op"),
+                 PanicError);
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(Retry, ZeroAttemptPolicyIsAPanic)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 0;
+    EXPECT_THROW(retry([] { return 1; }, policy, "bad policy"),
+                 PanicError);
+}
+
+} // namespace
+} // namespace tsp::util

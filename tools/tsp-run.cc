@@ -2,11 +2,12 @@
  * @file
  * tsp_run — one-shot experiment CLI: place one suite application with
  * one algorithm on one machine configuration and print the full
- * statistics.
+ * statistics. Also hosts the fault-tolerant sweep driver.
  *
  *   tsp_run <app> <algorithm> <processors> [options]
+ *   tsp_run sweep <app> [options]
  *
- * options:
+ * options (single run):
  *   --contexts N     hardware contexts/processor (default: fit all)
  *   --cache BYTES    cache size (default: the app's paper cache,
  *                    scaled)
@@ -19,18 +20,37 @@
  *   --jobs N         worker threads for parallel experiment drivers
  *                    (overrides TSP_JOBS; results are identical at
  *                    any width)
+ *
+ * options (sweep mode):
+ *   --scale N          workload scale divisor
+ *   --jobs N           worker threads
+ *   --checkpoint PATH  journal completed cells to PATH; a re-run
+ *                      replays the journal and simulates only the
+ *                      missing cells (crash-safe resume)
+ *   --deadline MS      watchdog: warn when one cell runs longer than
+ *                      MS milliseconds
+ *
+ * All numeric flags are parsed strictly: non-numeric, negative or
+ * overflowing values fail with a message naming the flag.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "experiment/checkpoint.h"
 #include "experiment/lab.h"
+#include "experiment/report.h"
+#include "experiment/studies.h"
 #include "sim/machine.h"
 #include "util/bits.h"
 #include "util/error.h"
 #include "util/format.h"
+#include "util/parse.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "workload/suite.h"
@@ -45,6 +65,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: tsp_run <app> <algorithm> <processors> [options]\n"
+        "       tsp_run sweep <app> [--checkpoint PATH]"
+        " [--deadline MS]\n"
         "  --contexts N  --cache BYTES  --assoc N  --latency N\n"
         "  --switch N    --scale N      --infinite --profile\n"
         "  --jobs N\n"
@@ -56,22 +78,130 @@ usage()
     return 2;
 }
 
+/**
+ * Fault-tolerant figure sweep: execTimeStudy in degraded mode with an
+ * optional checkpoint journal and per-cell watchdog. Failed cells
+ * render as FAILED; the failure summary and the sweep statistics
+ * (cells replayed from the checkpoint vs simulated vs failed) print
+ * after the table.
+ */
+int
+runSweep(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    workload::AppId app = workload::appByName(argv[2]);
+
+    uint32_t scale = workload::defaultScale();
+    unsigned jobs = util::ThreadPool::defaultJobs();
+    std::string checkpointPath;
+    uint64_t deadlineMs = 0;
+    for (int i = 3; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            util::fatalIf(i + 1 >= argc,
+                          std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--scale"))
+            scale = util::parseUnsigned32(next("--scale"), "--scale",
+                                          1);
+        else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = util::parseUnsigned32(next("--jobs"), "--jobs", 0,
+                                         4096);
+        else if (!std::strcmp(argv[i], "--checkpoint"))
+            checkpointPath = next("--checkpoint");
+        else if (!std::strcmp(argv[i], "--deadline"))
+            deadlineMs = util::parseUnsigned(next("--deadline"),
+                                             "--deadline", 1);
+        else
+            return usage();
+    }
+
+    experiment::Lab lab(scale);
+    std::optional<experiment::Checkpoint> checkpoint;
+    if (!checkpointPath.empty()) {
+        checkpoint.emplace(checkpointPath, scale);
+        if (checkpoint->size())
+            std::printf("checkpoint: %s holds %zu completed cells\n",
+                        checkpointPath.c_str(), checkpoint->size());
+    }
+
+    std::vector<experiment::JobFailure> failures;
+    experiment::SweepStats stats;
+    experiment::SweepOptions options;
+    options.jobs = jobs;
+    options.checkpoint = checkpoint ? &*checkpoint : nullptr;
+    options.failures = &failures;
+    options.statsOut = &stats;
+    options.jobDeadline = std::chrono::milliseconds(deadlineMs);
+
+    auto points = experiment::execTimeStudy(
+        lab, app, placement::figureAlgorithms(), options);
+
+    // One row per algorithm, one column per machine point.
+    std::vector<std::string> cols;
+    for (const auto &pt : points) {
+        std::string label = pt.point.label();
+        if (std::find(cols.begin(), cols.end(), label) == cols.end())
+            cols.push_back(label);
+    }
+    util::TextTable table(workload::appName(app) +
+                          " execution time (normalized to RANDOM)");
+    std::vector<std::string> header{"algorithm"};
+    header.insert(header.end(), cols.begin(), cols.end());
+    table.setHeader(header);
+    for (placement::Algorithm alg : placement::figureAlgorithms()) {
+        std::vector<std::string> row{placement::algorithmName(alg)};
+        row.resize(1 + cols.size());
+        for (const auto &pt : points) {
+            if (pt.alg != alg)
+                continue;
+            auto it = std::find(cols.begin(), cols.end(),
+                                pt.point.label());
+            row[1 + static_cast<size_t>(it - cols.begin())] =
+                pt.failed ? "FAILED"
+                          : util::fmtFixed(pt.normalizedToRandom, 3);
+        }
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\nsweep: %zu cells (%zu unique), %zu replayed from "
+                "checkpoint, %zu simulated, %zu failed\n",
+                stats.total, stats.unique, stats.fromCheckpoint,
+                stats.executed, stats.failed);
+    if (stats.watchdogFlagged)
+        std::printf("watchdog: %zu cells exceeded the %llu ms "
+                    "deadline\n",
+                    stats.watchdogFlagged,
+                    static_cast<unsigned long long>(deadlineMs));
+    std::string summary = experiment::renderFailureSummary(failures);
+    if (!summary.empty())
+        std::printf("%s", summary.c_str());
+    return failures.empty() ? 0 : 3;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 4)
+    if (argc < 2)
         return usage();
     try {
+        if (!std::strcmp(argv[1], "sweep"))
+            return runSweep(argc, argv);
+        if (argc < 4)
+            return usage();
+
         workload::AppId app = workload::appByName(argv[1]);
         auto alg = placement::algorithmFromName(argv[2]);
         if (!alg) {
             std::fprintf(stderr, "unknown algorithm: %s\n", argv[2]);
             return usage();
         }
-        uint32_t procs = static_cast<uint32_t>(
-            std::strtoul(argv[3], nullptr, 10));
+        uint32_t procs =
+            util::parseUnsigned32(argv[3], "processors", 1, 128);
 
         uint32_t contexts = 0, assoc = 1, latency = 50, switchCy = 6;
         uint64_t cacheBytes = 0;
@@ -84,30 +214,30 @@ main(int argc, char **argv)
                 return argv[++i];
             };
             if (!std::strcmp(argv[i], "--contexts"))
-                contexts = static_cast<uint32_t>(
-                    std::strtoul(next("--contexts"), nullptr, 10));
+                contexts = util::parseUnsigned32(next("--contexts"),
+                                                 "--contexts", 1);
             else if (!std::strcmp(argv[i], "--cache"))
-                cacheBytes = std::strtoull(next("--cache"), nullptr,
-                                           10);
+                cacheBytes = util::parseUnsigned(next("--cache"),
+                                                 "--cache", 1);
             else if (!std::strcmp(argv[i], "--assoc"))
-                assoc = static_cast<uint32_t>(
-                    std::strtoul(next("--assoc"), nullptr, 10));
+                assoc = util::parseUnsigned32(next("--assoc"),
+                                              "--assoc", 1);
             else if (!std::strcmp(argv[i], "--latency"))
-                latency = static_cast<uint32_t>(
-                    std::strtoul(next("--latency"), nullptr, 10));
+                latency = util::parseUnsigned32(next("--latency"),
+                                                "--latency", 1);
             else if (!std::strcmp(argv[i], "--switch"))
-                switchCy = static_cast<uint32_t>(
-                    std::strtoul(next("--switch"), nullptr, 10));
+                switchCy = util::parseUnsigned32(next("--switch"),
+                                                 "--switch");
             else if (!std::strcmp(argv[i], "--scale"))
-                scale = static_cast<uint32_t>(
-                    std::strtoul(next("--scale"), nullptr, 10));
+                scale = util::parseUnsigned32(next("--scale"),
+                                              "--scale", 1);
             else if (!std::strcmp(argv[i], "--infinite"))
                 infinite = true;
             else if (!std::strcmp(argv[i], "--profile"))
                 profile = true;
             else if (!std::strcmp(argv[i], "--jobs"))
-                util::ThreadPool::setDefaultJobs(static_cast<unsigned>(
-                    std::strtoul(next("--jobs"), nullptr, 10)));
+                util::ThreadPool::setDefaultJobs(util::parseUnsigned32(
+                    next("--jobs"), "--jobs", 0, 4096));
             else
                 return usage();
         }

@@ -13,7 +13,6 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -22,6 +21,7 @@
 #include "trace/trace_io.h"
 #include "util/error.h"
 #include "util/format.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "workload/generator.h"
@@ -55,7 +55,7 @@ cmdGen(int argc, char **argv)
     std::string appName = argv[2];
     std::string path = argv[3];
     uint32_t scale = argc > 4
-        ? static_cast<uint32_t>(std::strtoul(argv[4], nullptr, 10))
+        ? util::parseUnsigned32(argv[4], "scale", 1)
         : workload::defaultScale();
 
     if (appName == "all") {
@@ -155,10 +155,9 @@ cmdDump(int argc, char **argv)
     if (argc < 4)
         return usage();
     auto traces = trace::loadFile(argv[2]);
-    uint32_t tid =
-        static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10));
+    uint32_t tid = util::parseUnsigned32(argv[3], "thread");
     size_t count = argc > 4
-        ? static_cast<size_t>(std::strtoul(argv[4], nullptr, 10))
+        ? static_cast<size_t>(util::parseUnsigned(argv[4], "count"))
         : 20;
     util::fatalIf(tid >= traces.threadCount(), "no such thread");
 
