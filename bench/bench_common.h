@@ -9,7 +9,6 @@
 #ifndef TSP_BENCH_BENCH_COMMON_H
 #define TSP_BENCH_BENCH_COMMON_H
 
-#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -19,6 +18,9 @@
 #include "experiment/lab.h"
 #include "experiment/report.h"
 #include "experiment/studies.h"
+#include "obs/metric_defs.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "util/format.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -26,34 +28,26 @@
 
 namespace tsp::bench {
 
-/** Monotonic stopwatch for the bench timing lines. */
-class WallTimer
-{
-  public:
-    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+/**
+ * Monotonic stopwatch for the bench timing lines — the obs layer's
+ * StopWatch, so every `[wall]` line uses the same clock as the
+ * metrics registry's timers.
+ */
+using WallTimer = obs::StopWatch;
 
-    /** Milliseconds since construction (or the last reset()). */
-    double
-    elapsedMs() const
-    {
-        return std::chrono::duration<double, std::milli>(
-                   std::chrono::steady_clock::now() - start_)
-            .count();
-    }
-
-    void reset() { start_ = std::chrono::steady_clock::now(); }
-
-  private:
-    std::chrono::steady_clock::time_point start_;
-};
-
-/** Print the standard wall-clock line: `[wall] <what>: N ms (jobs=J)`. */
+/**
+ * Print the standard wall-clock line: `[wall] <what>: N ms (jobs=J)`.
+ * The duration also lands in the `bench.wall_ms` histogram, so a run
+ * with TSP_METRICS_OUT set exports every timing line as JSON.
+ */
 inline void
 printWallClock(const std::string &what, const WallTimer &timer,
                unsigned jobs = util::ThreadPool::defaultJobs())
 {
-    std::printf("[wall] %s: %.1f ms (jobs=%u)\n", what.c_str(),
-                timer.elapsedMs(), jobs);
+    double ms = timer.elapsedMs();
+    obs::benchWallMillis().observe(ms);
+    std::printf("[wall] %s: %.1f ms (jobs=%u)\n", what.c_str(), ms,
+                jobs);
 }
 
 /** Print the standard banner: workload scale, app config, pool width. */
@@ -61,6 +55,8 @@ inline void
 banner(const std::string &what, experiment::Lab &lab,
        workload::AppId app)
 {
+    // Honor TSP_METRICS / TSP_METRICS_OUT for every bench binary.
+    obs::configureFromEnv();
     const auto &p = workload::profile(app);
     std::printf("%s\n", what.c_str());
     std::printf("workload: %s (%u threads, mean length %s, scale 1/%u,"

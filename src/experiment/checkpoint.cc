@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "experiment/parallel.h"
+#include "obs/metric_defs.h"
 #include "util/checksum.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -398,6 +399,7 @@ Checkpoint::record(const RunJob &job, const RunResult &result)
     journal_ += payload.bytes();
     results_[key] = result;
     persist();
+    obs::checkpointAppends().inc();
 }
 
 void

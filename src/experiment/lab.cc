@@ -1,5 +1,7 @@
 #include "experiment/lab.h"
 
+#include "obs/metric_defs.h"
+#include "obs/timer.h"
 #include "sim/machine.h"
 #include "util/error.h"
 
@@ -10,13 +12,36 @@ using workload::AppId;
 
 Lab::Lab(uint32_t scale) : scale_(scale) {}
 
+RunMissSummary
+RunResult::missSummary() const
+{
+    RunMissSummary s;
+    s.compulsory = stats.totalMissCount(sim::MissKind::Compulsory);
+    s.intraConflict =
+        stats.totalMissCount(sim::MissKind::IntraConflict);
+    s.interConflict =
+        stats.totalMissCount(sim::MissKind::InterConflict);
+    s.invalidation = stats.totalMissCount(sim::MissKind::Invalidation);
+    s.memRefs = stats.totalMemRefs();
+    s.invalidationsSent = stats.totalInvalidationsSent();
+    s.upgrades = stats.totalUpgrades();
+    return s;
+}
+
 const trace::TraceSet &
 Lab::traces(AppId app)
 {
     auto &entry = memoEntry(traces_, app);
+    // The materializing caller counts a memo miss; everyone else
+    // (including callers that blocked on the once-flag) counts a hit.
+    bool materialized = false;
     std::call_once(entry.once, [&] {
+        materialized = true;
         entry.value = workload::appTraces(app, scale_);
     });
+    (materialized ? obs::labTraceMemoMisses()
+                  : obs::labTraceMemoHits())
+        .inc();
     return *entry.value;
 }
 
@@ -24,10 +49,15 @@ const analysis::StaticAnalysis &
 Lab::analysis(AppId app)
 {
     auto &entry = memoEntry(analyses_, app);
+    bool materialized = false;
     std::call_once(entry.once, [&] {
+        materialized = true;
         entry.value = std::make_unique<analysis::StaticAnalysis>(
             analysis::StaticAnalysis::analyze(traces(app)));
     });
+    (materialized ? obs::labAnalysisMemoMisses()
+                  : obs::labAnalysisMemoHits())
+        .inc();
     return *entry.value;
 }
 
@@ -47,18 +77,24 @@ const sim::SimStats &
 Lab::coherenceStats(AppId app)
 {
     auto &entry = memoEntry(probes_, app);
+    bool materialized = false;
     std::call_once(entry.once, [&] {
+        materialized = true;
         sim::SimConfig base;
         base.cacheBytes = workload::scaledCacheBytes(app, scale_);
         entry.value = std::make_unique<sim::CoherenceProbeResult>(
             sim::measureCoherenceTraffic(traces(app), base));
     });
+    (materialized ? obs::labProbeMemoMisses()
+                  : obs::labProbeMemoHits())
+        .inc();
     return entry.value->stats;
 }
 
 void
 Lab::warmup(AppId app, bool coherence)
 {
+    obs::ScopedTimer timer(obs::labWarmupMillis());
     analysis(app);  // materializes traces(app) first
     if (coherence)
         coherenceStats(app);

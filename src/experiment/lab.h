@@ -23,6 +23,30 @@
 
 namespace tsp::experiment {
 
+/**
+ * Per-run miss-component and coherence-message totals, so sweep
+ * consumers read one struct instead of re-aggregating SimStats'
+ * per-processor counters kind by kind.
+ */
+struct RunMissSummary
+{
+    uint64_t compulsory = 0;
+    uint64_t intraConflict = 0;
+    uint64_t interConflict = 0;
+    uint64_t invalidation = 0;
+    uint64_t memRefs = 0;
+
+    uint64_t invalidationsSent = 0;  //!< directory coherence messages
+    uint64_t upgrades = 0;           //!< write-hit upgrade transactions
+
+    uint64_t
+    totalMisses() const
+    {
+        return compulsory + intraConflict + interConflict +
+               invalidation;
+    }
+};
+
 /** Result of one placement + simulation run. */
 struct RunResult
 {
@@ -34,6 +58,12 @@ struct RunResult
 
     /** Max processor load over ideal (1.0 = perfect balance). */
     double loadImbalance = 1.0;
+
+    /**
+     * This run's miss components and coherence messages (derived from
+     * @ref stats on demand, so checkpointed results replay it too).
+     */
+    RunMissSummary missSummary() const;
 };
 
 /**

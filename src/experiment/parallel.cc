@@ -7,6 +7,9 @@
 #include <tuple>
 
 #include "experiment/checkpoint.h"
+#include "obs/metric_defs.h"
+#include "obs/timer.h"
+#include "obs/trace_sink.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/watchdog.h"
@@ -74,6 +77,7 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
     stats_.unique = uniqueJobs.size();
 
     std::vector<Outcome<RunResult>> unique(uniqueJobs.size());
+    std::vector<double> uniqueMillis(uniqueJobs.size(), 0.0);
 
     // Replay journaled cells; only the rest hit the pool.
     std::vector<size_t> pending;
@@ -111,11 +115,24 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
         std::optional<util::Watchdog::Guard> guard;
         if (watchdog)
             guard.emplace(watchdog->watch(describeJob(job)));
+        obs::StopWatch cellWatch;
         try {
             if (options_.faultInjector)
                 options_.faultInjector(job);
             RunResult result = lab_.run(job.app, job.alg, job.point,
                                         job.infiniteCache);
+            double cellMs = cellWatch.elapsedMs();
+            uniqueMillis[pending[k]] = cellMs;
+            obs::sweepCellMillis().observe(cellMs);
+            if (obs::TraceSink *sink = obs::TraceSink::global()) {
+                sink->complete(
+                    describeJob(job), "sweep", cellMs,
+                    {obs::TraceArg::str("app",
+                                        workload::appName(job.app)),
+                     obs::TraceArg::str(
+                         "alg", placement::algorithmName(job.alg)),
+                     obs::TraceArg::str("point", job.point.label())});
+            }
             if (options_.checkpoint) {
                 try {
                     options_.checkpoint->record(job, result);
@@ -123,6 +140,7 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
                     // A journaling failure must not fail the cell —
                     // the result is still good, only resumability of
                     // this cell is lost.
+                    obs::checkpointAppendFailures().inc();
                     util::warn(util::concat(
                         "checkpoint record failed for ",
                         describeJob(job), ": ", e.what()));
@@ -153,9 +171,18 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
         stats_.watchdogFlagged =
             static_cast<size_t>(watchdog->overdueCount());
 
+    obs::sweepCellsExecuted().add(stats_.executed);
+    obs::sweepCellsFromCheckpoint().add(stats_.fromCheckpoint);
+    obs::sweepCellsFailed().add(stats_.failed);
+
     std::vector<Outcome<RunResult>> out(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i)
         out[i] = unique[uniqueOf[i]];
+    if (options_.cellMillisOut) {
+        options_.cellMillisOut->assign(jobs.size(), 0.0);
+        for (size_t i = 0; i < jobs.size(); ++i)
+            (*options_.cellMillisOut)[i] = uniqueMillis[uniqueOf[i]];
+    }
     if (options_.statsOut)
         *options_.statsOut = stats_;
     return out;

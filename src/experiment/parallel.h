@@ -92,6 +92,14 @@ struct SweepOptions
     /** Filled with the sweep's counters when non-null. */
     SweepStats *statsOut = nullptr;
 
+    /**
+     * Filled with each job's simulation wall time in milliseconds, in
+     * input order, when non-null. Cells replayed from the checkpoint
+     * (and failed cells) report 0.0; duplicate jobs copy the executed
+     * cell's time. Purely observational — never feeds results.
+     */
+    std::vector<double> *cellMillisOut = nullptr;
+
     /** Flag jobs running longer than this; zero disables. */
     std::chrono::milliseconds jobDeadline{0};
 

@@ -145,13 +145,15 @@ writeExecTimeCsv(const std::string &path,
 {
     CsvWriter csv(path);
     csv.header({"algorithm", "processors", "contexts", "cycles",
-                "normalized_to_random", "load_imbalance", "status"});
+                "normalized_to_random", "load_imbalance", "wall_ms",
+                "status"});
     for (const auto &pt : points) {
         csv.row({placement::algorithmName(pt.alg),
                  std::to_string(pt.point.processors),
                  std::to_string(pt.point.contexts),
                  std::to_string(pt.cycles),
                  num(pt.normalizedToRandom), num(pt.loadImbalance),
+                 util::fmtFixed(pt.wallMs, 3),
                  statusCell(pt.failed, pt.error)});
     }
 }
@@ -163,7 +165,7 @@ writeMissComponentsCsv(const std::string &path,
     CsvWriter csv(path);
     csv.header({"algorithm", "processors", "contexts", "compulsory",
                 "intra_conflict", "inter_conflict", "invalidation",
-                "refs", "status"});
+                "refs", "wall_ms", "status"});
     for (const auto &row : rows) {
         csv.row({placement::algorithmName(row.alg),
                  std::to_string(row.point.processors),
@@ -173,6 +175,7 @@ writeMissComponentsCsv(const std::string &path,
                  std::to_string(row.interConflict),
                  std::to_string(row.invalidation),
                  std::to_string(row.refs),
+                 util::fmtFixed(row.wallMs, 3),
                  statusCell(row.failed, row.error)});
     }
 }

@@ -66,9 +66,16 @@ execTimeStudy(Lab &lab, AppId app,
         }
     }
 
+    // The fan-out's layout is internal, so per-cell timing goes
+    // through a local vector and lands on rows as `wallMs`.
+    std::vector<double> cellMillis;
+    SweepOptions runOptions = options;
+    runOptions.cellMillisOut = &cellMillis;
     auto outcomes =
-        ParallelRunner(lab, options).runAllOutcomes(fanout);
+        ParallelRunner(lab, runOptions).runAllOutcomes(fanout);
     collectFailures(fanout, outcomes, options.failures);
+    if (options.cellMillisOut)
+        *options.cellMillisOut = cellMillis;
 
     std::vector<ExecTimePoint> out;
     out.reserve(sweep.size() * algs.size());
@@ -79,6 +86,7 @@ execTimeStudy(Lab &lab, AppId app,
             ExecTimePoint pt;
             pt.alg = algs[a];
             pt.point = sweep[p];
+            pt.wallMs = cellMillis[algIdx[p][a]];
             if (!oc.ok()) {
                 pt.failed = true;
                 pt.error = oc.error();
@@ -131,9 +139,14 @@ missComponentStudy(Lab &lab, AppId app,
         for (Algorithm alg : algs)
             fanout.push_back({app, alg, point, false});
 
+    std::vector<double> cellMillis;
+    SweepOptions runOptions = options;
+    runOptions.cellMillisOut = &cellMillis;
     auto outcomes =
-        ParallelRunner(lab, options).runAllOutcomes(fanout);
+        ParallelRunner(lab, runOptions).runAllOutcomes(fanout);
     collectFailures(fanout, outcomes, options.failures);
+    if (options.cellMillisOut)
+        *options.cellMillisOut = cellMillis;
 
     std::vector<MissComponentRow> out;
     out.reserve(fanout.size());
@@ -141,6 +154,7 @@ missComponentStudy(Lab &lab, AppId app,
         MissComponentRow row;
         row.alg = fanout[i].alg;
         row.point = fanout[i].point;
+        row.wallMs = cellMillis[i];
         if (!outcomes[i].ok()) {
             row.failed = true;
             row.error = outcomes[i].error();

@@ -41,6 +41,13 @@ struct ExecTimePoint
     double normalizedToRandom = 0.0;  //!< < 1 means faster than RANDOM
     double loadImbalance = 1.0;
 
+    /**
+     * Simulation wall time of this cell in milliseconds (0.0 when the
+     * cell was replayed from a checkpoint or failed). Observational
+     * only — never feeds the figure's data.
+     */
+    double wallMs = 0.0;
+
     /** Cell failed (only in degraded sweeps); @ref error says why. */
     bool failed = false;
     std::string error;
@@ -74,6 +81,9 @@ struct MissComponentRow
     uint64_t interConflict = 0;
     uint64_t invalidation = 0;
     uint64_t refs = 0;
+
+    /** @copydoc ExecTimePoint::wallMs */
+    double wallMs = 0.0;
 
     /** Cell failed (only in degraded sweeps); @ref error says why. */
     bool failed = false;

@@ -1,0 +1,291 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace tsp::obs {
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonNumber(double x)
+{
+    if (!std::isfinite(x))
+        return "0";  // JSON has no inf/nan; clamp rather than corrupt
+    if (x == static_cast<double>(static_cast<long long>(x)) &&
+        std::fabs(x) < 9.0e15) {
+        return std::to_string(static_cast<long long>(x));
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+    return buf;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    util::fatalIf(type != Type::Object,
+                  "JSON: at(\"" + key + "\") on a non-object");
+    auto it = object.find(key);
+    util::fatalIf(it == object.end(), "JSON: missing member " + key);
+    return it->second;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return type == Type::Object && object.count(key) > 0;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string (no streaming). */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipSpace();
+        fail(pos_ != text_.size(), "trailing characters");
+        return v;
+    }
+
+  private:
+    void
+    fail(bool cond, const std::string &what) const
+    {
+        util::fatalIf(cond, "JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        fail(pos_ >= text_.size(), "unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        fail(peek() != c,
+             std::string("expected '") + c + "', got '" + peek() + "'");
+        ++pos_;
+    }
+
+    JsonValue
+    value()
+    {
+        skipSpace();
+        switch (peek()) {
+          case '{': return objectValue();
+          case '[': return arrayValue();
+          case '"': return stringValue();
+          case 't': return literal("true", [](JsonValue &v) {
+              v.type = JsonValue::Type::Bool;
+              v.boolean = true;
+          });
+          case 'f': return literal("false", [](JsonValue &v) {
+              v.type = JsonValue::Type::Bool;
+              v.boolean = false;
+          });
+          case 'n': return literal("null", [](JsonValue &v) {
+              v.type = JsonValue::Type::Null;
+          });
+          default: return numberValue();
+        }
+    }
+
+    template <typename F>
+    JsonValue
+    literal(const std::string &word, F &&fill)
+    {
+        fail(text_.compare(pos_, word.size(), word) != 0,
+             "invalid literal");
+        pos_ += word.size();
+        JsonValue v;
+        fill(v);
+        return v;
+    }
+
+    JsonValue
+    stringValue()
+    {
+        expect('"');
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        while (true) {
+            fail(pos_ >= text_.size(), "unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                fail(pos_ >= text_.size(), "unterminated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': v.string.push_back('"'); break;
+                  case '\\': v.string.push_back('\\'); break;
+                  case '/': v.string.push_back('/'); break;
+                  case 'n': v.string.push_back('\n'); break;
+                  case 'r': v.string.push_back('\r'); break;
+                  case 't': v.string.push_back('\t'); break;
+                  case 'b': v.string.push_back('\b'); break;
+                  case 'f': v.string.push_back('\f'); break;
+                  case 'u': {
+                    fail(pos_ + 4 > text_.size(), "short \\u escape");
+                    unsigned code = static_cast<unsigned>(std::strtoul(
+                        text_.substr(pos_, 4).c_str(), nullptr, 16));
+                    pos_ += 4;
+                    // Keep it simple: encode as UTF-8 for the BMP.
+                    if (code < 0x80) {
+                        v.string.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        v.string.push_back(
+                            static_cast<char>(0xC0 | (code >> 6)));
+                        v.string.push_back(
+                            static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        v.string.push_back(
+                            static_cast<char>(0xE0 | (code >> 12)));
+                        v.string.push_back(static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F)));
+                        v.string.push_back(
+                            static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                  }
+                  default: fail(true, "bad escape character");
+                }
+            } else {
+                v.string.push_back(c);
+            }
+        }
+        return v;
+    }
+
+    JsonValue
+    numberValue()
+    {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        fail(pos_ == start, "invalid value");
+        char *end = nullptr;
+        std::string tok = text_.substr(start, pos_ - start);
+        double x = std::strtod(tok.c_str(), &end);
+        fail(end == tok.c_str() || *end != '\0', "invalid number");
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.number = x;
+        return v;
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            break;
+        }
+        return v;
+    }
+
+    JsonValue
+    objectValue()
+    {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipSpace();
+            JsonValue key = stringValue();
+            skipSpace();
+            expect(':');
+            v.object[key.string] = value();
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            break;
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace tsp::obs

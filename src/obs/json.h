@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: escaping for the
+ * writers (metrics snapshot, trace sink) and a small recursive-descent
+ * parser used by the tests to round-trip everything the writers emit.
+ * Deliberately tiny — not a general-purpose JSON library.
+ */
+
+#ifndef TSP_OBS_JSON_H
+#define TSP_OBS_JSON_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tsp::obs {
+
+/** Quote and escape @p s as a JSON string literal (with quotes). */
+std::string jsonQuote(const std::string &s);
+
+/** Format @p x as a JSON number (shortest round-trippable form). */
+std::string jsonNumber(double x);
+
+/** A parsed JSON value (tree). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+
+    /** Member lookup; throws FatalError when absent or not an object. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** True when this is an object with member @p key. */
+    bool has(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * anything else after the value is an error). Throws FatalError with
+ * the byte offset on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace tsp::obs
+
+#endif // TSP_OBS_JSON_H

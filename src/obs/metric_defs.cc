@@ -1,0 +1,166 @@
+#include "obs/metric_defs.h"
+
+namespace tsp::obs {
+
+namespace {
+
+/** Shared wall-time bucket ladder (milliseconds). */
+std::vector<double>
+millisBounds()
+{
+    return {0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
+            1000, 2000, 5000, 10000, 30000};
+}
+
+} // namespace
+
+#define TSP_OBS_COUNTER(fn, name, owner, help)                         \
+    Counter &fn()                                                      \
+    {                                                                  \
+        static Counter &metric =                                       \
+            Registry::instance().counter(name, owner, help);           \
+        return metric;                                                 \
+    }
+
+#define TSP_OBS_GAUGE(fn, name, owner, help)                           \
+    Gauge &fn()                                                        \
+    {                                                                  \
+        static Gauge &metric =                                         \
+            Registry::instance().gauge(name, owner, help);             \
+        return metric;                                                 \
+    }
+
+#define TSP_OBS_MS_HISTOGRAM(fn, name, owner, help)                    \
+    Histogram &fn()                                                    \
+    {                                                                  \
+        static Histogram &metric = Registry::instance().histogram(     \
+            name, owner, help, millisBounds());                        \
+        return metric;                                                 \
+    }
+
+TSP_OBS_COUNTER(poolTasksExecuted, "pool.tasks_executed",
+                "util::ThreadPool",
+                "tasks run to completion (pooled or inline)")
+TSP_OBS_GAUGE(poolQueueDepth, "pool.queue_depth", "util::ThreadPool",
+              "tasks enqueued but not yet started (max = high water)")
+TSP_OBS_COUNTER(poolWorkerBusyMicros, "pool.worker_busy_us",
+                "util::ThreadPool",
+                "cumulative worker time spent executing tasks")
+TSP_OBS_COUNTER(poolWorkerIdleMicros, "pool.worker_idle_us",
+                "util::ThreadPool",
+                "cumulative worker time spent waiting for work")
+
+TSP_OBS_COUNTER(watchdogDeadlineFires, "watchdog.deadline_fires",
+                "util::Watchdog",
+                "jobs flagged for exceeding their deadline")
+
+TSP_OBS_COUNTER(labTraceMemoHits, "lab.trace_memo_hits",
+                "experiment::Lab",
+                "trace-set requests served from the memo cache")
+TSP_OBS_COUNTER(labTraceMemoMisses, "lab.trace_memo_misses",
+                "experiment::Lab",
+                "trace-set requests that materialized the traces")
+TSP_OBS_COUNTER(labAnalysisMemoHits, "lab.analysis_memo_hits",
+                "experiment::Lab",
+                "static-analysis requests served from the memo cache")
+TSP_OBS_COUNTER(labAnalysisMemoMisses, "lab.analysis_memo_misses",
+                "experiment::Lab",
+                "static-analysis requests that ran the analyzer")
+TSP_OBS_COUNTER(labProbeMemoHits, "lab.probe_memo_hits",
+                "experiment::Lab",
+                "coherence-probe requests served from the memo cache")
+TSP_OBS_COUNTER(labProbeMemoMisses, "lab.probe_memo_misses",
+                "experiment::Lab",
+                "coherence-probe requests that ran the measurement")
+TSP_OBS_MS_HISTOGRAM(labWarmupMillis, "lab.warmup_ms",
+                     "experiment::Lab",
+                     "per-application warmup wall time")
+
+TSP_OBS_MS_HISTOGRAM(sweepCellMillis, "sweep.cell_ms",
+                     "experiment::ParallelRunner",
+                     "per-cell simulation wall time")
+TSP_OBS_COUNTER(sweepCellsExecuted, "sweep.cells_executed",
+                "experiment::ParallelRunner",
+                "unique cells simulated this process")
+TSP_OBS_COUNTER(sweepCellsFromCheckpoint, "sweep.cells_from_checkpoint",
+                "experiment::ParallelRunner",
+                "unique cells replayed from a checkpoint journal")
+TSP_OBS_COUNTER(sweepCellsFailed, "sweep.cells_failed",
+                "experiment::ParallelRunner",
+                "unique cells that ended in a failed Outcome")
+
+TSP_OBS_COUNTER(checkpointAppends, "checkpoint.appends",
+                "experiment::Checkpoint",
+                "journal records persisted (atomic publishes)")
+TSP_OBS_COUNTER(checkpointAppendFailures, "checkpoint.append_failures",
+                "experiment::Checkpoint",
+                "journal appends that failed after bounded retry")
+
+TSP_OBS_COUNTER(simRuns, "sim.runs", "sim::Machine",
+                "completed simulate() calls")
+TSP_OBS_MS_HISTOGRAM(simRunMillis, "sim.run_ms", "sim::Machine",
+                     "per-run simulation wall time")
+TSP_OBS_COUNTER(simInstructions, "sim.instructions", "sim::Machine",
+                "instructions retired across all runs")
+TSP_OBS_COUNTER(simMemRefs, "sim.mem_refs", "sim::Machine",
+                "data references simulated across all runs")
+TSP_OBS_COUNTER(simMissCompulsory, "sim.miss.compulsory",
+                "sim::Machine", "compulsory misses across all runs")
+TSP_OBS_COUNTER(simMissIntraConflict, "sim.miss.intra_conflict",
+                "sim::Machine",
+                "intra-thread conflict misses across all runs")
+TSP_OBS_COUNTER(simMissInterConflict, "sim.miss.inter_conflict",
+                "sim::Machine",
+                "inter-thread conflict misses across all runs")
+TSP_OBS_COUNTER(simMissInvalidation, "sim.miss.invalidation",
+                "sim::Machine", "invalidation misses across all runs")
+TSP_OBS_COUNTER(simInvalidationsSent, "sim.invalidations_sent",
+                "sim::Directory",
+                "invalidation messages the directory sent")
+TSP_OBS_COUNTER(simUpgrades, "sim.upgrades", "sim::Directory",
+                "write-hit upgrade transactions")
+
+TSP_OBS_MS_HISTOGRAM(benchWallMillis, "bench.wall_ms", "bench",
+                     "duration behind every [wall] timing line")
+
+#undef TSP_OBS_COUNTER
+#undef TSP_OBS_GAUGE
+#undef TSP_OBS_MS_HISTOGRAM
+
+std::vector<MetricInfo>
+allMetrics()
+{
+    // Touch every accessor so the registry holds the full catalog.
+    poolTasksExecuted();
+    poolQueueDepth();
+    poolWorkerBusyMicros();
+    poolWorkerIdleMicros();
+    watchdogDeadlineFires();
+    labTraceMemoHits();
+    labTraceMemoMisses();
+    labAnalysisMemoHits();
+    labAnalysisMemoMisses();
+    labProbeMemoHits();
+    labProbeMemoMisses();
+    labWarmupMillis();
+    sweepCellMillis();
+    sweepCellsExecuted();
+    sweepCellsFromCheckpoint();
+    sweepCellsFailed();
+    checkpointAppends();
+    checkpointAppendFailures();
+    simRuns();
+    simRunMillis();
+    simInstructions();
+    simMemRefs();
+    simMissCompulsory();
+    simMissIntraConflict();
+    simMissInterConflict();
+    simMissInvalidation();
+    simInvalidationsSent();
+    simUpgrades();
+    benchWallMillis();
+    return Registry::instance().metrics();
+}
+
+} // namespace tsp::obs

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The catalog of every metric the library emits. Each accessor
+ * registers its metric on first use (function-local static, so the
+ * steady-state path is one pointer read) and returns a process-wide
+ * handle; `allMetrics()` force-registers the whole catalog and returns
+ * its metadata.
+ *
+ * Rules:
+ *  - every metric an instrumented layer mutates MUST have its accessor
+ *    here and a row in docs/observability.md's reference table —
+ *    `tests/obs_doc_test.cc` diffs the two and fails on drift;
+ *  - names are dotted lowercase, prefixed by the owning layer
+ *    (pool., lab., sweep., checkpoint., watchdog., sim., bench.).
+ */
+
+#ifndef TSP_OBS_METRIC_DEFS_H
+#define TSP_OBS_METRIC_DEFS_H
+
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tsp::obs {
+
+// ------------------------------------------------- util::ThreadPool
+Counter &poolTasksExecuted();     //!< tasks run (pooled or inline)
+Gauge &poolQueueDepth();          //!< tasks queued, not yet started
+Counter &poolWorkerBusyMicros();  //!< worker time executing tasks
+Counter &poolWorkerIdleMicros();  //!< worker time waiting for work
+
+// ---------------------------------------------------- util::Watchdog
+Counter &watchdogDeadlineFires(); //!< jobs flagged past their deadline
+
+// ---------------------------------------------------- experiment::Lab
+Counter &labTraceMemoHits();
+Counter &labTraceMemoMisses();
+Counter &labAnalysisMemoHits();
+Counter &labAnalysisMemoMisses();
+Counter &labProbeMemoHits();
+Counter &labProbeMemoMisses();
+Histogram &labWarmupMillis();     //!< per-app warmup wall time
+
+// ----------------------------------------- experiment::ParallelRunner
+Histogram &sweepCellMillis();     //!< per-cell simulation wall time
+Counter &sweepCellsExecuted();
+Counter &sweepCellsFromCheckpoint();
+Counter &sweepCellsFailed();
+
+// ----------------------------------------- experiment::Checkpoint
+Counter &checkpointAppends();        //!< journal records persisted
+Counter &checkpointAppendFailures(); //!< appends that failed after retry
+
+// ------------------------------------------------------- sim::Machine
+Counter &simRuns();               //!< completed simulate() calls
+Histogram &simRunMillis();        //!< per-run simulation wall time
+Counter &simInstructions();
+Counter &simMemRefs();
+Counter &simMissCompulsory();
+Counter &simMissIntraConflict();
+Counter &simMissInterConflict();
+Counter &simMissInvalidation();
+Counter &simInvalidationsSent(); //!< directory invalidation messages
+Counter &simUpgrades();          //!< directory upgrade transactions
+
+// ------------------------------------------------------------- bench
+Histogram &benchWallMillis();     //!< every `[wall]` line's duration
+
+/**
+ * Register the full catalog (idempotent) and return the registry's
+ * metadata for it. The doc-sync test compares this against the table
+ * in docs/observability.md.
+ */
+std::vector<MetricInfo> allMetrics();
+
+} // namespace tsp::obs
+
+#endif // TSP_OBS_METRIC_DEFS_H

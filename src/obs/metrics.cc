@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace tsp::obs {
+
+namespace detail {
+std::atomic<bool> metricsEnabled{false};
+} // namespace detail
+
+void
+setMetricsEnabled(bool enabled)
+{
+    detail::metricsEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::string atexitMetricsPath;  // set once by configureFromEnv()
+
+void
+writeMetricsAtExit()
+{
+    try {
+        Registry::instance().writeJsonFile(atexitMetricsPath);
+    } catch (...) {
+        // atexit must not throw; losing the snapshot is survivable.
+    }
+}
+
+} // namespace
+
+void
+configureFromEnv()
+{
+    static bool configured = false;
+    if (configured)
+        return;
+    configured = true;
+
+    if (const char *flag = std::getenv("TSP_METRICS")) {
+        if (*flag && std::string(flag) != "0")
+            setMetricsEnabled(true);
+    }
+    if (const char *out = std::getenv("TSP_METRICS_OUT")) {
+        if (*out) {
+            setMetricsEnabled(true);
+            atexitMetricsPath = out;
+            std::atexit(writeMetricsAtExit);
+        }
+    }
+}
+
+namespace {
+
+// Every binary that links the obs library honors TSP_METRICS /
+// TSP_METRICS_OUT without per-main wiring: the env check runs once at
+// static initialization (configureFromEnv stays idempotent, so mains
+// that also call it explicitly are fine).
+[[maybe_unused]] const bool envConfiguredAtStartup =
+    (configureFromEnv(), true);
+
+} // namespace
+
+Registry &
+Registry::instance()
+{
+    // Immortal: the TSP_METRICS_OUT atexit handler is registered at
+    // static-init time, so it runs *after* exit-time destructors of
+    // statics constructed during main — a destructible singleton here
+    // would be gone by then. Held by a static pointer, so the object
+    // stays reachable and leak checkers do not report it.
+    static Registry *registry = new Registry();
+    return *registry;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &owner,
+                  const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it != counters_.end())
+        return *it->second;
+    util::fatalIf(gauges_.count(name) || histograms_.count(name),
+                  "metric '" + name +
+                      "' already registered with a different kind");
+    order_.push_back({name, "counter", owner, help});
+    auto &slot = counters_[name];
+    slot.reset(new Counter());
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &owner,
+                const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end())
+        return *it->second;
+    util::fatalIf(counters_.count(name) || histograms_.count(name),
+                  "metric '" + name +
+                      "' already registered with a different kind");
+    order_.push_back({name, "gauge", owner, help});
+    auto &slot = gauges_[name];
+    slot.reset(new Gauge());
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &owner,
+                    const std::string &help,
+                    std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end())
+        return *it->second;
+    util::fatalIf(counters_.count(name) || gauges_.count(name),
+                  "metric '" + name +
+                      "' already registered with a different kind");
+    util::fatalIf(bounds.empty(),
+                  "histogram '" + name + "' needs at least one bound");
+    for (size_t i = 1; i < bounds.size(); ++i)
+        util::fatalIf(bounds[i] <= bounds[i - 1],
+                      "histogram '" + name +
+                          "' bounds must be strictly increasing");
+    order_.push_back({name, "histogram", owner, help});
+    auto &slot = histograms_[name];
+    slot.reset(new Histogram(std::move(bounds)));
+    return *slot;
+}
+
+std::vector<MetricInfo>
+Registry::metrics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return order_;
+}
+
+void
+Registry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->value_.store(0, std::memory_order_relaxed);
+    for (auto &[name, g] : gauges_) {
+        g->value_.store(0, std::memory_order_relaxed);
+        g->max_.store(0, std::memory_order_relaxed);
+    }
+    for (auto &[name, h] : histograms_) {
+        for (size_t i = 0; i <= h->bounds_.size(); ++i)
+            h->counts_[i].store(0, std::memory_order_relaxed);
+        h->count_.store(0, std::memory_order_relaxed);
+        h->sum_.store(0.0, std::memory_order_relaxed);
+    }
+}
+
+std::string
+Registry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\n  \"metrics\": {";
+    bool first = true;
+    for (const MetricInfo &info : order_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n    " + jsonQuote(info.name) + ": {";
+        out += "\"kind\": " + jsonQuote(info.kind);
+        out += ", \"owner\": " + jsonQuote(info.owner);
+        if (info.kind == "counter") {
+            const auto &c = counters_.at(info.name);
+            out += ", \"value\": " +
+                   std::to_string(c->value());
+        } else if (info.kind == "gauge") {
+            const auto &g = gauges_.at(info.name);
+            out += ", \"value\": " + std::to_string(g->value());
+            out += ", \"max\": " + std::to_string(g->max());
+        } else {
+            const auto &h = histograms_.at(info.name);
+            out += ", \"count\": " + std::to_string(h->count());
+            out += ", \"sum\": " + jsonNumber(h->sum());
+            out += ", \"bounds\": [";
+            for (size_t i = 0; i < h->bounds().size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += jsonNumber(h->bounds()[i]);
+            }
+            out += "], \"buckets\": [";
+            for (size_t i = 0; i <= h->bounds().size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += std::to_string(h->bucketCount(i));
+            }
+            out += "]";
+        }
+        out += "}";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+void
+Registry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::trunc);
+    util::fatalIf(!os, "cannot open metrics JSON for writing: " + path);
+    std::string json = toJson();
+    os.write(json.data(), static_cast<std::streamsize>(json.size()));
+    os.flush();
+    util::fatalIf(!os, "metrics JSON write failed: " + path);
+}
+
+} // namespace tsp::obs

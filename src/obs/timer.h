@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The one stopwatch and scoped timer every layer shares — replacing
+ * the hand-rolled `steady_clock` arithmetic that used to live in
+ * bench_common.h and the experiment engine.
+ */
+
+#ifndef TSP_OBS_TIMER_H
+#define TSP_OBS_TIMER_H
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace tsp::obs {
+
+/** Monotonic stopwatch. */
+class StopWatch
+{
+  public:
+    StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds since construction (or the last reset()). */
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Microseconds since construction (or the last reset()). */
+    uint64_t
+    elapsedUs() const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+    }
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * RAII timer: records the scope's wall time (in milliseconds) into a
+ * histogram on destruction. Observation is a no-op when metrics are
+ * disabled, so the only residual cost is two clock reads.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &hist) : hist_(hist) {}
+
+    ~ScopedTimer() { hist_.observe(watch_.elapsedMs()); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Elapsed so far, for callers that also want the number. */
+    double elapsedMs() const { return watch_.elapsedMs(); }
+
+  private:
+    Histogram &hist_;
+    StopWatch watch_;
+};
+
+} // namespace tsp::obs
+
+#endif // TSP_OBS_TIMER_H

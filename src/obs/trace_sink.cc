@@ -1,0 +1,167 @@
+#include "obs/trace_sink.h"
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace tsp::obs {
+
+namespace {
+
+std::atomic<TraceSink *> globalSink{nullptr};
+
+std::string
+renderArgs(const std::vector<TraceArg> &args)
+{
+    if (args.empty())
+        return "";
+    std::string out = ", \"args\": {";
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += jsonQuote(args[i].key) + ": " + args[i].json;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+TraceArg
+TraceArg::str(std::string key, const std::string &value)
+{
+    return {std::move(key), jsonQuote(value)};
+}
+
+TraceArg
+TraceArg::num(std::string key, double value)
+{
+    return {std::move(key), jsonNumber(value)};
+}
+
+TraceArg
+TraceArg::num(std::string key, uint64_t value)
+{
+    return {std::move(key), std::to_string(value)};
+}
+
+TraceSink::TraceSink(const std::string &path,
+                     const std::string &processName)
+    : path_(path), epoch_(std::chrono::steady_clock::now())
+{
+    os_.open(path, std::ios::trunc);
+    util::fatalIf(!os_, "cannot open trace for writing: " + path);
+    os_ << "[\n";
+    // Metadata first, so viewers label the process row.
+    os_ << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": 0, \"args\": {\"name\": "
+        << jsonQuote(processName) << "}},\n";
+    util::fatalIf(!os_, "trace write failed: " + path);
+}
+
+TraceSink::~TraceSink()
+{
+    if (global() == this)
+        installGlobal(nullptr);
+    try {
+        close();
+    } catch (...) {
+        // Destructors must not throw; the trace is best-effort.
+    }
+}
+
+uint64_t
+TraceSink::nowMicros() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+uint32_t
+TraceSink::threadId()
+{
+    // Caller holds mutex_.
+    auto [it, inserted] = threadIds_.try_emplace(
+        std::this_thread::get_id(),
+        static_cast<uint32_t>(threadIds_.size() + 1));
+    return it->second;
+}
+
+void
+TraceSink::writeEvent(const std::string &json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    os_ << json << ",\n";
+    os_.flush();  // crash tolerance: every event line hits the disk
+    events_.fetch_add(1);
+}
+
+void
+TraceSink::complete(const std::string &name, const std::string &cat,
+                    double durMs,
+                    const std::vector<TraceArg> &args)
+{
+    uint64_t durUs = static_cast<uint64_t>(durMs * 1000.0);
+    uint64_t end = nowMicros();
+    uint64_t ts = end > durUs ? end - durUs : 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    os_ << "{\"name\": " << jsonQuote(name)
+        << ", \"cat\": " << jsonQuote(cat)
+        << ", \"ph\": \"X\", \"pid\": 1, \"tid\": " << threadId()
+        << ", \"ts\": " << ts << ", \"dur\": " << durUs
+        << renderArgs(args) << "},\n";
+    os_.flush();
+    events_.fetch_add(1);
+}
+
+void
+TraceSink::instant(const std::string &name, const std::string &cat,
+                   const std::vector<TraceArg> &args)
+{
+    uint64_t ts = nowMicros();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    os_ << "{\"name\": " << jsonQuote(name)
+        << ", \"cat\": " << jsonQuote(cat)
+        << ", \"ph\": \"i\", \"s\": \"g\", \"pid\": 1, \"tid\": "
+        << threadId() << ", \"ts\": " << ts << renderArgs(args)
+        << "},\n";
+    os_.flush();
+    events_.fetch_add(1);
+}
+
+void
+TraceSink::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    closed_ = true;
+    // Final event has no trailing comma, making the array valid JSON.
+    os_ << "{\"name\": \"trace_end\", \"cat\": \"obs\", \"ph\": \"i\", "
+           "\"s\": \"g\", \"pid\": 1, \"tid\": 0, \"ts\": "
+        << nowMicros() << "}\n]\n";
+    os_.flush();
+    util::fatalIf(!os_, "trace finalize failed: " + path_);
+    os_.close();
+}
+
+void
+TraceSink::installGlobal(TraceSink *sink)
+{
+    globalSink.store(sink, std::memory_order_release);
+}
+
+TraceSink *
+TraceSink::global()
+{
+    return globalSink.load(std::memory_order_acquire);
+}
+
+} // namespace tsp::obs

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Structured sweep tracing: a thread-safe JSONL event sink whose
+ * output is a well-formed Chrome trace-event file, so a sweep's
+ * per-cell timeline opens directly in chrome://tracing or Perfetto.
+ *
+ * File layout: a `[` line, then one complete JSON event object per
+ * line (trailing comma), then a final instant event and `]` written by
+ * close(). Every event line (modulo its trailing comma) is standalone
+ * JSON, so the file doubles as a JSONL stream for `jq`-style
+ * processing; a file cut short by a crash is still accepted by the
+ * trace viewers (the trailing `]` is optional in the Chrome format).
+ *
+ * Events use the "X" (complete: name, ts, dur), "i" (instant) and "M"
+ * (metadata) phases. Timestamps are microseconds since sink creation;
+ * thread ids are small integers assigned per OS thread on first use.
+ * The schema is documented in docs/observability.md.
+ *
+ * A process-wide sink can be installed (installGlobal) so layers emit
+ * events without plumbing a sink handle through every call; emitting
+ * with no sink installed is a no-op.
+ */
+
+#ifndef TSP_OBS_TRACE_SINK_H
+#define TSP_OBS_TRACE_SINK_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tsp::obs {
+
+/** One "args" member of a trace event: key plus pre-rendered JSON. */
+struct TraceArg
+{
+    std::string key;
+    std::string json;  //!< already-valid JSON (use str()/num())
+
+    static TraceArg str(std::string key, const std::string &value);
+    static TraceArg num(std::string key, double value);
+    static TraceArg num(std::string key, uint64_t value);
+};
+
+/** Thread-safe Chrome-trace-event JSONL writer. */
+class TraceSink
+{
+  public:
+    /** Open @p path and write the header; throws FatalError. */
+    explicit TraceSink(const std::string &path,
+                       const std::string &processName = "tsp");
+
+    /** Calls close(); uninstalls itself if it was the global sink. */
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /**
+     * Emit a complete ("X") event that *ended now* and lasted
+     * @p durMs: ts is backdated by the duration, matching the scoped
+     * timers that measure first and emit on destruction.
+     */
+    void complete(const std::string &name, const std::string &cat,
+                  double durMs,
+                  const std::vector<TraceArg> &args = {});
+
+    /** Emit an instant ("i", global scope) event. */
+    void instant(const std::string &name, const std::string &cat,
+                 const std::vector<TraceArg> &args = {});
+
+    /** Finalize the file into strictly valid JSON. Idempotent. */
+    void close();
+
+    /** Events emitted so far (excluding metadata). */
+    uint64_t events() const { return events_.load(); }
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Install @p sink as the process-wide sink (nullptr uninstalls).
+     * Emission through global() is how instrumented layers trace
+     * without holding a sink reference.
+     */
+    static void installGlobal(TraceSink *sink);
+
+    /** The installed process-wide sink, or nullptr. */
+    static TraceSink *global();
+
+  private:
+    uint64_t nowMicros() const;
+    uint32_t threadId();
+    void writeEvent(const std::string &json);
+
+    std::string path_;
+    std::ofstream os_;
+    std::mutex mutex_;
+    bool closed_ = false;
+    std::atomic<uint64_t> events_{0};
+    std::chrono::steady_clock::time_point epoch_;
+    std::map<std::thread::id, uint32_t> threadIds_;
+};
+
+} // namespace tsp::obs
+
+#endif // TSP_OBS_TRACE_SINK_H

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metric_defs.h"
+#include "obs/timer.h"
 #include "util/bits.h"
 #include "util/error.h"
 
@@ -436,8 +438,29 @@ SimStats
 simulate(const SimConfig &cfg, const trace::TraceSet &traces,
          const placement::PlacementMap &placement)
 {
+    obs::StopWatch watch;
     Machine machine(cfg, traces, placement);
-    return machine.run();
+    SimStats stats = machine.run();
+    // Per-run aggregation at the simulate() boundary: one batch of
+    // counter adds per run, zero accounting in the event loop.
+    obs::simRunMillis().observe(watch.elapsedMs());
+    if (obs::metricsEnabled()) {
+        obs::simRuns().inc();
+        obs::simInstructions().add(stats.totalInstructions());
+        obs::simMemRefs().add(stats.totalMemRefs());
+        obs::simMissCompulsory().add(
+            stats.totalMissCount(MissKind::Compulsory));
+        obs::simMissIntraConflict().add(
+            stats.totalMissCount(MissKind::IntraConflict));
+        obs::simMissInterConflict().add(
+            stats.totalMissCount(MissKind::InterConflict));
+        obs::simMissInvalidation().add(
+            stats.totalMissCount(MissKind::Invalidation));
+        obs::simInvalidationsSent().add(
+            stats.totalInvalidationsSent());
+        obs::simUpgrades().add(stats.totalUpgrades());
+    }
+    return stats;
 }
 
 } // namespace tsp::sim

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/timer.h"
+
 namespace tsp::util {
 
 namespace {
@@ -48,17 +50,32 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop()
 {
+    // Utilization accounting (worker_idle_us / worker_busy_us) reads
+    // the clock only while metrics are enabled, so the disabled path
+    // stays exactly the pre-observability loop.
     for (;;) {
         std::function<void()> task;
         {
+            obs::StopWatch idle;
+            bool timeIdle = obs::metricsEnabled();
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (timeIdle)
+                obs::poolWorkerIdleMicros().add(idle.elapsedUs());
             if (queue_.empty())
                 return;  // stop_ set and nothing left to run
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();  // packaged_task captures any exception
+        obs::poolQueueDepth().add(-1);
+        if (obs::metricsEnabled()) {
+            obs::StopWatch busy;
+            task();  // packaged_task captures any exception
+            obs::poolWorkerBusyMicros().add(busy.elapsedUs());
+        } else {
+            task();
+        }
+        obs::poolTasksExecuted().inc();
     }
 }
 

@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metric_defs.h"
+
 namespace tsp::util {
 
 /** Fixed-size worker pool. Threads start in the constructor and join
@@ -67,12 +69,14 @@ class ThreadPool
         std::future<R> future = task->get_future();
         if (threads_.empty()) {
             (*task)();
+            obs::poolTasksExecuted().inc();
             return future;
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             queue_.emplace_back([task] { (*task)(); });
         }
+        obs::poolQueueDepth().add(1);
         cv_.notify_one();
         return future;
     }

@@ -1,5 +1,6 @@
 #include "util/watchdog.h"
 
+#include "obs/metric_defs.h"
 #include "util/logging.h"
 
 namespace tsp::util {
@@ -93,6 +94,7 @@ Watchdog::loop()
             task.flagged = true;
             overdue_.push_back(task.label);
             fire.emplace_back(task.label, elapsed);
+            obs::watchdogDeadlineFires().inc();
         }
         if (!fire.empty()) {
             lock.unlock();

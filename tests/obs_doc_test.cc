@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Doc-sync guard: the metrics reference table in
+ * docs/observability.md must list exactly the metrics the library
+ * registers (obs::allMetrics()), with matching kinds. Adding a metric
+ * without its doc row — or leaving a stale row behind — fails here.
+ *
+ * The table rows look like:
+ *   | `pool.tasks_executed` | counter | `util::ThreadPool` | ... |
+ */
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metric_defs.h"
+
+#ifndef TSP_SOURCE_DIR
+#error "obs_doc_test needs TSP_SOURCE_DIR (set in tests/CMakeLists.txt)"
+#endif
+
+using namespace tsp;
+
+namespace {
+
+struct DocRow
+{
+    std::string kind;
+    std::string owner;
+};
+
+/** Split a markdown table line into trimmed cells. */
+std::vector<std::string>
+splitRow(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    // Skip the leading '|', split on the rest.
+    for (size_t i = 1; i < line.size(); ++i) {
+        if (line[i] == '|') {
+            cells.push_back(cell);
+            cell.clear();
+        } else {
+            cell.push_back(line[i]);
+        }
+    }
+    for (std::string &c : cells) {
+        size_t b = c.find_first_not_of(" \t");
+        size_t e = c.find_last_not_of(" \t");
+        c = (b == std::string::npos) ? "" : c.substr(b, e - b + 1);
+    }
+    return cells;
+}
+
+/** Strip surrounding backticks. */
+std::string
+stripCode(const std::string &s)
+{
+    if (s.size() >= 2 && s.front() == '`' && s.back() == '`')
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+/** Parse every `| \`metric.name\` | kind | owner | ... |` row. */
+std::map<std::string, DocRow>
+parseDocTable(const std::string &path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << "cannot open " << path;
+    std::map<std::string, DocRow> rows;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("| `", 0) != 0)
+            continue;
+        auto cells = splitRow(line);
+        if (cells.size() < 4)
+            continue;
+        std::string name = stripCode(cells[0]);
+        std::string kind = cells[1];
+        // Only metric rows (dotted lowercase names with a known kind);
+        // other tables in the doc (env vars, event fields) don't match.
+        if (kind != "counter" && kind != "gauge" && kind != "histogram")
+            continue;
+        EXPECT_EQ(rows.count(name), 0u)
+            << "duplicate doc row for " << name;
+        rows[name] = {kind, stripCode(cells[2])};
+    }
+    return rows;
+}
+
+TEST(ObsDocSync, DocTableMatchesRegisteredCatalogExactly)
+{
+    const std::string docPath =
+        std::string(TSP_SOURCE_DIR) + "/docs/observability.md";
+    auto doc = parseDocTable(docPath);
+    ASSERT_FALSE(doc.empty()) << "no metric rows parsed from "
+                              << docPath;
+
+    auto registered = obs::allMetrics();
+    std::map<std::string, DocRow> catalog;
+    for (const auto &info : registered) {
+        // Test binaries may register ad-hoc test.* metrics; only the
+        // library catalog is documented.
+        if (info.name.rfind("test.", 0) == 0)
+            continue;
+        catalog[info.name] = {info.kind, info.owner};
+    }
+
+    for (const auto &[name, row] : catalog) {
+        auto it = doc.find(name);
+        ASSERT_NE(it, doc.end())
+            << "metric '" << name
+            << "' is registered but missing from the "
+               "docs/observability.md reference table";
+        EXPECT_EQ(it->second.kind, row.kind)
+            << "kind mismatch for '" << name << "'";
+        EXPECT_EQ(it->second.owner, row.owner)
+            << "owner mismatch for '" << name << "'";
+    }
+    for (const auto &[name, row] : doc) {
+        EXPECT_EQ(catalog.count(name), 1u)
+            << "docs/observability.md documents '" << name
+            << "' but the library does not register it (stale row?)";
+    }
+    EXPECT_EQ(doc.size(), catalog.size());
+}
+
+} // namespace

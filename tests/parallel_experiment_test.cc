@@ -19,6 +19,8 @@
 #include "experiment/lab.h"
 #include "experiment/parallel.h"
 #include "experiment/studies.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -159,6 +161,54 @@ TEST(Determinism, ExecTimeStudyBitIdenticalAcrossJobs)
             EXPECT_EQ(serial[i].loadImbalance, wide[i].loadImbalance);
         }
     }
+}
+
+TEST(Determinism, ResultsBitIdenticalWithObservabilityOnOrOff)
+{
+    // The observability acceptance bar: metrics recording plus a live
+    // trace sink must not perturb a single bit of any result, at any
+    // pool width.
+    const std::vector<Algorithm> algs = {
+        Algorithm::Random, Algorithm::LoadBal, Algorithm::ShareRefs};
+    const AppId app = AppId::Water;
+
+    obs::setMetricsEnabled(false);
+    Lab plainLab(kScale);
+    auto plain = execTimeStudy(plainLab, app, algs, wideJobs());
+
+    obs::setMetricsEnabled(true);
+    const std::string tracePath =
+        testing::TempDir() + "obs_determinism_trace.json";
+    std::vector<double> cellMillis;
+    std::vector<ExecTimePoint> observed;
+    {
+        obs::TraceSink sink(tracePath, "determinism");
+        obs::TraceSink::installGlobal(&sink);
+        Lab obsLab(kScale);
+        SweepOptions options;
+        options.jobs = wideJobs();
+        options.cellMillisOut = &cellMillis;
+        observed = execTimeStudy(obsLab, app, algs, options);
+    }
+    obs::setMetricsEnabled(false);
+
+    ASSERT_EQ(plain.size(), observed.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].cycles, observed[i].cycles);
+        EXPECT_EQ(plain[i].normalizedToRandom,
+                  observed[i].normalizedToRandom);
+        EXPECT_EQ(plain[i].loadImbalance, observed[i].loadImbalance);
+    }
+
+    // And the observability side effects actually happened.
+    EXPECT_FALSE(cellMillis.empty());
+    bool sawTiming = false;
+    for (size_t i = 0; i < observed.size(); ++i) {
+        if (observed[i].wallMs > 0.0)
+            sawTiming = true;
+        EXPECT_GE(observed[i].wallMs, 0.0);
+    }
+    EXPECT_TRUE(sawTiming) << "executed cells must report wall time";
 }
 
 TEST(Determinism, MissComponentStudyBitIdenticalAcrossJobs)

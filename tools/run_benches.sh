@@ -10,6 +10,10 @@
 #
 # Honors TSP_SCALE and TSP_JOBS. The summary CSV has one row per
 # bench: name, exit status, wall-clock seconds.
+#
+# Each bench also exports its metrics registry (see
+# docs/observability.md) to <out-dir>/<bench>.metrics.json, so the
+# wall-clock CSV and the per-bench metric JSONs land side by side.
 
 set -euo pipefail
 
@@ -34,7 +38,9 @@ for bench in "$BENCH_DIR"/*; do
     name=$(basename "$bench")
     log="$OUT_DIR/$name.log"
     start_ns=$(date +%s%N)
-    if TSP_OUT="$OUT_DIR" "$bench" > "$log" 2>&1; then
+    if TSP_OUT="$OUT_DIR" TSP_METRICS=1 \
+       TSP_METRICS_OUT="$OUT_DIR/$name.metrics.json" \
+       "$bench" > "$log" 2>&1; then
         status=ok
     else
         status=fail

@@ -20,6 +20,8 @@
  *   --jobs N         worker threads for parallel experiment drivers
  *                    (overrides TSP_JOBS; results are identical at
  *                    any width)
+ *   --metrics-out PATH  enable the metrics registry and export it as
+ *                       JSON to PATH on completion
  *
  * options (sweep mode):
  *   --scale N          workload scale divisor
@@ -29,6 +31,10 @@
  *                      missing cells (crash-safe resume)
  *   --deadline MS      watchdog: warn when one cell runs longer than
  *                      MS milliseconds
+ *   --metrics-out PATH enable the metrics registry and export it as
+ *                      JSON to PATH on completion
+ *   --trace-out PATH   write a per-cell Chrome trace-event timeline
+ *                      (JSONL; open in chrome://tracing or Perfetto)
  *
  * All numeric flags are parsed strictly: non-numeric, negative or
  * overflowing values fail with a message naming the flag.
@@ -46,6 +52,8 @@
 #include "experiment/lab.h"
 #include "experiment/report.h"
 #include "experiment/studies.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "sim/machine.h"
 #include "util/bits.h"
 #include "util/error.h"
@@ -69,7 +77,7 @@ usage()
         " [--deadline MS]\n"
         "  --contexts N  --cache BYTES  --assoc N  --latency N\n"
         "  --switch N    --scale N      --infinite --profile\n"
-        "  --jobs N\n"
+        "  --jobs N      --metrics-out PATH  --trace-out PATH\n"
         "algorithms: ");
     for (placement::Algorithm alg : placement::allAlgorithms())
         std::fprintf(stderr, "%s ",
@@ -95,6 +103,8 @@ runSweep(int argc, char **argv)
     uint32_t scale = workload::defaultScale();
     unsigned jobs = util::ThreadPool::defaultJobs();
     std::string checkpointPath;
+    std::string metricsPath;
+    std::string tracePath;
     uint64_t deadlineMs = 0;
     for (int i = 3; i < argc; ++i) {
         auto next = [&](const char *flag) -> const char * {
@@ -113,8 +123,20 @@ runSweep(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--deadline"))
             deadlineMs = util::parseUnsigned(next("--deadline"),
                                              "--deadline", 1);
+        else if (!std::strcmp(argv[i], "--metrics-out"))
+            metricsPath = next("--metrics-out");
+        else if (!std::strcmp(argv[i], "--trace-out"))
+            tracePath = next("--trace-out");
         else
             return usage();
+    }
+
+    if (!metricsPath.empty())
+        obs::setMetricsEnabled(true);
+    std::optional<obs::TraceSink> trace;
+    if (!tracePath.empty()) {
+        trace.emplace(tracePath, "tsp_run sweep");
+        obs::TraceSink::installGlobal(&*trace);
     }
 
     experiment::Lab lab(scale);
@@ -128,12 +150,14 @@ runSweep(int argc, char **argv)
 
     std::vector<experiment::JobFailure> failures;
     experiment::SweepStats stats;
+    std::vector<double> cellMillis;
     experiment::SweepOptions options;
     options.jobs = jobs;
     options.checkpoint = checkpoint ? &*checkpoint : nullptr;
     options.failures = &failures;
     options.statsOut = &stats;
     options.jobDeadline = std::chrono::milliseconds(deadlineMs);
+    options.cellMillisOut = &cellMillis;
 
     auto points = experiment::execTimeStudy(
         lab, app, placement::figureAlgorithms(), options);
@@ -170,6 +194,17 @@ runSweep(int argc, char **argv)
                 "checkpoint, %zu simulated, %zu failed\n",
                 stats.total, stats.unique, stats.fromCheckpoint,
                 stats.executed, stats.failed);
+    if (stats.executed) {
+        double sum = 0.0, maxMs = 0.0;
+        for (double ms : cellMillis) {
+            sum += ms;
+            maxMs = std::max(maxMs, ms);
+        }
+        std::printf("cell wall time: %s ms total (max %s ms per "
+                    "cell)\n",
+                    util::fmtFixed(sum, 1).c_str(),
+                    util::fmtFixed(maxMs, 1).c_str());
+    }
     if (stats.watchdogFlagged)
         std::printf("watchdog: %zu cells exceeded the %llu ms "
                     "deadline\n",
@@ -178,6 +213,18 @@ runSweep(int argc, char **argv)
     std::string summary = experiment::renderFailureSummary(failures);
     if (!summary.empty())
         std::printf("%s", summary.c_str());
+
+    if (trace) {
+        obs::TraceSink::installGlobal(nullptr);
+        trace->close();
+        std::printf("(wrote %s: %llu trace events)\n",
+                    tracePath.c_str(),
+                    static_cast<unsigned long long>(trace->events()));
+    }
+    if (!metricsPath.empty()) {
+        obs::Registry::instance().writeJsonFile(metricsPath);
+        std::printf("(wrote %s)\n", metricsPath.c_str());
+    }
     return failures.empty() ? 0 : 3;
 }
 
@@ -207,6 +254,7 @@ main(int argc, char **argv)
         uint64_t cacheBytes = 0;
         uint32_t scale = workload::defaultScale();
         bool infinite = false, profile = false;
+        std::string metricsPath;
         for (int i = 4; i < argc; ++i) {
             auto next = [&](const char *flag) -> const char * {
                 util::fatalIf(i + 1 >= argc,
@@ -238,9 +286,14 @@ main(int argc, char **argv)
             else if (!std::strcmp(argv[i], "--jobs"))
                 util::ThreadPool::setDefaultJobs(util::parseUnsigned32(
                     next("--jobs"), "--jobs", 0, 4096));
+            else if (!std::strcmp(argv[i], "--metrics-out"))
+                metricsPath = next("--metrics-out");
             else
                 return usage();
         }
+
+        if (!metricsPath.empty())
+            obs::setMetricsEnabled(true);
 
         experiment::Lab lab(scale);
         const auto &an = lab.analysis(app);
@@ -310,6 +363,10 @@ main(int argc, char **argv)
                             .c_str(),
                         util::fmtFixed(p.writeRunLength.mean(), 1)
                             .c_str());
+        }
+        if (!metricsPath.empty()) {
+            obs::Registry::instance().writeJsonFile(metricsPath);
+            std::printf("(wrote %s)\n", metricsPath.c_str());
         }
         return 0;
     } catch (const std::exception &e) {
