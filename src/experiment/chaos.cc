@@ -1,0 +1,208 @@
+#include "experiment/chaos.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "experiment/checkpoint.h"
+#include "experiment/configs.h"
+#include "experiment/parallel.h"
+#include "experiment/report.h"
+#include "trace/trace_io.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace tsp::experiment::chaos {
+
+namespace {
+
+/** Exact bit pattern of a double, so fingerprints detect any drift. */
+std::string
+hexBits(double v)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+/** The job set every scenario runs: two algorithms x two points. */
+std::vector<RunJob>
+scenarioJobs(const Options &opt, uint32_t threads)
+{
+    std::vector<MachinePoint> points = standardSweep(threads);
+    if (points.size() > 2)
+        points.resize(2);
+    std::vector<RunJob> jobs;
+    for (placement::Algorithm alg :
+         {placement::Algorithm::LoadBal,
+          placement::Algorithm::ShareRefs}) {
+        for (const MachinePoint &pt : points)
+            jobs.push_back({opt.app, alg, pt, false});
+    }
+    return jobs;
+}
+
+/**
+ * Serialize every outcome's load-bearing fields. Bit-identical runs
+ * produce byte-identical fingerprints; anything else diverges.
+ */
+std::string
+fingerprint(const std::vector<RunJob> &jobs,
+            const std::vector<Outcome<RunResult>> &outcomes)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        os << describeJob(jobs[i]) << " => ";
+        if (!outcomes[i].ok()) {
+            os << "FAILED(" << outcomes[i].error() << ")\n";
+            continue;
+        }
+        const RunResult &r = outcomes[i].value();
+        os << "t=" << r.executionTime
+           << " imb=" << hexBits(r.loadImbalance) << " assign=";
+        for (uint32_t proc : r.placement.assignment())
+            os << proc << ',';
+        const sim::SimStats &s = r.stats;
+        os << " refs=" << s.totalMemRefs() << " hits=" << s.totalHits();
+        for (size_t k = 0; k < sim::numMissKinds; ++k) {
+            os << " m" << k << '='
+               << s.totalMissCount(static_cast<sim::MissKind>(k));
+        }
+        os << " inv=" << s.totalInvalidationsSent()
+           << " upg=" << s.totalUpgrades()
+           << " shc=" << s.sharingCompulsoryMisses << '\n';
+    }
+    return os.str();
+}
+
+/**
+ * The end-to-end operation each matrix cell stresses: a fresh Lab (so
+ * lab.memo_init is on the path), a checkpointed parallel sweep, a
+ * trace save/load roundtrip, and a failure-report CSV. Returns the
+ * sweep's fingerprint; throws whatever the armed fault makes escape.
+ */
+std::string
+runScenario(const Options &opt, const std::string &checkpointPath)
+{
+    Lab lab(opt.scale);
+    const trace::TraceSet &traces = lab.traces(opt.app);
+    std::vector<RunJob> jobs = scenarioJobs(
+        opt, static_cast<uint32_t>(traces.threadCount()));
+
+    Checkpoint checkpoint(checkpointPath, opt.scale);
+    std::vector<JobFailure> failures;
+    SweepOptions options;
+    options.jobs = opt.jobs;
+    options.checkpoint = &checkpoint;
+    options.failures = &failures;
+    ParallelRunner runner(lab, options);
+    auto outcomes = runner.runAllOutcomes(jobs);
+
+    // Trace IO roundtrip (trace.write / trace.read / trace.decode).
+    std::string tracePath = opt.workDir + "/chaos_trace.tspt";
+    trace::saveFile(traces, tracePath);
+    trace::TraceSet loaded = trace::loadFile(tracePath);
+    util::fatalIf(loaded.threadCount() != traces.threadCount(),
+                  "chaos trace roundtrip lost threads");
+
+    // Report emission (report.write).
+    writeFailuresCsv(opt.workDir + "/chaos_failures.csv", failures);
+
+    return fingerprint(jobs, outcomes);
+}
+
+} // namespace
+
+std::string
+CellResult::describe() const
+{
+    std::string line = spec.describe();
+    line += passed() ? " PASS" : " FAIL";
+    if (passed())
+        line += degradedCleanly ? " (degraded cleanly)"
+                                : " (resumed from checkpoint)";
+    else if (!note.empty())
+        line += " — " + note;
+    return line;
+}
+
+std::string
+baselineFingerprint(const Options &options)
+{
+    std::string path = options.workDir + "/chaos_baseline.tspc";
+    std::remove(path.c_str());
+    std::string print = runScenario(options, path);
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    return print;
+}
+
+MatrixResult
+runMatrix(const Options &opt)
+{
+    fault::disarm();
+    MatrixResult matrix;
+    matrix.baseline = baselineFingerprint(opt);
+
+    std::string checkpointPath = opt.workDir + "/chaos_cell.tspc";
+    for (const fault::SiteInfo &site : fault::Registry::catalog()) {
+        for (fault::Kind kind : fault::allKinds()) {
+            CellResult cell;
+            cell.spec = {site.name, 1, false, kind};
+
+            // Fresh journal per cell so recovery is attributable.
+            std::remove(checkpointPath.c_str());
+            std::remove((checkpointPath + ".tmp").c_str());
+
+            uint64_t injectedBefore =
+                fault::Registry::instance().injectedCount();
+            fault::Registry::instance().arm(cell.spec);
+            try {
+                runScenario(opt, checkpointPath);
+                cell.degradedCleanly = true;
+            } catch (const std::exception &e) {
+                // Not clean — leg 2 of the trifecta now rests on the
+                // checkpoint the run left behind.
+                cell.escapedError = e.what();
+            }
+            fault::disarm();
+            cell.fired = fault::Registry::instance().injectedCount() >
+                         injectedBefore;
+
+            if (!cell.fired) {
+                cell.note = "armed site never fired (catalog/wiring "
+                            "drift?)";
+            } else {
+                // Leg 3: fault-free re-run over whatever survived must
+                // reproduce the baseline bit for bit.
+                try {
+                    std::string resumed =
+                        runScenario(opt, checkpointPath);
+                    cell.recoveredIdentical =
+                        resumed == matrix.baseline;
+                    if (!cell.recoveredIdentical)
+                        cell.note = "resumed results diverge from the "
+                                    "baseline";
+                } catch (const std::exception &e) {
+                    cell.note = std::string(
+                                    "fault-free resume threw: ") +
+                                e.what();
+                }
+            }
+
+            if (opt.verbose)
+                util::inform("[chaos] " + cell.describe());
+            matrix.cells.push_back(std::move(cell));
+        }
+    }
+
+    std::remove(checkpointPath.c_str());
+    std::remove((checkpointPath + ".tmp").c_str());
+    return matrix;
+}
+
+} // namespace tsp::experiment::chaos

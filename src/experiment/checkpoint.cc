@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "experiment/parallel.h"
+#include "fault/fault.h"
 #include "obs/metric_defs.h"
 #include "util/checksum.h"
 #include "util/error.h"
@@ -411,6 +412,7 @@ Checkpoint::persist() const
     std::string tmp = path_ + ".tmp";
     util::retry(
         [&] {
+            TSP_FAULT_POINT("checkpoint.append");
             std::ofstream os(tmp,
                              std::ios::binary | std::ios::trunc);
             util::fatalIf(
@@ -420,11 +422,12 @@ Checkpoint::persist() const
             os.flush();
             util::fatalIf(!os, "checkpoint write failed: " + tmp);
             os.close();
+            TSP_FAULT_POINT("checkpoint.rename");
             util::fatalIf(
                 std::rename(tmp.c_str(), path_.c_str()) != 0,
                 "cannot publish checkpoint: " + path_);
         },
-        util::RetryPolicy{}, "checkpoint append " + path_);
+        util::jitteredRetryPolicy(path_), "checkpoint append " + path_);
 }
 
 } // namespace tsp::experiment

@@ -1,5 +1,6 @@
 #include "experiment/lab.h"
 
+#include "fault/fault.h"
 #include "obs/metric_defs.h"
 #include "obs/timer.h"
 #include "sim/machine.h"
@@ -36,6 +37,10 @@ Lab::traces(AppId app)
     // (including callers that blocked on the once-flag) counts a hit.
     bool materialized = false;
     std::call_once(entry.once, [&] {
+        // A throw here leaves the once-flag unset, so a later caller
+        // can retry the materialization — exactly what the chaos
+        // harness leans on when lab.memo_init fires.
+        TSP_FAULT_POINT("lab.memo_init");
         materialized = true;
         entry.value = workload::appTraces(app, scale_);
     });

@@ -25,8 +25,10 @@ template <typename T>
 class Outcome
 {
   public:
-    /** Default state: a failure with a placeholder message (so
-     *  vectors of outcomes start out safely poisoned). */
+    /** Default state: a failure with a descriptive poison message (so
+     *  vectors of outcomes start out safely poisoned, and a cell that
+     *  was never reached — crash, cancellation, engine bug — reports
+     *  something actionable instead of an empty string). */
     Outcome() = default;
 
     /** Build a successful outcome holding @p value. */
@@ -81,7 +83,8 @@ class Outcome
 
   private:
     bool ok_ = false;
-    std::string error_ = "empty outcome";
+    std::string error_ =
+        "job never ran (sweep ended before this cell was attempted)";
     T value_{};
 };
 

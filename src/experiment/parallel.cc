@@ -105,6 +105,7 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
     std::atomic<bool> panicked{false};
     std::exception_ptr panic;
     std::mutex panicMutex;
+    std::atomic<size_t> cancelledCells{0};
 
     util::ThreadPool pool(
         options_.jobs > 1 ? options_.jobs - 1 : 0);
@@ -112,6 +113,15 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
         if (panicked.load(std::memory_order_relaxed))
             return;
         const RunJob &job = jobs[uniqueJobs[pending[k]]];
+        if (options_.cancel && options_.cancel->cancelled()) {
+            // Poison stays descriptive: the cell reports *why* it has
+            // no result, and a resume with the same checkpoint re-runs
+            // exactly these cells.
+            unique[pending[k]] = Outcome<RunResult>::failure(
+                "sweep cancelled before this cell started");
+            cancelledCells.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
         std::optional<util::Watchdog::Guard> guard;
         if (watchdog)
             guard.emplace(watchdog->watch(describeJob(job)));
@@ -162,11 +172,13 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
     if (panic)
         std::rethrow_exception(panic);
 
-    stats_.executed = pending.size();
+    stats_.cancelled = cancelledCells.load();
+    stats_.executed = pending.size() - stats_.cancelled;
     for (size_t u : pending) {
         if (!unique[u].ok())
             ++stats_.failed;
     }
+    stats_.failed -= stats_.cancelled;  // cancelled != genuinely failed
     if (watchdog)
         stats_.watchdogFlagged =
             static_cast<size_t>(watchdog->overdueCount());

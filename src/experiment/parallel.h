@@ -21,7 +21,11 @@
  *    journaled as they complete, so a killed sweep re-runs only the
  *    missing cells;
  *  - watchdog — with a job deadline set, cells running past it are
- *    flagged (warn + SweepStats) without being killed.
+ *    flagged (warn + SweepStats) without being killed;
+ *  - cancellation — with a CancelToken attached, a tripped token stops
+ *    new cells from starting; finished cells stay journaled and the
+ *    skipped cells report failed Outcomes, keeping the sweep
+ *    resumable after SIGINT/SIGTERM or a watchdog escalation.
  */
 
 #ifndef TSP_EXPERIMENT_PARALLEL_H
@@ -34,6 +38,7 @@
 
 #include "experiment/lab.h"
 #include "experiment/outcome.h"
+#include "util/cancel.h"
 #include "util/thread_pool.h"
 
 namespace tsp::experiment {
@@ -71,6 +76,7 @@ struct SweepStats
     size_t fromCheckpoint = 0;  //!< replayed from the journal
     size_t failed = 0;          //!< unique jobs that failed
     size_t watchdogFlagged = 0; //!< jobs that ran past the deadline
+    size_t cancelled = 0;       //!< unique jobs skipped by cancellation
 };
 
 /** Tuning and robustness knobs of a sweep. */
@@ -102,6 +108,16 @@ struct SweepOptions
 
     /** Flag jobs running longer than this; zero disables. */
     std::chrono::milliseconds jobDeadline{0};
+
+    /**
+     * Cooperative cancellation: when non-null, the sweep polls this
+     * token before starting each cell. Once the token trips (a signal
+     * handler, the watchdog, another thread), cells not yet started
+     * become failed Outcomes ("sweep cancelled...") while in-flight
+     * cells run to completion and are journaled normally — so a
+     * cancelled sweep is always cleanly resumable.
+     */
+    const util::CancelToken *cancel = nullptr;
 
     /**
      * Chaos/test hook invoked before each unique job executes; throw

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "core/algorithms.h"
+#include "fault/fault.h"
 #include "util/error.h"
 #include "util/format.h"
 #include "workload/suite.h"
@@ -57,6 +58,7 @@ csvQuote(const std::string &cell)
 void
 CsvWriter::writeRow(const std::vector<std::string> &cells)
 {
+    TSP_FAULT_POINT("report.write");
     for (size_t i = 0; i < cells.size(); ++i) {
         if (i)
             impl_->os << ',';

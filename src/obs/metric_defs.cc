@@ -120,6 +120,11 @@ TSP_OBS_COUNTER(simInvalidationsSent, "sim.invalidations_sent",
 TSP_OBS_COUNTER(simUpgrades, "sim.upgrades", "sim::Directory",
                 "write-hit upgrade transactions")
 
+TSP_OBS_COUNTER(faultInjected, "fault.injected", "fault::Registry",
+                "faults the injection framework actually fired")
+TSP_OBS_GAUGE(faultSitesRegistered, "fault.sites", "fault::Registry",
+              "fault-injection sites registered so far")
+
 TSP_OBS_MS_HISTOGRAM(benchWallMillis, "bench.wall_ms", "bench",
                      "duration behind every [wall] timing line")
 
@@ -159,6 +164,8 @@ allMetrics()
     simMissInvalidation();
     simInvalidationsSent();
     simUpgrades();
+    faultInjected();
+    faultSitesRegistered();
     benchWallMillis();
     return Registry::instance().metrics();
 }

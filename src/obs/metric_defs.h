@@ -63,6 +63,10 @@ Counter &simMissInvalidation();
 Counter &simInvalidationsSent(); //!< directory invalidation messages
 Counter &simUpgrades();          //!< directory upgrade transactions
 
+// ----------------------------------------------------- fault::Registry
+Counter &faultInjected();         //!< faults actually injected
+Gauge &faultSitesRegistered();    //!< injection sites registered
+
 // ------------------------------------------------------------- bench
 Histogram &benchWallMillis();     //!< every `[wall]` line's duration
 

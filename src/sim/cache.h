@@ -101,6 +101,13 @@ class Cache
     /** Ways per set. */
     uint32_t ways() const { return ways_; }
 
+    /**
+     * The raw frame array (sets x ways, set-major). Read-only view for
+     * the paranoid-mode InvariantChecker; invalid frames carry
+     * meaningless tags.
+     */
+    const std::vector<Frame> &frames() const { return frames_; }
+
   private:
     /** How a block last left the cache. */
     enum class Departure : uint8_t { Evicted, Invalidated };

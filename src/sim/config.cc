@@ -1,5 +1,7 @@
 #include "sim/config.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/bits.h"
@@ -7,6 +9,38 @@
 #include "util/format.h"
 
 namespace tsp::sim {
+
+namespace {
+
+/** ~0 = no override; anything else wins over the environment. */
+std::atomic<uint64_t> paranoidOverride{~0ull};
+
+} // namespace
+
+uint64_t
+defaultParanoidEvery()
+{
+    uint64_t forced = paranoidOverride.load(std::memory_order_relaxed);
+    if (forced != ~0ull)
+        return forced;
+    static const uint64_t cached = [] {
+        const char *env = std::getenv("TSP_PARANOID");
+        if (!env || !*env)
+            return uint64_t{0};
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end == env || *end != '\0')
+            return uint64_t{0};
+        return static_cast<uint64_t>(v);
+    }();
+    return cached;
+}
+
+void
+setDefaultParanoidEvery(uint64_t every)
+{
+    paranoidOverride.store(every, std::memory_order_relaxed);
+}
 
 void
 SimConfig::validate() const
@@ -40,6 +74,8 @@ SimConfig::describe() const
         os << associativity << "-way";
     os << " (" << blockBytes << "B blocks), miss " << memoryLatency
        << "cy, switch " << contextSwitchCycles << "cy";
+    if (paranoidEvery)
+        os << ", paranoid every " << paranoidEvery << " refs";
     return os.str();
 }
 

@@ -19,6 +19,17 @@
 
 namespace tsp::sim {
 
+/**
+ * The process-wide default for SimConfig::paranoidEvery: the last
+ * setDefaultParanoidEvery() override if any, else the TSP_PARANOID
+ * environment variable parsed as a non-negative integer (0 or
+ * unparsable/unset = off). The env read happens once and is cached.
+ */
+uint64_t defaultParanoidEvery();
+
+/** Override defaultParanoidEvery() (CLI `--paranoid N`). */
+void setDefaultParanoidEvery(uint64_t every);
+
 /** Complete architectural description consumed by the Machine. */
 struct SimConfig
 {
@@ -75,6 +86,16 @@ struct SimConfig
      * the run. Off by default: it adds a hash lookup per reference.
      */
     bool profileSharing = false;
+
+    /**
+     * Paranoid mode: run the coherence InvariantChecker every this
+     * many memory references (plus once at the end of the run).
+     * 0 disables it — the only cost then is one branch per reference.
+     * The default comes from the TSP_PARANOID environment variable
+     * (see defaultParanoidEvery); the test suite sets it so every
+     * simulation in the suite is invariant-checked.
+     */
+    uint64_t paranoidEvery = defaultParanoidEvery();
 
     /** Number of cache sets. */
     uint64_t

@@ -99,6 +99,19 @@ class Directory
     /** Number of blocks with directory entries. */
     size_t entryCount() const { return entries_.size(); }
 
+    /**
+     * Visit every (block, entry) pair, in unspecified order. Used by
+     * the paranoid-mode InvariantChecker to cross-check the directory
+     * against the caches.
+     */
+    template <typename F>
+    void
+    forEachEntry(F &&fn) const
+    {
+        for (const auto &[block, entry] : entries_)
+            fn(block, entry);
+    }
+
   private:
     uint32_t processors_;
     std::unordered_map<uint64_t, Entry> entries_;

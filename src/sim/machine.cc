@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "obs/metric_defs.h"
 #include "obs/timer.h"
 #include "util/bits.h"
@@ -34,6 +35,10 @@ Machine::Machine(const SimConfig &cfg, const trace::TraceSet &traces,
     scheduledAt_.assign(cfg.processors, kNoEvent);
     if (cfg_.profileSharing)
         monitor_.emplace();
+    if (cfg_.paranoidEvery > 0) {
+        checker_.emplace(directory_, caches_, stats_);
+        refsUntilCheck_ = cfg_.paranoidEvery;
+    }
 
     // Barrier discovery and validation: either no thread uses
     // barriers, or all threads execute the same number of them.
@@ -272,6 +277,16 @@ Machine::schedule(uint32_t p, uint64_t t)
 bool
 Machine::access(uint32_t p, uint32_t tid, uint64_t addr, bool isStore)
 {
+    TSP_FAULT_POINT("sim.step");
+    if (checker_) {
+        // Validate between accesses, when the caches and directory are
+        // guaranteed to agree; ++refsSeen_ labels any violation dump.
+        ++refsSeen_;
+        if (--refsUntilCheck_ == 0) {
+            refsUntilCheck_ = cfg_.paranoidEvery;
+            checker_->check(refsSeen_);
+        }
+    }
     ProcessorStats &ps = stats_.procs[p];
     Cache &cache = caches_[p];
     const uint64_t block = addr >> blockShift_;
@@ -423,6 +438,9 @@ Machine::run()
         util::fatalIf(!procs_[p].pending.empty(),
                       "simulation ended with unstarted threads");
     }
+
+    if (checker_)
+        checker_->check(refsSeen_);  // final end-of-run validation
 
     if (monitor_) {
         stats_.sharingProfile = monitor_->finalize();

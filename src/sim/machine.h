@@ -34,6 +34,7 @@
 #include "sim/config.h"
 #include "sim/directory.h"
 #include "sim/interconnect.h"
+#include "sim/invariant_checker.h"
 #include "sim/results.h"
 #include "sim/sharing_monitor.h"
 #include "trace/trace_set.h"
@@ -163,6 +164,13 @@ class Machine
     AccessObserver accessObserver_;
     SimStats stats_;
     bool ran_ = false;
+
+    // Paranoid mode (SimConfig::paranoidEvery > 0): the checker and a
+    // countdown of references until the next check. When disabled the
+    // optional stays empty and access() pays a single branch.
+    std::optional<InvariantChecker> checker_;
+    uint64_t refsUntilCheck_ = 0;
+    uint64_t refsSeen_ = 0;
 
     // Event queue: (time, processor), earliest first. scheduledAt_
     // tracks each processor's authoritative outstanding event so that

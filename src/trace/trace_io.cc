@@ -11,6 +11,7 @@
 #include <sstream>
 #include <vector>
 
+#include "fault/fault.h"
 #include "util/checksum.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -185,6 +186,7 @@ saveBinary(const TraceSet &set, std::ostream &os)
 TraceSet
 loadBinary(std::istream &is)
 {
+    TSP_FAULT_POINT("trace.decode");
     char magic[4] = {};
     is.read(magic, sizeof(magic));
     util::fatalIf(!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
@@ -247,6 +249,7 @@ saveFile(const TraceSet &set, const std::string &path)
     std::string tmp = path + ".tmp";
     util::retry(
         [&] {
+            TSP_FAULT_POINT("trace.write");
             std::ofstream os(tmp,
                              std::ios::binary | std::ios::trunc);
             util::fatalIf(
@@ -258,7 +261,7 @@ saveFile(const TraceSet &set, const std::string &path)
             util::fatalIf(std::rename(tmp.c_str(), path.c_str()) != 0,
                           "cannot publish trace file: " + path);
         },
-        util::RetryPolicy{}, "trace save " + path);
+        util::jitteredRetryPolicy(path), "trace save " + path);
 }
 
 TraceSet
@@ -266,11 +269,12 @@ loadFile(const std::string &path)
 {
     std::ifstream is = util::retry(
         [&] {
+            TSP_FAULT_POINT("trace.read");
             std::ifstream f(path, std::ios::binary);
             util::fatalIf(!f, "cannot open trace file: " + path);
             return f;
         },
-        util::RetryPolicy{}, "trace open " + path);
+        util::jitteredRetryPolicy(path), "trace open " + path);
     return loadBinary(is);
 }
 

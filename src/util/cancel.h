@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cooperative cancellation token for long-running sweeps.
+ *
+ * A CancelToken is a one-way latch: once requestCancel() is called the
+ * token stays cancelled. Producers of long work (ParallelRunner's
+ * fan-out loop, the Watchdog monitor) poll it at safe points and wind
+ * down cleanly — completed cells stay journaled, pending cells are
+ * reported as cancelled, nothing is killed mid-write.
+ *
+ * requestCancel() is async-signal-safe when std::atomic<bool> is
+ * lock-free (it is on every supported platform), so tsp-run's
+ * SIGINT/SIGTERM handlers can trip the token directly and let the
+ * sweep flush its checkpoint, metrics and trace sink before exiting.
+ */
+
+#ifndef TSP_UTIL_CANCEL_H
+#define TSP_UTIL_CANCEL_H
+
+#include <atomic>
+#include <string>
+
+#include "util/error.h"
+
+namespace tsp::util {
+
+/** One-way cooperative cancellation latch. */
+class CancelToken
+{
+  public:
+    /** Latch the token; idempotent and async-signal-safe. */
+    void
+    requestCancel() noexcept
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    /** True once requestCancel() has been called. */
+    bool
+    cancelled() const noexcept
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** Throw FatalError("<what> cancelled") when cancelled. */
+    void
+    throwIfCancelled(const std::string &what) const
+    {
+        fatalIf(cancelled(), what + " cancelled");
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace tsp::util
+
+#endif // TSP_UTIL_CANCEL_H

@@ -2,8 +2,16 @@
  * @file
  * Bounded retry with capped exponential backoff, for transient
  * filesystem failures on the robustness paths (checkpoint journal
- * appends, trace file IO). Deliberately small: a policy struct and one
- * function template.
+ * appends, trace file IO). Deliberately small: a policy struct, a
+ * backoff schedule, and one function template.
+ *
+ * With a non-zero jitterSeed the schedule applies *decorrelated
+ * jitter* (each delay drawn uniformly from [initialBackoff,
+ * 3 x previous delay], capped), so pool threads that hit the same
+ * transient filesystem failure do not retry in lockstep and re-collide
+ * on every attempt. The jitter RNG is seeded from the policy alone —
+ * the delay sequence is a pure function of the seed, so tests stay
+ * exactly reproducible.
  *
  * PanicError is never retried — an internal invariant violation will
  * not heal by waiting — and the last attempt's exception propagates
@@ -13,6 +21,7 @@
 #ifndef TSP_UTIL_RETRY_H
 #define TSP_UTIL_RETRY_H
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -32,11 +41,78 @@ struct RetryPolicy
     /** Delay before the second attempt. */
     std::chrono::milliseconds initialBackoff{10};
 
-    /** Backoff growth factor between attempts. */
+    /** Backoff growth factor between attempts (jitter off). */
     double multiplier = 2.0;
 
     /** Backoff ceiling. */
     std::chrono::milliseconds maxBackoff{1000};
+
+    /**
+     * Seed of the deterministic decorrelated jitter; 0 disables
+     * jitter (plain capped exponential backoff). Call sites that can
+     * retry concurrently (one pool thread per app/cell) should derive
+     * the seed from their identity — e.g. a hash of the target path —
+     * so contending threads spread out instead of thundering back in
+     * step.
+     */
+    uint64_t jitterSeed = 0;
+};
+
+/**
+ * The delay sequence retry() sleeps between attempts: capped
+ * exponential when the policy's jitterSeed is 0, decorrelated jitter
+ * otherwise. Exposed as its own class so tests can pin determinism
+ * and bounds without timing real sleeps.
+ */
+class BackoffSchedule
+{
+  public:
+    explicit BackoffSchedule(const RetryPolicy &policy)
+        : policy_(policy), state_(policy.jitterSeed),
+          backoff_(policy.initialBackoff)
+    {}
+
+    /** The delay to sleep before the next attempt. */
+    std::chrono::milliseconds
+    next()
+    {
+        std::chrono::milliseconds current = backoff_;
+        if (policy_.jitterSeed == 0) {
+            auto grown = std::chrono::milliseconds(
+                static_cast<long long>(
+                    static_cast<double>(backoff_.count()) *
+                    policy_.multiplier));
+            backoff_ = std::min(grown, policy_.maxBackoff);
+            return current;
+        }
+        // Decorrelated jitter: next in [initial, 3 x previous], capped.
+        // splitmix64 is deterministic per seed and cheap.
+        long long lo = policy_.initialBackoff.count();
+        long long hi =
+            std::max<long long>(lo, 3 * current.count());
+        long long span = hi - lo + 1;
+        long long drawn =
+            lo + static_cast<long long>(nextRandom() %
+                                        static_cast<uint64_t>(span));
+        backoff_ = std::min(std::chrono::milliseconds(drawn),
+                            policy_.maxBackoff);
+        return std::min(current, policy_.maxBackoff);
+    }
+
+  private:
+    uint64_t
+    nextRandom()
+    {
+        // splitmix64 (public-domain constants).
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    RetryPolicy policy_;
+    uint64_t state_;
+    std::chrono::milliseconds backoff_;
 };
 
 /**
@@ -50,7 +126,7 @@ retry(F &&fn, const RetryPolicy &policy, const std::string &what)
     -> decltype(fn())
 {
     panicIf(policy.maxAttempts == 0, "retry policy needs >= 1 attempt");
-    std::chrono::milliseconds backoff = policy.initialBackoff;
+    BackoffSchedule schedule(policy);
     for (unsigned attempt = 1;; ++attempt) {
         try {
             return fn();
@@ -59,18 +135,30 @@ retry(F &&fn, const RetryPolicy &policy, const std::string &what)
         } catch (const std::exception &e) {
             if (attempt >= policy.maxAttempts)
                 throw;
+            std::chrono::milliseconds backoff = schedule.next();
             warn(concat(what, " failed (attempt ", attempt, "/",
                         policy.maxAttempts, "): ", e.what(),
                         "; retrying in ", backoff.count(), " ms"));
             std::this_thread::sleep_for(backoff);
-            auto next = std::chrono::milliseconds(
-                static_cast<long long>(
-                    static_cast<double>(backoff.count()) *
-                    policy.multiplier));
-            backoff = next < policy.maxBackoff ? next
-                                               : policy.maxBackoff;
         }
     }
+}
+
+/**
+ * A RetryPolicy whose jitter seed is derived from @p identity (e.g.
+ * the file path being written), so distinct targets back off on
+ * distinct, reproducible schedules.
+ */
+inline RetryPolicy
+jitteredRetryPolicy(const std::string &identity)
+{
+    RetryPolicy policy;
+    // FNV-1a over the identity; never 0 (0 would disable jitter).
+    uint64_t hash = 1469598103934665603ull;
+    for (unsigned char c : identity)
+        hash = (hash ^ c) * 1099511628211ull;
+    policy.jitterSeed = hash ? hash : 1;
+    return policy;
 }
 
 } // namespace tsp::util

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/metric_defs.h"
 
 namespace tsp::util {
@@ -64,8 +65,14 @@ class ThreadPool
     submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
     {
         using R = std::invoke_result_t<std::decay_t<F>>;
+        // The fault point lives inside the packaged task so an
+        // injected dispatch failure is captured by the future like
+        // any user exception, instead of escaping a worker thread.
         auto task = std::make_shared<std::packaged_task<R()>>(
-            std::forward<F>(fn));
+            [fn = std::forward<F>(fn)]() mutable -> R {
+                TSP_FAULT_POINT("pool.dispatch");
+                return fn();
+            });
         std::future<R> future = task->get_future();
         if (threads_.empty()) {
             (*task)();

@@ -17,6 +17,7 @@
 #include "experiment/checkpoint.h"
 #include "experiment/lab.h"
 #include "experiment/parallel.h"
+#include "fault/fault.h"
 #include "util/error.h"
 
 namespace tsp::experiment {
@@ -193,6 +194,48 @@ TEST(Checkpoint, CorruptMiddleRecordDropsTheTail)
     Checkpoint cp(path, kScale);
     EXPECT_EQ(cp.size(), 0u);
     EXPECT_GT(cp.droppedBytes(), 0u);
+}
+
+TEST(Checkpoint, ResumesBitIdenticallyAfterInjectedRenameFailure)
+{
+    std::string path = tempJournal("fault_rename");
+    Lab lab(kScale);
+    RunJob first{AppId::Water, Algorithm::Random, {2, 4}, false};
+    RunJob second{AppId::Water, Algorithm::ShareRefs, {4, 2}, false};
+    RunResult r1 = lab.run(first.app, first.alg, first.point, false);
+    RunResult r2 =
+        lab.run(second.app, second.alg, second.point, false);
+
+    Checkpoint cp(path, kScale);
+    cp.record(first, r1);
+    std::string journalBefore = readAll(path);
+    ASSERT_FALSE(journalBefore.empty());
+
+    // Every tmp->journal rename now fails: the bounded retry exhausts
+    // and the append surfaces the injected error to the caller.
+    fault::arm("checkpoint.rename:1+:error");
+    EXPECT_THROW(cp.record(second, r2), std::runtime_error);
+    fault::disarm();
+
+    // Atomic publish held: the journal on disk is exactly the
+    // pre-failure journal, not a torn half-append.
+    EXPECT_EQ(readAll(path), journalBefore);
+
+    // A fresh process resumes from the surviving journal: the first
+    // cell replays bit-identically, the failed one is simply absent
+    // and can be journaled again.
+    Checkpoint resumed(path, kScale);
+    EXPECT_EQ(resumed.size(), 1u);
+    EXPECT_EQ(resumed.droppedBytes(), 0u);
+    ASSERT_TRUE(resumed.lookup(first).has_value());
+    expectSameResult(*resumed.lookup(first), r1);
+    EXPECT_FALSE(resumed.lookup(second).has_value());
+
+    resumed.record(second, r2);
+    Checkpoint reopened(path, kScale);
+    EXPECT_EQ(reopened.size(), 2u);
+    ASSERT_TRUE(reopened.lookup(second).has_value());
+    expectSameResult(*reopened.lookup(second), r2);
 }
 
 TEST(Checkpoint, SweepResumesRunningOnlyMissingCells)

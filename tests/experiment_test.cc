@@ -9,6 +9,7 @@
 
 #include "experiment/configs.h"
 #include "experiment/lab.h"
+#include "experiment/outcome.h"
 #include "experiment/studies.h"
 
 namespace tsp::experiment {
@@ -16,6 +17,33 @@ namespace {
 
 using placement::Algorithm;
 using workload::AppId;
+
+// --------------------------------------------------------------- outcome
+
+TEST(Outcome, DefaultStateIsADescriptivePoison)
+{
+    // A defaulted Outcome is the "cell never ran" poison: it must
+    // explain itself instead of carrying an empty error string, so a
+    // crash/cancellation hole in a sweep is actionable from the report.
+    Outcome<int> poisoned;
+    EXPECT_FALSE(poisoned.ok());
+    EXPECT_NE(poisoned.error().find("job never ran"),
+              std::string::npos);
+    EXPECT_NE(poisoned.error().find("sweep ended"), std::string::npos);
+}
+
+TEST(Outcome, SuccessAndFailureArmsAreExclusive)
+{
+    auto good = Outcome<int>::success(42);
+    EXPECT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_THROW(good.error(), util::PanicError);
+
+    auto bad = Outcome<int>::failure("disk on fire");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error(), "disk on fire");
+    EXPECT_THROW(bad.value(), util::PanicError);
+}
 
 // ----------------------------------------------------------------- sweep
 

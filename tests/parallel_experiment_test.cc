@@ -11,11 +11,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "experiment/checkpoint.h"
 #include "experiment/lab.h"
 #include "experiment/parallel.h"
 #include "experiment/studies.h"
@@ -432,6 +434,109 @@ TEST(Determinism, Table4StudyMatchesSerialRows)
         EXPECT_EQ(wide[i].dynamicPairDevPct,
                   expect.dynamicPairDevPct);
     }
+}
+
+// ------------------------------------------------------------ cancellation
+
+TEST(Cancellation, PreCancelledTokenSkipsEveryCell)
+{
+    Lab lab(kScale);
+    std::vector<RunJob> jobs = {
+        {AppId::Water, Algorithm::Random, {2, 4}, false},
+        {AppId::Water, Algorithm::LoadBal, {4, 2}, false},
+    };
+
+    util::CancelToken token;
+    token.requestCancel();
+    SweepStats stats;
+    SweepOptions options;
+    options.jobs = 1;
+    options.cancel = &token;
+    options.statsOut = &stats;
+    auto outcomes = ParallelRunner(lab, options).runAllOutcomes(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (const auto &outcome : outcomes) {
+        ASSERT_FALSE(outcome.ok());
+        EXPECT_NE(outcome.error().find("cancelled"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(stats.cancelled, jobs.size());
+    EXPECT_EQ(stats.executed, 0u);
+    // Cancelled cells are not *failures* — nothing actually broke.
+    EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(Cancellation, MidSweepCancelIsCleanlyResumable)
+{
+    std::string path =
+        testing::TempDir() + "/cancel_resume.tspc";
+    std::remove(path.c_str());
+    std::vector<RunJob> jobs = {
+        {AppId::Water, Algorithm::Random, {2, 4}, false},
+        {AppId::Water, Algorithm::LoadBal, {2, 4}, false},
+        {AppId::Water, Algorithm::ShareRefs, {4, 2}, false},
+        {AppId::Water, Algorithm::MinShare, {4, 2}, false},
+    };
+
+    Lab baselineLab(kScale);
+    auto baseline = ParallelRunner(baselineLab, 1).runAll(jobs);
+
+    // The token trips while the second cell is in flight (the hook
+    // runs after the cell's cancellation poll): that cell completes
+    // and journals; the remaining cells are skipped.
+    util::CancelToken token;
+    size_t started = 0;
+    {
+        Lab lab(kScale);
+        Checkpoint cp(path, kScale);
+        SweepStats stats;
+        SweepOptions options;
+        options.jobs = 1;  // deterministic input-order execution
+        options.cancel = &token;
+        options.checkpoint = &cp;
+        options.statsOut = &stats;
+        options.faultInjector = [&](const RunJob &) {
+            if (++started == 2)
+                token.requestCancel();
+        };
+        auto outcomes =
+            ParallelRunner(lab, options).runAllOutcomes(jobs);
+
+        EXPECT_TRUE(outcomes[0].ok());
+        EXPECT_TRUE(outcomes[1].ok());
+        EXPECT_FALSE(outcomes[2].ok());
+        EXPECT_FALSE(outcomes[3].ok());
+        EXPECT_EQ(stats.executed, 2u);
+        EXPECT_EQ(stats.cancelled, 2u);
+        EXPECT_EQ(stats.failed, 0u);
+        EXPECT_EQ(cp.size(), 2u);
+    }
+
+    // Resume without the token: journaled cells replay, skipped cells
+    // run now, and the whole sweep is bit-identical to the baseline.
+    Lab lab(kScale);
+    Checkpoint cp(path, kScale);
+    SweepStats stats;
+    SweepOptions options;
+    options.jobs = 1;
+    options.checkpoint = &cp;
+    options.statsOut = &stats;
+    auto resumed = ParallelRunner(lab, options).runAll(jobs);
+    EXPECT_EQ(stats.fromCheckpoint, 2u);
+    EXPECT_EQ(stats.executed, 2u);
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (size_t i = 0; i < resumed.size(); ++i) {
+        EXPECT_EQ(resumed[i].executionTime,
+                  baseline[i].executionTime);
+        EXPECT_EQ(resumed[i].stats.totalMemRefs(),
+                  baseline[i].stats.totalMemRefs());
+        EXPECT_EQ(resumed[i].stats.totalHits(),
+                  baseline[i].stats.totalHits());
+        EXPECT_EQ(resumed[i].placement.assignment(),
+                  baseline[i].placement.assignment());
+    }
+    std::remove(path.c_str());
 }
 
 } // namespace

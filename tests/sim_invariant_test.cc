@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests of paranoid mode: the coherence InvariantChecker accepts
+ * consistent directory/cache/counter state and — the non-vacuous
+ * half — panics on every class of deliberately corrupted state
+ * (directory-cache disagreement on ownership, untracked cache lines,
+ * broken counter identities, counters moving backwards). Also pins
+ * the paranoid plumbing: a fully checked simulation produces results
+ * bit-identical to an unchecked one, and the TSP_PARANOID /
+ * setDefaultParanoidEvery default wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/placement_map.h"
+#include "sim/cache.h"
+#include "sim/directory.h"
+#include "sim/invariant_checker.h"
+#include "sim/machine.h"
+#include "trace/address_space.h"
+#include "trace/trace_set.h"
+#include "util/error.h"
+
+namespace tsp::sim {
+namespace {
+
+using placement::PlacementMap;
+using trace::AddressSpace;
+using trace::ThreadTrace;
+using trace::TraceSet;
+
+constexpr uint64_t kBlock = 0x1000;
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.processors = 2;
+    cfg.contexts = 1;
+    cfg.cacheBytes = 1024;
+    cfg.blockBytes = 32;
+    cfg.paranoidEvery = 0;  // the checker under test is explicit
+    return cfg;
+}
+
+/** Directory + caches + stats a checker can be pointed at. */
+struct World
+{
+    explicit World(const SimConfig &cfg = smallConfig())
+        : directory(cfg.processors),
+          caches(cfg.processors, Cache(cfg))
+    {
+        stats.procs.resize(cfg.processors);
+    }
+
+    /** Install @p block in @p proc's cache in @p state. */
+    Cache::Frame &
+    fill(uint32_t proc, uint64_t block, CoherenceState state)
+    {
+        Cache::Frame &f = caches[proc].victimFor(block);
+        f.tag = block;
+        f.threadId = proc;
+        f.state = state;
+        caches[proc].touch(f);
+        return f;
+    }
+
+    Directory directory;
+    std::vector<Cache> caches;
+    SimStats stats;
+};
+
+// ------------------------------------------------- consistent states
+
+TEST(InvariantChecker, AcceptsAnEmptyWorld)
+{
+    World w;
+    InvariantChecker checker(w.directory, w.caches, w.stats);
+    EXPECT_NO_THROW(checker.check(0));
+    EXPECT_EQ(checker.checksRun(), 1u);
+}
+
+TEST(InvariantChecker, AcceptsConsistentOwnedAndSharedBlocks)
+{
+    World w;
+    // Proc 0 reads block A alone: directory grants Exclusive.
+    Directory::Txn txn = w.directory.read(0, 0, kBlock);
+    EXPECT_TRUE(txn.grantedExclusive);
+    w.fill(0, kBlock, CoherenceState::Exclusive);
+    // Both procs read block B: Shared in both caches.
+    w.directory.read(0, 0, kBlock + 1);
+    w.directory.read(1, 1, kBlock + 1);
+    w.fill(0, kBlock + 1, CoherenceState::Shared);
+    w.fill(1, kBlock + 1, CoherenceState::Shared);
+
+    InvariantChecker checker(w.directory, w.caches, w.stats);
+    EXPECT_NO_THROW(checker.check(1));
+}
+
+// ------------------------------------------------- corrupted states
+
+TEST(InvariantChecker, CatchesOwnedBlockMissingFromItsCache)
+{
+    World w;
+    // Directory believes proc 0 owns the block; its cache is empty.
+    w.directory.write(0, 0, kBlock);
+    InvariantChecker checker(w.directory, w.caches, w.stats);
+    try {
+        checker.check(7);
+        FAIL() << "checker accepted a corrupt directory";
+    } catch (const util::PanicError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("coherence invariant violated at ref 7"),
+                  std::string::npos);
+        EXPECT_NE(what.find("owning cache does not hold the block"),
+                  std::string::npos);
+        // The dump names the block so the violation is debuggable.
+        EXPECT_NE(what.find("0x1000"), std::string::npos);
+    }
+}
+
+TEST(InvariantChecker, CatchesOwnedBlockHeldWithoutOwnership)
+{
+    World w;
+    w.directory.write(0, 0, kBlock);
+    // The cache holds it, but only Shared: ownership was lost.
+    w.fill(0, kBlock, CoherenceState::Shared);
+    InvariantChecker checker(w.directory, w.caches, w.stats);
+    EXPECT_THROW(checker.check(1), util::PanicError);
+}
+
+TEST(InvariantChecker, CatchesSharerCacheMissingTheBlock)
+{
+    World w;
+    w.directory.read(0, 0, kBlock);
+    w.directory.read(1, 1, kBlock);  // both are sharers now
+    w.fill(0, kBlock, CoherenceState::Shared);
+    // Proc 1 never filled its frame: its sharer bit is a lie.
+    InvariantChecker checker(w.directory, w.caches, w.stats);
+    EXPECT_THROW(checker.check(1), util::PanicError);
+}
+
+TEST(InvariantChecker, CatchesCacheLineTheDirectoryNeverGranted)
+{
+    World w;
+    // A valid frame appears with no directory entry at all.
+    w.fill(1, kBlock, CoherenceState::Modified);
+    InvariantChecker checker(w.directory, w.caches, w.stats);
+    try {
+        checker.check(3);
+        FAIL() << "checker accepted an untracked cache line";
+    } catch (const util::PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "the directory does not attribute"),
+                  std::string::npos);
+    }
+}
+
+TEST(InvariantChecker, CatchesHitMissIdentityViolation)
+{
+    World w;
+    ProcessorStats &p = w.stats.procs[0];
+    p.instructions = 10;
+    p.memRefs = 5;
+    p.hits = 2;
+    p.misses[0] = 2;  // 2 + 2 != 5
+    InvariantChecker checker(w.directory, w.caches, w.stats);
+    EXPECT_THROW(checker.check(1), util::PanicError);
+    p.misses[0] = 3;  // identity restored
+    EXPECT_NO_THROW(checker.check(2));
+}
+
+TEST(InvariantChecker, CatchesMoreMemRefsThanInstructions)
+{
+    World w;
+    ProcessorStats &p = w.stats.procs[0];
+    p.instructions = 3;
+    p.memRefs = 5;
+    p.hits = 5;
+    InvariantChecker checker(w.directory, w.caches, w.stats);
+    EXPECT_THROW(checker.check(1), util::PanicError);
+}
+
+TEST(InvariantChecker, CatchesCountersMovingBackwards)
+{
+    World w;
+    ProcessorStats &p = w.stats.procs[0];
+    p.instructions = 100;
+    p.busyCycles = 100;
+    InvariantChecker checker(w.directory, w.caches, w.stats);
+    EXPECT_NO_THROW(checker.check(1));
+    p.busyCycles = 50;  // time ran backwards
+    EXPECT_THROW(checker.check(2), util::PanicError);
+}
+
+// ------------------------------------------------- paranoid plumbing
+
+TEST(ParanoidMode, CheckedRunMatchesUncheckedRunExactly)
+{
+    TraceSet ts("pair");
+    for (uint32_t tid = 0; tid < 2; ++tid) {
+        ThreadTrace t(tid);
+        for (uint64_t i = 0; i < 200; ++i) {
+            t.appendWork(3);
+            t.appendLoad(AddressSpace::sharedBase + (i % 16) * 32);
+            t.appendStore(AddressSpace::sharedBase + (i % 8) * 32);
+        }
+        ts.addThread(std::move(t));
+    }
+    PlacementMap placement(2, {0, 1});
+
+    SimConfig plain = smallConfig();
+    SimStats unchecked = simulate(plain, ts, placement);
+
+    SimConfig paranoid = smallConfig();
+    paranoid.paranoidEvery = 1;  // check at every single reference
+    SimStats checked = simulate(paranoid, ts, placement);
+
+    ASSERT_EQ(unchecked.procs.size(), checked.procs.size());
+    for (size_t p = 0; p < unchecked.procs.size(); ++p) {
+        EXPECT_EQ(unchecked.procs[p].finishTime,
+                  checked.procs[p].finishTime);
+        EXPECT_EQ(unchecked.procs[p].hits, checked.procs[p].hits);
+        EXPECT_EQ(unchecked.procs[p].totalMisses(),
+                  checked.procs[p].totalMisses());
+        EXPECT_EQ(unchecked.procs[p].memRefs,
+                  checked.procs[p].memRefs);
+    }
+    EXPECT_EQ(unchecked.executionTime(), checked.executionTime());
+}
+
+TEST(ParanoidMode, DefaultComesFromEnvironmentAndOverride)
+{
+    // The test harness exports TSP_PARANOID (tests/CMakeLists.txt), so
+    // every simulation in this suite is invariant-checked by default.
+    uint64_t original = defaultParanoidEvery();
+    EXPECT_GT(original, 0u)
+        << "test suite must run with TSP_PARANOID set";
+    EXPECT_EQ(SimConfig{}.paranoidEvery, original);
+
+    setDefaultParanoidEvery(7);  // the CLI --paranoid path
+    EXPECT_EQ(defaultParanoidEvery(), 7u);
+    EXPECT_EQ(SimConfig{}.paranoidEvery, 7u);
+    setDefaultParanoidEvery(original);
+    EXPECT_EQ(defaultParanoidEvery(), original);
+}
+
+TEST(ParanoidMode, DescribeMentionsParanoidOnlyWhenOn)
+{
+    SimConfig cfg = smallConfig();
+    EXPECT_EQ(cfg.describe().find("paranoid"), std::string::npos);
+    cfg.paranoidEvery = 4096;
+    EXPECT_NE(cfg.describe().find("paranoid every 4096 refs"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace tsp::sim

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.h"
 #include "util/error.h"
 #include "util/retry.h"
 #include "util/watchdog.h"
@@ -153,6 +154,128 @@ TEST(Retry, ZeroAttemptPolicyIsAPanic)
     policy.maxAttempts = 0;
     EXPECT_THROW(retry([] { return 1; }, policy, "bad policy"),
                  PanicError);
+}
+
+// ----------------------------------------------------------------- backoff
+
+TEST(Backoff, SeedZeroIsCappedExponential)
+{
+    RetryPolicy policy;
+    policy.initialBackoff = 10ms;
+    policy.multiplier = 2.0;
+    policy.maxBackoff = 100ms;
+    policy.jitterSeed = 0;
+    BackoffSchedule schedule(policy);
+    EXPECT_EQ(schedule.next(), 10ms);
+    EXPECT_EQ(schedule.next(), 20ms);
+    EXPECT_EQ(schedule.next(), 40ms);
+    EXPECT_EQ(schedule.next(), 80ms);
+    EXPECT_EQ(schedule.next(), 100ms);  // ceiling
+    EXPECT_EQ(schedule.next(), 100ms);
+}
+
+TEST(Backoff, JitterIsDeterministicPerSeed)
+{
+    RetryPolicy policy;
+    policy.initialBackoff = 5ms;
+    policy.maxBackoff = 500ms;
+    policy.jitterSeed = 0xDEADBEEFull;
+
+    std::vector<long long> a, b;
+    BackoffSchedule first(policy), second(policy);
+    for (int i = 0; i < 32; ++i) {
+        a.push_back(first.next().count());
+        b.push_back(second.next().count());
+    }
+    EXPECT_EQ(a, b) << "same seed must replay the same delays";
+}
+
+TEST(Backoff, JitterStaysWithinTheDecorrelatedBounds)
+{
+    RetryPolicy policy;
+    policy.initialBackoff = 5ms;
+    policy.maxBackoff = 200ms;
+    policy.jitterSeed = 42;
+    BackoffSchedule schedule(policy);
+    long long previous = policy.initialBackoff.count();
+    for (int i = 0; i < 200; ++i) {
+        long long delay = schedule.next().count();
+        EXPECT_GE(delay, policy.initialBackoff.count());
+        EXPECT_LE(delay, policy.maxBackoff.count());
+        // Decorrelated jitter: each delay is drawn from
+        // [initial, 3 x previous], then capped.
+        EXPECT_LE(delay, std::min<long long>(
+                             3 * previous, policy.maxBackoff.count()));
+        previous = delay;
+    }
+}
+
+TEST(Backoff, DistinctSeedsProduceDistinctSchedules)
+{
+    RetryPolicy a, b;
+    a.initialBackoff = b.initialBackoff = 5ms;
+    a.maxBackoff = b.maxBackoff = 10000ms;
+    a.jitterSeed = 1;
+    b.jitterSeed = 2;
+    BackoffSchedule sa(a), sb(b);
+    bool diverged = false;
+    for (int i = 0; i < 32 && !diverged; ++i)
+        diverged = sa.next() != sb.next();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Backoff, JitteredPolicyDerivesANonZeroSeedFromIdentity)
+{
+    RetryPolicy a = jitteredRetryPolicy("/tmp/journal-a.tspc");
+    RetryPolicy b = jitteredRetryPolicy("/tmp/journal-b.tspc");
+    EXPECT_NE(a.jitterSeed, 0u);
+    EXPECT_NE(b.jitterSeed, 0u);
+    EXPECT_NE(a.jitterSeed, b.jitterSeed);
+    // Deterministic: the same identity always yields the same seed.
+    EXPECT_EQ(jitteredRetryPolicy("/tmp/journal-a.tspc").jitterSeed,
+              a.jitterSeed);
+}
+
+// ------------------------------------------------------------ cancellation
+
+TEST(CancelToken, IsAOneWayLatch)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_NO_THROW(token.throwIfCancelled("op"));
+    token.requestCancel();
+    EXPECT_TRUE(token.cancelled());
+    token.requestCancel();  // idempotent
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_THROW(token.throwIfCancelled("op"), FatalError);
+}
+
+TEST(Watchdog, OverdueTaskTripsTheCancelToken)
+{
+    CancelToken token;
+    Watchdog dog(20ms, [](const std::string &,
+                          std::chrono::milliseconds) {}, 5ms);
+    dog.cancelOnOverdue(&token);
+    {
+        auto guard = dog.watch("runaway-cell");
+        for (int i = 0; i < 2000 && !token.cancelled(); ++i)
+            std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(dog.overdueCount(), 1u);
+}
+
+TEST(Watchdog, FastTasksNeverTripTheCancelToken)
+{
+    CancelToken token;
+    Watchdog dog(250ms, [](const std::string &,
+                           std::chrono::milliseconds) {}, 5ms);
+    dog.cancelOnOverdue(&token);
+    for (int i = 0; i < 5; ++i) {
+        auto guard = dog.watch("quick-cell");
+    }
+    std::this_thread::sleep_for(40ms);
+    EXPECT_FALSE(token.cancelled());
 }
 
 } // namespace

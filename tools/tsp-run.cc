@@ -6,6 +6,7 @@
  *
  *   tsp_run <app> <algorithm> <processors> [options]
  *   tsp_run sweep <app> [options]
+ *   tsp_run chaos [options]
  *
  * options (single run):
  *   --contexts N     hardware contexts/processor (default: fit all)
@@ -22,6 +23,11 @@
  *                    any width)
  *   --metrics-out PATH  enable the metrics registry and export it as
  *                       JSON to PATH on completion
+ *   --fault SPEC     arm one deterministic fault: site:nth[+]:kind
+ *                    (see docs/robustness.md; same as TSP_FAULT)
+ *   --paranoid N     run the coherence invariant checker every N
+ *                    memory references (0 disables; same as
+ *                    TSP_PARANOID)
  *
  * options (sweep mode):
  *   --scale N          workload scale divisor
@@ -35,6 +41,20 @@
  *                      JSON to PATH on completion
  *   --trace-out PATH   write a per-cell Chrome trace-event timeline
  *                      (JSONL; open in chrome://tracing or Perfetto)
+ *   --fault SPEC       arm one deterministic fault (site:nth[+]:kind)
+ *   --paranoid N       invariant-check every N references
+ *
+ * options (chaos mode — run the fault-injection matrix, see
+ * docs/robustness.md):
+ *   --scale N   --jobs N   --app NAME   --workdir PATH   --verbose
+ *
+ * Signals: a sweep receiving SIGINT/SIGTERM cancels cooperatively —
+ * in-flight cells finish and are journaled, the checkpoint, metrics
+ * export and trace timeline are flushed, and the process exits with
+ * code 4 (resume by re-running with the same --checkpoint).
+ *
+ * Exit codes: 0 success; 1 error; 2 usage; 3 degraded (failed cells /
+ * chaos matrix failures); 4 interrupted by signal.
  *
  * All numeric flags are parsed strictly: non-numeric, negative or
  * overflowing values fail with a message naming the flag.
@@ -42,20 +62,24 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "experiment/chaos.h"
 #include "experiment/checkpoint.h"
 #include "experiment/lab.h"
 #include "experiment/report.h"
 #include "experiment/studies.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "sim/machine.h"
 #include "util/bits.h"
+#include "util/cancel.h"
 #include "util/error.h"
 #include "util/format.h"
 #include "util/parse.h"
@@ -67,6 +91,31 @@ namespace {
 
 using namespace tsp;
 
+/** Exit codes (also documented in the file header). */
+constexpr int kExitDegraded = 3;
+constexpr int kExitInterrupted = 4;
+
+/** Tripped by SIGINT/SIGTERM; polled by the sweep between cells. */
+util::CancelToken gCancel;
+volatile std::sig_atomic_t gSignal = 0;
+
+extern "C" void
+onSignal(int sig)
+{
+    // Only async-signal-safe operations: set two atomics and return.
+    // The sweep loop notices, finishes in-flight cells, flushes the
+    // checkpoint/metrics/trace, and exits with kExitInterrupted.
+    gSignal = sig;
+    gCancel.requestCancel();
+}
+
+void
+installSignalHandlers()
+{
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+}
+
 int
 usage()
 {
@@ -75,9 +124,12 @@ usage()
         "usage: tsp_run <app> <algorithm> <processors> [options]\n"
         "       tsp_run sweep <app> [--checkpoint PATH]"
         " [--deadline MS]\n"
+        "       tsp_run chaos [--scale N] [--app NAME]"
+        " [--workdir PATH] [--verbose]\n"
         "  --contexts N  --cache BYTES  --assoc N  --latency N\n"
         "  --switch N    --scale N      --infinite --profile\n"
         "  --jobs N      --metrics-out PATH  --trace-out PATH\n"
+        "  --fault site:nth[+]:kind    --paranoid N\n"
         "algorithms: ");
     for (placement::Algorithm alg : placement::allAlgorithms())
         std::fprintf(stderr, "%s ",
@@ -127,12 +179,18 @@ runSweep(int argc, char **argv)
             metricsPath = next("--metrics-out");
         else if (!std::strcmp(argv[i], "--trace-out"))
             tracePath = next("--trace-out");
+        else if (!std::strcmp(argv[i], "--fault"))
+            fault::arm(next("--fault"));
+        else if (!std::strcmp(argv[i], "--paranoid"))
+            sim::setDefaultParanoidEvery(util::parseUnsigned(
+                next("--paranoid"), "--paranoid"));
         else
             return usage();
     }
 
     if (!metricsPath.empty())
         obs::setMetricsEnabled(true);
+    installSignalHandlers();
     std::optional<obs::TraceSink> trace;
     if (!tracePath.empty()) {
         trace.emplace(tracePath, "tsp_run sweep");
@@ -158,6 +216,7 @@ runSweep(int argc, char **argv)
     options.statsOut = &stats;
     options.jobDeadline = std::chrono::milliseconds(deadlineMs);
     options.cellMillisOut = &cellMillis;
+    options.cancel = &gCancel;
 
     auto points = experiment::execTimeStudy(
         lab, app, placement::figureAlgorithms(), options);
@@ -194,6 +253,9 @@ runSweep(int argc, char **argv)
                 "checkpoint, %zu simulated, %zu failed\n",
                 stats.total, stats.unique, stats.fromCheckpoint,
                 stats.executed, stats.failed);
+    if (stats.cancelled)
+        std::printf("cancelled: %zu cells skipped (signal %d)\n",
+                    stats.cancelled, static_cast<int>(gSignal));
     if (stats.executed) {
         double sum = 0.0, maxMs = 0.0;
         for (double ms : cellMillis) {
@@ -225,7 +287,63 @@ runSweep(int argc, char **argv)
         obs::Registry::instance().writeJsonFile(metricsPath);
         std::printf("(wrote %s)\n", metricsPath.c_str());
     }
-    return failures.empty() ? 0 : 3;
+    if (gCancel.cancelled()) {
+        // Everything above already flushed: the checkpoint journals
+        // each cell on completion, and the trace/metrics files were
+        // just closed. Resuming re-runs only the skipped cells.
+        std::printf("interrupted: resume with the same --checkpoint "
+                    "to finish the remaining cells\n");
+        return kExitInterrupted;
+    }
+    return failures.empty() ? 0 : kExitDegraded;
+}
+
+/**
+ * `tsp_run chaos`: the full fault-site x failure-kind matrix (see
+ * docs/robustness.md). Each cell arms one deterministic fault, runs a
+ * checkpointed sweep + trace roundtrip + CSV report, and checks the
+ * no-crash / clean-degrade-or-resume / bit-identical-recovery
+ * trifecta.
+ */
+int
+runChaos(int argc, char **argv)
+{
+    experiment::chaos::Options opt;
+    opt.verbose = true;
+    for (int i = 2; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            util::fatalIf(i + 1 >= argc,
+                          std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--scale"))
+            opt.scale = util::parseUnsigned32(next("--scale"),
+                                              "--scale", 1);
+        else if (!std::strcmp(argv[i], "--jobs"))
+            opt.jobs = util::parseUnsigned32(next("--jobs"), "--jobs",
+                                             0, 4096);
+        else if (!std::strcmp(argv[i], "--app"))
+            opt.app = workload::appByName(next("--app"));
+        else if (!std::strcmp(argv[i], "--workdir"))
+            opt.workDir = next("--workdir");
+        else if (!std::strcmp(argv[i], "--verbose"))
+            opt.verbose = true;
+        else if (!std::strcmp(argv[i], "--quiet"))
+            opt.verbose = false;
+        else
+            return usage();
+    }
+
+    auto matrix = experiment::chaos::runMatrix(opt);
+    std::printf("chaos: %zu/%zu cells passed the trifecta "
+                "(no crash, clean degrade or resume, bit-identical "
+                "recovery)\n",
+                matrix.passedCount(), matrix.cells.size());
+    for (const auto &cell : matrix.cells) {
+        if (!cell.passed())
+            std::printf("  FAILED %s\n", cell.describe().c_str());
+    }
+    return matrix.allPassed() ? 0 : kExitDegraded;
 }
 
 } // namespace
@@ -238,6 +356,8 @@ main(int argc, char **argv)
     try {
         if (!std::strcmp(argv[1], "sweep"))
             return runSweep(argc, argv);
+        if (!std::strcmp(argv[1], "chaos"))
+            return runChaos(argc, argv);
         if (argc < 4)
             return usage();
 
@@ -288,6 +408,11 @@ main(int argc, char **argv)
                     next("--jobs"), "--jobs", 0, 4096));
             else if (!std::strcmp(argv[i], "--metrics-out"))
                 metricsPath = next("--metrics-out");
+            else if (!std::strcmp(argv[i], "--fault"))
+                fault::arm(next("--fault"));
+            else if (!std::strcmp(argv[i], "--paranoid"))
+                sim::setDefaultParanoidEvery(util::parseUnsigned(
+                    next("--paranoid"), "--paranoid"));
             else
                 return usage();
         }
