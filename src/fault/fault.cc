@@ -108,7 +108,10 @@ void
 Site::hit()
 {
     hits_.fetch_add(1, std::memory_order_relaxed);
-    if (!siteArmed_.load(std::memory_order_relaxed))
+    // Acquire pairs with applySpec's release store: observing
+    // siteArmed_ == true makes the plain armNth_/armPersistent_/
+    // armKind_ writes that preceded it visible to this thread.
+    if (!siteArmed_.load(std::memory_order_acquire))
         return;
     // The ordinal is a single atomic increment, so even when pool
     // threads race through the site, exactly one of them observes the
@@ -262,7 +265,11 @@ Registry::applySpec()
             site->armKind_ = armedSpec_->kind;
             site->armHits_.store(0, std::memory_order_relaxed);
         }
-        site->siteArmed_.store(mine, std::memory_order_relaxed);
+        // Release publishes the plain armed-field writes above to any
+        // thread whose hit() acquire-loads siteArmed_ == true. (The
+        // registry mutex alone gives no happens-before with the
+        // lock-free hit path.)
+        site->siteArmed_.store(mine, std::memory_order_release);
     }
 }
 
@@ -276,14 +283,17 @@ Registry::arm(const FaultSpec &spec)
     std::lock_guard<std::mutex> lock(mutex_);
     armedSpec_ = spec;
     applySpec();
-    detail::faultArmed.store(true, std::memory_order_relaxed);
+    // Release-ordered after applySpec's per-site stores; the relaxed
+    // armed() fast-path load is still safe because hit() re-checks
+    // siteArmed_ with acquire before touching the armed fields.
+    detail::faultArmed.store(true, std::memory_order_release);
 }
 
 void
 Registry::disarm()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    detail::faultArmed.store(false, std::memory_order_relaxed);
+    detail::faultArmed.store(false, std::memory_order_release);
     armedSpec_.reset();
     applySpec();
 }

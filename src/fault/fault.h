@@ -60,7 +60,10 @@ namespace detail {
 extern std::atomic<bool> faultArmed;
 } // namespace detail
 
-/** True while some fault spec is armed. */
+/** True while some fault spec is armed. Relaxed is deliberate — this
+ *  is the disarmed fast path pinned by test; Site::hit() re-checks
+ *  the per-site armed flag with acquire before reading the spec, so
+ *  no armed state is consumed on the strength of this load alone. */
 inline bool
 armed()
 {
@@ -147,7 +150,11 @@ class Site
     std::atomic<uint64_t> triggered_{0};
 
     // Armed state, written by Registry::applySpec under its mutex and
-    // read lock-free on the hit path.
+    // read lock-free on the hit path. The plain fields below are
+    // published by the release store of siteArmed_ and consumed after
+    // its acquire load in hit(); re-arming while threads are actively
+    // executing this site's fault point is not supported (see
+    // Registry::arm).
     std::atomic<bool> siteArmed_{false};
     std::atomic<uint64_t> armHits_{0};
     uint64_t armNth_ = 1;
@@ -195,10 +202,21 @@ class Registry
      * Arm @p spec: the named site fires per its nth/kind from now on.
      * Replaces any previously armed spec. FatalError on un-cataloged
      * sites or nth == 0.
+     *
+     * Concurrency: arming publishes the spec with release/acquire
+     * ordering, so threads that start hitting fault points *after*
+     * arm() returns observe it coherently. Re-arming (or disarming)
+     * while other threads are actively executing an armed fault point
+     * is not supported — a racing hit may observe a mix of the old
+     * and new spec. Arm before launching the workload and disarm
+     * after it drains (the chaos harness and tests do exactly this).
      */
     void arm(const FaultSpec &spec);
 
-    /** Disarm: every TSP_FAULT_POINT returns to the no-op fast path. */
+    /**
+     * Disarm: every TSP_FAULT_POINT returns to the no-op fast path.
+     * Same concurrency contract as arm().
+     */
     void disarm();
 
     /** The armed spec, if any. */

@@ -93,7 +93,10 @@ class ThreadPool
      * iterations finish. Iterations are distributed dynamically over
      * the workers (plus the calling thread). If any iteration throws,
      * the exception of the lowest-index failing iteration is
-     * rethrown after all iterations have run.
+     * rethrown after all iterations have run. An exception escaping
+     * shard dispatch itself (e.g. an injected pool.dispatch fault)
+     * propagates only after every shard has been joined, and only if
+     * no iteration failed.
      */
     template <typename F>
     void
@@ -145,10 +148,25 @@ class ThreadPool
             pending.push_back(submit(shard));
         // The calling thread works too instead of idling on the gets.
         shard();
-        for (auto &f : pending)
-            f.get();
+        // Join EVERY shard before propagating anything: a future that
+        // throws (e.g. an injected pool.dispatch fault) must not
+        // unwind next/errMutex/error/shard while later shard tasks
+        // are still running against them. Iteration errors keep their
+        // deterministic lowest-index priority; a dispatch-level error
+        // is only rethrown when no iteration failed.
+        std::exception_ptr dispatchError;
+        for (auto &f : pending) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!dispatchError)
+                    dispatchError = std::current_exception();
+            }
+        }
         if (error)
             std::rethrow_exception(error);
+        if (dispatchError)
+            std::rethrow_exception(dispatchError);
     }
 
     /**

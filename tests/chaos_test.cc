@@ -23,7 +23,10 @@ TEST(Chaos, EveryCellOfTheMatrixPassesTheTrifecta)
 {
     Options options;
     options.scale = 64;
-    options.jobs = 2;
+    // 4 jobs over a 4-wide pool: the pool.dispatch cells then run
+    // with several shards in flight, the configuration that once
+    // unwound parallelFor's shard state under running tasks.
+    options.jobs = 4;
     options.workDir = testing::TempDir();
     options.verbose = false;
 

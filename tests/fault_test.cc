@@ -10,16 +10,20 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <new>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "experiment/lab.h"
 #include "fault/fault.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 using namespace tsp;
 
@@ -321,6 +325,38 @@ TEST(FaultInjection, DisarmedFaultPointsAllocateNothing)
     // And it must not count: hits are only tracked while armed.
     EXPECT_EQ(fault::Registry::instance().site("sim.step").hits(),
               hitsBefore);
+}
+
+// ------------------------------------------- pool dispatch faults
+
+TEST(FaultInjection, PoolDispatchFaultJoinsAllShardsBeforeThrowing)
+{
+    DisarmedScope scope;
+    util::ThreadPool pool(4);
+    // One-shot dispatch fault with >= 2 shards: exactly one shard
+    // future throws while the others keep iterating against
+    // parallelFor's stack-local shard state. Regression for
+    // rethrowing from the first failed future before joining the
+    // rest, which unwound that state under the running shards
+    // (use-after-scope).
+    fault::arm("pool.dispatch:1:error");
+    constexpr size_t n = 64;
+    std::vector<std::atomic<int>> hits(n);
+    try {
+        pool.parallelFor(n, [&](size_t i) {
+            hits[i]++;
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        });
+        FAIL() << "expected the injected dispatch fault";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("pool.dispatch"),
+                  std::string::npos);
+    }
+    fault::disarm();
+    // The surviving shards plus the calling thread still covered
+    // every index exactly once before the fault propagated.
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
 
 // ------------------------------------- end-to-end determinism pins
