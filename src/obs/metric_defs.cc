@@ -119,6 +119,12 @@ TSP_OBS_COUNTER(simInvalidationsSent, "sim.invalidations_sent",
                 "invalidation messages the directory sent")
 TSP_OBS_COUNTER(simUpgrades, "sim.upgrades", "sim::Directory",
                 "write-hit upgrade transactions")
+TSP_OBS_GAUGE(simDirEntries, "sim.dir_entries", "sim::Directory",
+              "blocks in the directory table after a run "
+              "(max = largest run)")
+TSP_OBS_GAUGE(simHistoryEntries, "sim.history_entries", "sim::Cache",
+              "summed per-cache departure-history entries after a run "
+              "(max = largest run)")
 
 TSP_OBS_COUNTER(faultInjected, "fault.injected", "fault::Registry",
                 "faults the injection framework actually fired")
@@ -164,6 +170,8 @@ allMetrics()
     simMissInvalidation();
     simInvalidationsSent();
     simUpgrades();
+    simDirEntries();
+    simHistoryEntries();
     faultInjected();
     faultSitesRegistered();
     benchWallMillis();

@@ -62,6 +62,8 @@ Counter &simMissInterConflict();
 Counter &simMissInvalidation();
 Counter &simInvalidationsSent(); //!< directory invalidation messages
 Counter &simUpgrades();          //!< directory upgrade transactions
+Gauge &simDirEntries();          //!< directory table size after a run
+Gauge &simHistoryEntries();      //!< summed cache-history sizes
 
 // ----------------------------------------------------- fault::Registry
 Counter &faultInjected();         //!< faults actually injected

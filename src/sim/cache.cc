@@ -15,64 +15,39 @@ Cache::Cache(const SimConfig &cfg)
     frames_.resize(sets * ways_);
 }
 
-Cache::Frame *
-Cache::lookup(uint64_t block)
-{
-    size_t base = setBase(block);
-    for (uint32_t w = 0; w < ways_; ++w) {
-        Frame &f = frames_[base + w];
-        if (f.valid() && f.tag == block)
-            return &f;
-    }
-    return nullptr;
-}
-
-const Cache::Frame *
-Cache::lookup(uint64_t block) const
-{
-    return const_cast<Cache *>(this)->lookup(block);
-}
-
-Cache::Frame &
-Cache::victimFor(uint64_t block)
-{
-    size_t base = setBase(block);
-    Frame *victim = &frames_[base];
-    for (uint32_t w = 0; w < ways_; ++w) {
-        Frame &f = frames_[base + w];
-        if (!f.valid())
-            return f;
-        if (f.lastUse < victim->lastUse)
-            victim = &f;
-    }
-    return *victim;
-}
-
 MissKind
 Cache::classifyMiss(uint64_t block, uint32_t tid) const
 {
-    auto it = history_.find(block);
-    if (it == history_.end())
-        return MissKind::Compulsory;
-    if (it->second.how == Departure::Invalidated)
-        return MissKind::Invalidation;
-    return it->second.otherThread == tid ? MissKind::IntraConflict
-                                         : MissKind::InterConflict;
+    return classifyMissAndWriter(block, tid).kind;
+}
+
+Cache::MissClass
+Cache::classifyMissAndWriter(uint64_t block, uint32_t tid) const
+{
+    const History *h = history_.find(block);
+    if (!h)
+        return {MissKind::Compulsory, -1};
+    if (h->how == Departure::Invalidated)
+        return {MissKind::Invalidation,
+                static_cast<int32_t>(h->otherThread)};
+    return {h->otherThread == tid ? MissKind::IntraConflict
+                                  : MissKind::InterConflict,
+            -1};
 }
 
 int32_t
 Cache::invalidatingWriter(uint64_t block) const
 {
-    auto it = history_.find(block);
-    if (it == history_.end() || it->second.how != Departure::Invalidated)
+    const History *h = history_.find(block);
+    if (!h || h->how != Departure::Invalidated)
         return -1;
-    return static_cast<int32_t>(it->second.otherThread);
+    return static_cast<int32_t>(h->otherThread);
 }
 
 void
 Cache::recordEviction(uint64_t block, uint32_t evictor)
 {
-    history_[block] = {Departure::Evicted, evictor};
+    *history_.tryEmplace(block).first = {Departure::Evicted, evictor};
 }
 
 int32_t
@@ -83,7 +58,8 @@ Cache::invalidate(uint64_t block, uint32_t writerTid)
         return -1;
     int32_t resident = static_cast<int32_t>(f->threadId);
     f->state = CoherenceState::Invalid;
-    history_[block] = {Departure::Invalidated, writerTid};
+    *history_.tryEmplace(block).first = {Departure::Invalidated,
+                                         writerTid};
     return resident;
 }
 

@@ -13,11 +13,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/config.h"
 #include "sim/results.h"
+#include "util/flat_map.h"
 
 namespace tsp::sim {
 
@@ -53,19 +53,47 @@ class Cache
 
     /**
      * Look @p block up: returns its frame when present, nullptr on a
-     * miss. Does not touch LRU state.
+     * miss. Does not touch LRU state. Defined inline: this runs once
+     * per simulated reference (docs/performance.md).
      */
-    Frame *lookup(uint64_t block);
+    Frame *
+    lookup(uint64_t block)
+    {
+        size_t base = setBase(block);
+        for (uint32_t w = 0; w < ways_; ++w) {
+            Frame &f = frames_[base + w];
+            if (f.valid() && f.tag == block)
+                return &f;
+        }
+        return nullptr;
+    }
 
     /** Const lookup. */
-    const Frame *lookup(uint64_t block) const;
+    const Frame *
+    lookup(uint64_t block) const
+    {
+        return const_cast<Cache *>(this)->lookup(block);
+    }
 
     /**
      * The frame to fill for @p block: an invalid frame of its set if
      * one exists, otherwise the LRU frame (whose occupant the caller
      * must evict).
      */
-    Frame &victimFor(uint64_t block);
+    Frame &
+    victimFor(uint64_t block)
+    {
+        size_t base = setBase(block);
+        Frame *victim = &frames_[base];
+        for (uint32_t w = 0; w < ways_; ++w) {
+            Frame &f = frames_[base + w];
+            if (!f.valid())
+                return f;
+            if (f.lastUse < victim->lastUse)
+                victim = &f;
+        }
+        return *victim;
+    }
 
     /** Mark @p frame most-recently-used. */
     void touch(Frame &frame) { frame.lastUse = ++tick_; }
@@ -79,6 +107,20 @@ class Cache
      */
     MissKind classifyMiss(uint64_t block, uint32_t tid) const;
 
+    /** A miss classification plus its invalidating writer, if any. */
+    struct MissClass
+    {
+        MissKind kind;
+        int32_t writer;  //!< invalidating writer, -1 unless the kind
+                         //!< is Invalidation
+    };
+
+    /**
+     * classifyMiss and invalidatingWriter fused into one departure-
+     * history lookup — the simulator's miss path (docs/performance.md).
+     */
+    MissClass classifyMissAndWriter(uint64_t block, uint32_t tid) const;
+
     /**
      * Thread whose write invalidated @p block, when the history says
      * the block departed by invalidation; -1 otherwise.
@@ -87,6 +129,18 @@ class Cache
 
     /** Record that @p block was evicted by thread @p evictor. */
     void recordEviction(uint64_t block, uint32_t evictor);
+
+    /**
+     * Pre-size the departure history for @p blocks distinct blocks.
+     * The Machine calls this with an upper bound on the blocks this
+     * cache's threads touch, so the steady-state miss path never
+     * rehashes (history entries are only ever created for blocks that
+     * left this cache, a subset of the blocks it ever held).
+     */
+    void reserveHistory(size_t blocks) { history_.reserve(blocks); }
+
+    /** Number of blocks with a departure-history entry. */
+    size_t historySize() const { return history_.size(); }
 
     /**
      * Invalidate @p block (remote coherence). Records the departure as
@@ -129,7 +183,7 @@ class Cache
     uint32_t ways_;
     uint64_t tick_ = 0;
     std::vector<Frame> frames_;  //!< sets x ways, set-major
-    std::unordered_map<uint64_t, History> history_;
+    util::FlatMap<uint64_t, History> history_;
 };
 
 } // namespace tsp::sim

@@ -41,34 +41,34 @@ Directory::Txn
 Directory::read(uint32_t proc, uint32_t tid, uint64_t block)
 {
     Txn txn;
-    auto [it, inserted] = entries_.try_emplace(block);
-    Entry &e = it->second;
+    auto [e, inserted] = entries_.tryEmplace(block);
     txn.blockSeenBefore = !inserted;
-    txn.prevLastWriter = e.lastWriter;
-    txn.prevLastToucher = e.lastToucher;
+    txn.prevLastWriter = e->lastWriter;
+    txn.prevLastToucher = e->lastToucher;
 
-    switch (e.state) {
+    switch (e->state) {
       case State::Uncached:
-        e.state = State::Owned;
-        e.owner = proc;
-        e.addSharer(proc);
+        e->state = State::Owned;
+        e->owner = proc;
+        e->addSharer(proc);
         txn.grantedExclusive = true;
         break;
       case State::Owned:
-        util::panicIf(e.owner == proc,
+        util::panicIf(e->owner == proc,
                       "read miss on a block this processor owns");
         txn.downgradeOwner = true;
-        txn.prevOwner = e.owner;
-        e.state = State::Shared;
-        e.addSharer(proc);
+        txn.prevOwner = e->owner;
+        e->state = State::Shared;
+        e->addSharer(proc);
         break;
       case State::Shared:
-        util::panicIf(e.isSharer(proc),
+        util::panicIf(e->isSharer(proc),
                       "read miss on a block this processor shares");
-        e.addSharer(proc);
+        e->addSharer(proc);
         break;
     }
-    e.lastToucher = static_cast<int32_t>(tid);
+    e->lastToucher = static_cast<int32_t>(tid);
+    txn.entry = e;
     return txn;
 }
 
@@ -76,60 +76,67 @@ Directory::Txn
 Directory::write(uint32_t proc, uint32_t tid, uint64_t block)
 {
     Txn txn;
-    auto [it, inserted] = entries_.try_emplace(block);
-    Entry &e = it->second;
+    auto [e, inserted] = entries_.tryEmplace(block);
     txn.blockSeenBefore = !inserted;
-    txn.prevLastWriter = e.lastWriter;
-    txn.prevLastToucher = e.lastToucher;
+    txn.prevLastWriter = e->lastWriter;
+    txn.prevLastToucher = e->lastToucher;
 
-    switch (e.state) {
+    switch (e->state) {
       case State::Uncached:
         break;
       case State::Owned:
-        util::panicIf(e.owner == proc,
+        util::panicIf(e->owner == proc,
                       "write transaction on a block this processor "
                       "already owns");
-        txn.invalidate.push_back(e.owner);
+        txn.invalidate[e->owner >> 6] |= 1ull << (e->owner & 63);
         break;
       case State::Shared:
-        for (uint32_t p = 0; p < processors_; ++p)
-            if (p != proc && e.isSharer(p))
-                txn.invalidate.push_back(p);
+        // Every current sharer except the writer loses its copy: the
+        // victim set is the sharer mask itself, no per-processor scan.
+        txn.invalidate = e->sharers;
+        txn.invalidate[proc >> 6] &= ~(1ull << (proc & 63));
         break;
     }
-    e.sharers = {0, 0};
-    e.addSharer(proc);
-    e.state = State::Owned;
-    e.owner = proc;
-    e.lastWriter = static_cast<int32_t>(tid);
-    e.lastToucher = static_cast<int32_t>(tid);
+    e->sharers = {0, 0};
+    e->addSharer(proc);
+    e->state = State::Owned;
+    e->owner = proc;
+    e->lastWriter = static_cast<int32_t>(tid);
+    e->lastToucher = static_cast<int32_t>(tid);
+    txn.entry = e;
     return txn;
 }
 
 void
 Directory::evict(uint32_t proc, uint64_t block)
 {
-    auto it = entries_.find(block);
-    util::panicIf(it == entries_.end(),
+    Entry *e = entries_.find(block);
+    util::panicIf(e == nullptr,
                   "eviction of a block the directory never saw");
-    Entry &e = it->second;
-    util::panicIf(!e.isSharer(proc),
+    evictEntry(proc, e);
+}
+
+void
+Directory::evictEntry(uint32_t proc, Entry *e)
+{
+    util::panicIf(e == nullptr,
+                  "eviction of a block the directory never saw");
+    util::panicIf(!e->isSharer(proc),
                   "eviction from a non-sharer processor");
-    e.dropSharer(proc);
-    if (e.sharerCount() == 0) {
-        e.state = State::Uncached;
-    } else if (e.state == State::Owned) {
+    e->dropSharer(proc);
+    if (e->sharerCount() == 0) {
+        e->state = State::Uncached;
+    } else if (e->state == State::Owned) {
         // The owner left; remaining copies (none possible under MESI,
         // but be safe) become Shared.
-        e.state = State::Shared;
+        e->state = State::Shared;
     }
 }
 
 const Directory::Entry *
 Directory::find(uint64_t block) const
 {
-    auto it = entries_.find(block);
-    return it == entries_.end() ? nullptr : &it->second;
+    return entries_.find(block);
 }
 
 } // namespace tsp::sim

@@ -10,16 +10,24 @@
  * The directory is purely bookkeeping: the Machine applies the returned
  * actions (invalidations, downgrades) to the victim caches and accounts
  * for latency and statistics.
+ *
+ * Hot-path notes: entries live in a util::FlatMap (open addressing, no
+ * per-entry heap nodes) sized up front from the trace's touched-block
+ * count via reserveBlocks(); a write transaction returns the victims
+ * as a sharer *bitmask* rather than a heap vector, so the steady-state
+ * transaction path never allocates (see docs/performance.md).
  */
 
 #ifndef TSP_SIM_DIRECTORY_H
 #define TSP_SIM_DIRECTORY_H
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "util/flat_map.h"
 
 namespace tsp::sim {
 
@@ -67,15 +75,78 @@ class Directory
         bool downgradeOwner = false;
         uint32_t prevOwner = 0;
 
-        /** Processors whose copies a write must invalidate. */
-        std::vector<uint32_t> invalidate;
+        /**
+         * Processors whose copies a write must invalidate, as a bitmask
+         * over processors (same layout as Entry::sharers). A bitmask
+         * instead of a heap vector keeps every write transaction
+         * allocation-free; iterate with forEachInvalidate().
+         */
+        std::array<uint64_t, 2> invalidate{};
 
         /** Whether the block was granted Exclusive (read, no sharers). */
         bool grantedExclusive = false;
+
+        /**
+         * Stable handle on the block's directory entry. Entries are
+         * never erased and the table never rehashes once
+         * reserveBlocks() has covered the run's touched blocks, so the
+         * handle stays valid for the whole run; the Machine caches it
+         * per cache frame to evict without a second hash lookup
+         * (docs/performance.md).
+         */
+        Entry *entry = nullptr;
+
+        /** True when the write must invalidate at least one copy. */
+        bool
+        anyInvalidate() const
+        {
+            return (invalidate[0] | invalidate[1]) != 0;
+        }
+
+        /** Number of copies the write invalidates. */
+        uint32_t
+        invalidateCount() const
+        {
+            return static_cast<uint32_t>(std::popcount(invalidate[0]) +
+                                         std::popcount(invalidate[1]));
+        }
+
+        /** Visit each victim processor id, in ascending order. */
+        template <typename F>
+        void
+        forEachInvalidate(F &&fn) const
+        {
+            for (uint32_t w = 0; w < 2; ++w) {
+                uint64_t m = invalidate[w];
+                while (m != 0) {
+                    uint32_t bit = static_cast<uint32_t>(
+                        std::countr_zero(m));
+                    m &= m - 1;
+                    fn(w * 64 + bit);
+                }
+            }
+        }
+
+        /** The victims as an ascending vector (tests/diagnostics). */
+        std::vector<uint32_t>
+        invalidateList() const
+        {
+            std::vector<uint32_t> out;
+            out.reserve(invalidateCount());
+            forEachInvalidate([&](uint32_t p) { out.push_back(p); });
+            return out;
+        }
     };
 
     /** Construct for @p processors processors (<= 128). */
     explicit Directory(uint32_t processors);
+
+    /**
+     * Pre-size the entry table for @p blocks distinct blocks, so the
+     * steady-state transaction path never rehashes. The Machine calls
+     * this with the trace's touched-block count at construction.
+     */
+    void reserveBlocks(size_t blocks) { entries_.reserve(blocks); }
 
     /**
      * Read transaction: processor @p proc (running thread @p tid)
@@ -93,11 +164,21 @@ class Directory
     /** Eviction notification from @p proc for @p block. */
     void evict(uint32_t proc, uint64_t block);
 
+    /**
+     * Eviction notification through the Txn::entry handle a previous
+     * transaction on the block returned — evict() minus the hash
+     * lookup, for the simulator's steady-state miss path.
+     */
+    void evictEntry(uint32_t proc, Entry *e);
+
     /** Entry lookup (nullptr when the block was never touched). */
     const Entry *find(uint64_t block) const;
 
     /** Number of blocks with directory entries. */
     size_t entryCount() const { return entries_.size(); }
+
+    /** Processor count this directory was built for. */
+    uint32_t processors() const { return processors_; }
 
     /**
      * Visit every (block, entry) pair, in unspecified order. Used by
@@ -108,13 +189,12 @@ class Directory
     void
     forEachEntry(F &&fn) const
     {
-        for (const auto &[block, entry] : entries_)
-            fn(block, entry);
+        entries_.forEach(std::forward<F>(fn));
     }
 
   private:
     uint32_t processors_;
-    std::unordered_map<uint64_t, Entry> entries_;
+    util::FlatMap<uint64_t, Entry> entries_;
 };
 
 } // namespace tsp::sim

@@ -1,6 +1,7 @@
 #include "sim/machine.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "fault/fault.h"
 #include "obs/metric_defs.h"
@@ -33,6 +34,16 @@ Machine::Machine(const SimConfig &cfg, const trace::TraceSet &traces,
     stats_.procs.resize(cfg.processors);
     stats_.coherencePairs = stats::PairMatrix(traces.threadCount());
     scheduledAt_.assign(cfg.processors, kNoEvent);
+    framesPerCache_ = caches_[0].numFrames();
+    frameDir_.assign(cfg.processors * framesPerCache_, nullptr);
+
+    // Pre-size every hash table and queue from the trace census so the
+    // event loop never rehashes or reallocates (the allocation-free
+    // steady state tests/sim_alloc_test.cc pins).
+    const trace::TraceSet::TouchedBlocks &touched =
+        traces.touchedBlocks(blockShift_);
+    directory_.reserveBlocks(touched.total);
+    barrierWaiters_.reserve(traces.threadCount());
     if (cfg_.profileSharing)
         monitor_.emplace();
     if (cfg_.paranoidEvery > 0) {
@@ -62,7 +73,9 @@ Machine::Machine(const SimConfig &cfg, const trace::TraceSet &traces,
     for (uint32_t p = 0; p < cfg.processors; ++p) {
         Proc &proc = procs_[p];
         size_t c = 0;
+        uint64_t historyBlocks = 0;
         for (uint32_t tid : clusters[p]) {
+            historyBlocks += touched.perThread[tid];
             if (c < proc.ctxs.size()) {
                 loadThread(proc, c++, tid, 0);
             } else {
@@ -73,6 +86,9 @@ Machine::Machine(const SimConfig &cfg, const trace::TraceSet &traces,
                 proc.pending.push_back(tid);
             }
         }
+        // History keys are a subset of the blocks this cache ever
+        // held, which is bounded by what its threads touch.
+        caches_[p].reserveHistory(historyBlocks);
     }
 }
 
@@ -83,27 +99,44 @@ Machine::loadThread(Proc &proc, size_t c, uint32_t tid, uint64_t now)
     ctx.thread = static_cast<int32_t>(tid);
     ctx.cursor.emplace(traces_.thread(tid));
     ctx.readyAt = now;
+    if (c < 64)
+        proc.liveMask |= 1ull << c;
+    if (ctx.cursor->done())  // empty trace: retire on its next step
+        proc.needsReap = true;
 }
 
 void
 Machine::reapFinished(uint32_t p, uint64_t now)
 {
     Proc &proc = procs_[p];
+    // needsReap is raised whenever a context's trace runs dry and
+    // stays up until every finished context has been unloaded, so
+    // skipping the scan here never delays a retirement.
+    if (!proc.needsReap)
+        return;
+    bool doneRemains = false;
     for (size_t c = 0; c < proc.ctxs.size(); ++c) {
         Context &ctx = proc.ctxs[c];
-        if (ctx.thread < 0 || !ctx.cursor->done() ||
-            ctx.hasPending || ctx.readyAt > now) {
+        if (ctx.thread < 0 || !ctx.cursor->done())
+            continue;
+        if (ctx.hasPending || ctx.readyAt > now) {
+            doneRemains = true;  // finished, but not yet retirable
             continue;
         }
         // finishTime was recorded when the last chunk retired.
         ctx.thread = -1;
         ctx.cursor.reset();
+        if (c < 64)
+            proc.liveMask &= ~(1ull << c);
         if (!proc.pending.empty()) {
             uint32_t tid = proc.pending.front();
             proc.pending.pop_front();
             loadThread(proc, c, tid, now);
+            // A just-loaded empty trace is itself due for reaping.
+            doneRemains |= proc.ctxs[c].cursor->done();
         }
     }
+    proc.needsReap = doneRemains;
 }
 
 int32_t
@@ -120,8 +153,26 @@ Machine::pickReady(const Proc &proc, uint64_t now) const
     }
     // Otherwise round-robin starting after the active context (an
     // unset active of -1 wraps to context 0 first).
-    for (size_t k = 1; k <= n; ++k) {
-        size_t c = (static_cast<size_t>(proc.active) + k) % n;
+    const size_t start =
+        static_cast<size_t>(proc.active + 1) % n;
+    if (n > 4 && n <= 64) {
+        // Wide context files: walk only the loaded contexts via the
+        // live bitmask, in the same rotated order as the linear scan.
+        const uint64_t lowBits = (1ull << start) - 1;
+        uint64_t wrap[2] = {proc.liveMask & ~lowBits,
+                            proc.liveMask & lowBits};
+        for (uint64_t m : wrap) {
+            while (m != 0) {
+                size_t c = static_cast<size_t>(std::countr_zero(m));
+                m &= m - 1;
+                if (proc.ctxs[c].readyAt <= now)
+                    return static_cast<int32_t>(c);
+            }
+        }
+        return -1;
+    }
+    for (size_t k = 0; k < n; ++k) {
+        size_t c = (start + k) % n;
         const Context &ctx = proc.ctxs[c];
         if (ctx.thread >= 0 && ctx.readyAt <= now)
             return static_cast<int32_t>(c);
@@ -140,99 +191,6 @@ Machine::nextWake(const Proc &proc) const
             wake = ctx.readyAt;
     }
     return wake;
-}
-
-std::optional<uint64_t>
-Machine::step(uint32_t p, uint64_t now)
-{
-    Proc &proc = procs_[p];
-    ProcessorStats &ps = stats_.procs[p];
-
-    // Close an open idle window (lazy accounting: a barrier release
-    // may have cut the window short of the wake time estimated when
-    // the processor went idle).
-    if (proc.idleSince) {
-        util::panicIf(*proc.idleSince > now, "idle window in the future");
-        ps.idleCycles += now - *proc.idleSince;
-        proc.idleSince.reset();
-    }
-
-    reapFinished(p, now);
-
-    int32_t c = pickReady(proc, now);
-    if (c < 0) {
-        auto wake = nextWake(proc);
-        proc.idleSince = now;
-        if (!wake)
-            return std::nullopt;  // finished or all barrier-blocked
-        util::panicIf(*wake <= now, "stalled wake time in the past");
-        return wake;
-    }
-
-    if (proc.active != c) {
-        // Context switch: pipeline drain (Section 3.2).
-        if (proc.active >= 0) {
-            ps.switchCycles += cfg_.contextSwitchCycles;
-            now += cfg_.contextSwitchCycles;
-        }
-        proc.active = c;
-    }
-
-    Context &ctx = proc.ctxs[static_cast<size_t>(c)];
-
-    if (ctx.hasPending) {
-        // Commit the interaction that the preceding work run led to.
-        // This runs at its exact global time: later events of other
-        // processors were processed first.
-        ctx.hasPending = false;
-        if (ctx.pendingBarrier) {
-            barrierArrive(p, static_cast<size_t>(c), now);
-            if (ctx.cursor->done() && ctx.readyAt != kWaiting) {
-                // Trailing barrier and this arrival released it.
-                ps.finishTime = std::max(ps.finishTime, now);
-            }
-            return now;
-        }
-        ps.instructions += 1;
-        bool miss = access(p, static_cast<uint32_t>(ctx.thread),
-                           ctx.pendingAddr, ctx.pendingStore);
-        ps.busyCycles += cfg_.hitLatency;
-        now += cfg_.hitLatency;
-        if (miss)
-            ctx.readyAt = now + interconnect_.transactionLatency(now);
-        if (ctx.cursor->done()) {
-            // The thread's last instruction retires when its final
-            // memory operation completes.
-            ps.finishTime =
-                std::max(ps.finishTime, miss ? ctx.readyAt : now);
-        }
-        return now;
-    }
-
-    if (ctx.cursor->done()) {
-        // Loaded an empty trace, or resumed purely to retire: record
-        // completion and let reapFinished unload it next step.
-        ps.finishTime = std::max(ps.finishTime, now);
-        ctx.readyAt = now;
-        reapFinished(p, now);
-        return now;
-    }
-
-    trace::TraceCursor::Chunk chunk = ctx.cursor->next();
-    ps.busyCycles += chunk.work;
-    ps.instructions += chunk.work;
-    now += chunk.work;
-
-    if (chunk.hasRef || chunk.isBarrier) {
-        ctx.hasPending = true;
-        ctx.pendingBarrier = chunk.isBarrier;
-        ctx.pendingStore = chunk.isStore;
-        ctx.pendingAddr = chunk.addr;
-        ctx.readyAt = now;
-    } else if (ctx.cursor->done()) {
-        ps.finishTime = std::max(ps.finishTime, now);
-    }
-    return now;
 }
 
 void
@@ -265,17 +223,8 @@ Machine::releaseBarrier(uint64_t now)
     barrierArrived_ = 0;
 }
 
-void
-Machine::schedule(uint32_t p, uint64_t t)
-{
-    if (scheduledAt_[p] <= t)
-        return;  // an earlier (or equal) event is already pending
-    scheduledAt_[p] = t;
-    pq_.push({t, p});
-}
-
 bool
-Machine::access(uint32_t p, uint32_t tid, uint64_t addr, bool isStore)
+Machine::access(uint32_t p, uint32_t tid, uint64_t block, bool isStore)
 {
     TSP_FAULT_POINT("sim.step");
     if (checker_) {
@@ -289,7 +238,6 @@ Machine::access(uint32_t p, uint32_t tid, uint64_t addr, bool isStore)
     }
     ProcessorStats &ps = stats_.procs[p];
     Cache &cache = caches_[p];
-    const uint64_t block = addr >> blockShift_;
     ++ps.memRefs;
     if (monitor_)
         monitor_->onAccess(block, tid, isStore);
@@ -306,10 +254,10 @@ Machine::access(uint32_t p, uint32_t tid, uint64_t addr, bool isStore)
                 // Upgrade: gain ownership, invalidating remote copies.
                 auto txn = directory_.write(p, tid, block);
                 ++ps.upgrades;
-                applyInvalidations(p, tid, txn.invalidate, block);
+                applyInvalidations(p, tid, txn, block);
                 hit->state = CoherenceState::Modified;
                 hit->threadId = tid;
-                return cfg_.stallOnUpgrade && !txn.invalidate.empty();
+                return cfg_.stallOnUpgrade && txn.anyInvalidate();
             }
             hit->state = CoherenceState::Modified;  // silent E/M -> M
         }
@@ -318,32 +266,33 @@ Machine::access(uint32_t p, uint32_t tid, uint64_t addr, bool isStore)
     }
 
     Cache::Frame &frame = cache.victimFor(block);
+    Directory::Entry *&frameEntry =
+        frameDir_[p * framesPerCache_ +
+                  static_cast<size_t>(&frame - cache.frames().data())];
 
     // Miss: classify from this cache's departure history.
-    MissKind kind = cache.classifyMiss(block, tid);
+    auto [kind, writer] = cache.classifyMissAndWriter(block, tid);
     ++ps.misses[static_cast<size_t>(kind)];
     if (accessObserver_)
         accessObserver_(p, tid, block, isStore, false, kind);
-    if (kind == MissKind::Invalidation) {
-        int32_t writer = cache.invalidatingWriter(block);
-        if (writer >= 0 && static_cast<uint32_t>(writer) != tid)
-            stats_.coherencePairs.add(tid, static_cast<uint32_t>(writer),
-                                      1.0);
-    }
+    if (writer >= 0 && static_cast<uint32_t>(writer) != tid)
+        stats_.coherencePairs.add(tid, static_cast<uint32_t>(writer),
+                                  1.0);
 
     // Evict the current occupant (with a directory notification, so
-    // sharer sets stay exact).
+    // sharer sets stay exact), through the entry handle cached when
+    // the frame was filled — no tag re-hash.
     if (frame.valid()) {
         if (frame.dirty())
             ++ps.writebacks;
-        directory_.evict(p, frame.tag);
+        directory_.evictEntry(p, frameEntry);
         cache.recordEviction(frame.tag, tid);
     }
 
     Directory::Txn txn;
     if (isStore) {
         txn = directory_.write(p, tid, block);
-        applyInvalidations(p, tid, txn.invalidate, block);
+        applyInvalidations(p, tid, txn, block);
         frame.state = CoherenceState::Modified;
     } else {
         txn = directory_.read(p, tid, block);
@@ -375,16 +324,18 @@ Machine::access(uint32_t p, uint32_t tid, uint64_t addr, bool isStore)
 
     frame.tag = block;
     frame.threadId = tid;
+    frameEntry = txn.entry;
     cache.touch(frame);
     return true;
 }
 
 void
 Machine::applyInvalidations(uint32_t causerProc, uint32_t causerTid,
-                            const std::vector<uint32_t> &victims,
-                            uint64_t block)
+                            const Directory::Txn &txn, uint64_t block)
 {
-    for (uint32_t v : victims) {
+    if (!txn.anyInvalidate())
+        return;
+    txn.forEachInvalidate([&](uint32_t v) {
         util::panicIf(v == causerProc, "self-invalidation");
         int32_t resident = caches_[v].invalidate(block, causerTid);
         util::panicIf(resident < 0,
@@ -395,7 +346,7 @@ Machine::applyInvalidations(uint32_t causerProc, uint32_t causerTid,
             stats_.coherencePairs.add(causerTid,
                                       static_cast<uint32_t>(resident),
                                       1.0);
-    }
+    });
 }
 
 SimStats
@@ -407,24 +358,171 @@ Machine::run()
     for (uint32_t p = 0; p < cfg_.processors; ++p)
         schedule(p, 0);
 
-    while (!pq_.empty()) {
-        auto [t, p] = pq_.top();
-        pq_.pop();
-        if (scheduledAt_[p] != t)
-            continue;  // superseded by an earlier wake-up
+    const uint32_t n = cfg_.processors;
+    while (true) {
+        // Earliest pending event and runner-up in one scan. Strict
+        // less-than keeps the first of equal times, so ties go to the
+        // lowest processor id — exactly the old heap's
+        // (time, processor) ordering. The runner-up is the chain
+        // horizon: the picked processor runs until its local time
+        // passes it (see docs/performance.md).
+        uint64_t now = kNoEvent;
+        uint64_t horizon = kNoEvent;
+        uint32_t p = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+            uint64_t s = scheduledAt_[i];
+            if (s < now) {
+                horizon = now;
+                now = s;
+                p = i;
+            } else if (s < horizon) {
+                horizon = s;
+            }
+        }
+        if (now == kNoEvent)
+            break;
         scheduledAt_[p] = kNoEvent;
-        std::optional<uint64_t> next = step(p, t);
-        // Keep advancing this processor while it remains the globally
-        // earliest event; this skips most heap traffic on hit runs
-        // without perturbing the global order of directory operations.
-        while (next && (pq_.empty() || *next <= pq_.top().first))
-            next = step(p, *next);
-        // Any event this processor enqueued for itself mid-chain
-        // (barrier self-release) is superseded by the chain's own
-        // continuation.
-        scheduledAt_[p] = kNoEvent;
-        if (next)
-            schedule(p, *next);
+        rescheduled_ = false;
+
+        Proc &proc = procs_[p];
+        ProcessorStats &ps = stats_.procs[p];
+
+        // Chain: one micro-step (commit a pending interaction, fetch
+        // the next chunk, or go idle until a wake) per iteration, for
+        // as long as this processor stays at or before every other
+        // processor's next event. Inlined into the scan loop — not a
+        // per-event function call — because at high processor counts a
+        // chain is barely one micro-step long (docs/performance.md).
+        // Identical micro-step semantics to processing one event at a
+        // time through a scheduler queue, minus the dispatch overhead.
+        for (;;) {
+            // A barrier release inside a previous iteration may have
+            // moved another processor's event up: refresh the cached
+            // horizon.
+            if (rescheduled_) {
+                horizon = minScheduled();
+                rescheduled_ = false;
+            }
+            if (now > horizon) {
+                // Yield: this supersedes any event the processor
+                // scheduled for itself mid-chain (barrier
+                // self-release).
+                scheduledAt_[p] = now;
+                break;
+            }
+
+            // Close an open idle window (lazy accounting: a barrier
+            // release may have cut the window short of the wake time
+            // estimated when the processor went idle).
+            if (proc.idleSince) {
+                util::panicIf(*proc.idleSince > now,
+                              "idle window in the future");
+                ps.idleCycles += now - *proc.idleSince;
+                proc.idleSince.reset();
+            }
+
+            // Guard the reap scan here so the common no-reap
+            // micro-step pays one predictable branch instead of a
+            // function call.
+            if (proc.needsReap)
+                reapFinished(p, now);
+
+            // Fast path: the active context runs until it misses, so
+            // most micro-steps re-pick the context that just ran.
+            int32_t c = proc.active;
+            if (c < 0 ||
+                proc.ctxs[static_cast<size_t>(c)].thread < 0 ||
+                proc.ctxs[static_cast<size_t>(c)].readyAt > now)
+                c = pickReady(proc, now);
+            if (c < 0) {
+                auto wake = nextWake(proc);
+                proc.idleSince = now;
+                if (!wake) {
+                    // Finished or all contexts barrier-blocked: no
+                    // next event. The explicit clear supersedes any
+                    // mid-chain barrier self-schedule.
+                    scheduledAt_[p] = kNoEvent;
+                    break;
+                }
+                util::panicIf(*wake <= now,
+                              "stalled wake time in the past");
+                now = *wake;
+                continue;
+            }
+
+            if (proc.active != c) {
+                // Context switch: pipeline drain (Section 3.2).
+                if (proc.active >= 0) {
+                    ps.switchCycles += cfg_.contextSwitchCycles;
+                    now += cfg_.contextSwitchCycles;
+                }
+                proc.active = c;
+            }
+
+            Context &ctx = proc.ctxs[static_cast<size_t>(c)];
+
+            if (ctx.hasPending) {
+                // Commit the interaction that the preceding work run
+                // led to. This runs at its exact global time: later
+                // events of other processors were processed first.
+                ctx.hasPending = false;
+                if (ctx.pendingBarrier) {
+                    barrierArrive(p, static_cast<size_t>(c), now);
+                    if (ctx.cursor->done() && ctx.readyAt != kWaiting) {
+                        // Trailing barrier, and this arrival released
+                        // it.
+                        ps.finishTime = std::max(ps.finishTime, now);
+                    }
+                    continue;
+                }
+                ps.instructions += 1;
+                bool miss =
+                    access(p, static_cast<uint32_t>(ctx.thread),
+                           ctx.pendingBlock, ctx.pendingStore);
+                ps.busyCycles += cfg_.hitLatency;
+                now += cfg_.hitLatency;
+                if (miss)
+                    ctx.readyAt =
+                        now + interconnect_.transactionLatency(now);
+                if (ctx.cursor->done()) {
+                    // The thread's last instruction retires when its
+                    // final memory operation completes.
+                    ps.finishTime = std::max(ps.finishTime,
+                                             miss ? ctx.readyAt : now);
+                }
+                continue;
+            }
+
+            if (ctx.cursor->done()) {
+                // Loaded an empty trace, or resumed purely to retire:
+                // record completion and let reapFinished unload it.
+                ps.finishTime = std::max(ps.finishTime, now);
+                ctx.readyAt = now;
+                proc.needsReap = true;
+                reapFinished(p, now);
+                continue;
+            }
+
+            trace::TraceCursor::Chunk chunk = ctx.cursor->next();
+            ps.busyCycles += chunk.work;
+            ps.instructions += chunk.work;
+            now += chunk.work;
+            if (ctx.cursor->done())
+                proc.needsReap = true;
+
+            if (chunk.hasRef || chunk.isBarrier) {
+                ctx.hasPending = true;
+                ctx.pendingBarrier = chunk.isBarrier;
+                ctx.pendingStore = chunk.isStore;
+                // Translate address to block once, at fetch; the
+                // commit path (and barrier-delayed replays) reuse the
+                // block.
+                ctx.pendingBlock = chunk.addr >> blockShift_;
+                ctx.readyAt = now;
+            } else if (ctx.cursor->done()) {
+                ps.finishTime = std::max(ps.finishTime, now);
+            }
+        }
     }
 
     // Safety net: everything must have retired (a mismatched barrier
@@ -477,6 +575,10 @@ simulate(const SimConfig &cfg, const trace::TraceSet &traces,
         obs::simInvalidationsSent().add(
             stats.totalInvalidationsSent());
         obs::simUpgrades().add(stats.totalUpgrades());
+        obs::simDirEntries().set(
+            static_cast<double>(machine.directoryEntries()));
+        obs::simHistoryEntries().set(
+            static_cast<double>(machine.historyEntries()));
     }
     return stats;
 }

@@ -26,7 +26,6 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "core/placement_map.h"
@@ -38,6 +37,7 @@
 #include "sim/results.h"
 #include "sim/sharing_monitor.h"
 #include "trace/trace_set.h"
+#include "util/error.h"
 
 namespace tsp::sim {
 
@@ -77,6 +77,19 @@ class Machine
     /** Run the simulation to completion and return the statistics. */
     SimStats run();
 
+    /** Blocks in the directory table (for the sim.dir_entries gauge). */
+    size_t directoryEntries() const { return directory_.entryCount(); }
+
+    /** Summed per-cache departure-history sizes (sim.history_entries). */
+    size_t
+    historyEntries() const
+    {
+        size_t sum = 0;
+        for (const Cache &c : caches_)
+            sum += c.historySize();
+        return sum;
+    }
+
   private:
     /** readyAt sentinel: blocked at a barrier. */
     static constexpr uint64_t kWaiting = ~0ull;
@@ -100,7 +113,8 @@ class Machine
         bool hasPending = false;
         bool pendingBarrier = false;
         bool pendingStore = false;
-        uint64_t pendingAddr = 0;
+        uint64_t pendingBlock = 0;  //!< addr >> blockShift, translated
+                                    //!< once when the chunk is fetched
     };
 
     /** One processor's scheduling state. */
@@ -110,6 +124,10 @@ class Machine
         std::deque<uint32_t> pending;  //!< threads not yet loaded
         int32_t active = -1;  //!< context currently in the pipeline
         std::optional<uint64_t> idleSince;  //!< lazily-accounted idle
+        uint64_t liveMask = 0;  //!< bit c set when ctxs[c] holds a
+                                //!< thread (maintained for c < 64)
+        bool needsReap = false; //!< some context finished its trace and
+                                //!< has not been unloaded yet
     };
 
     /** Load @p tid into context @p c of processor @p p at time @p now. */
@@ -124,24 +142,31 @@ class Machine
     /** Earliest wake among stalled (not barrier-blocked) contexts. */
     std::optional<uint64_t> nextWake(const Proc &proc) const;
 
-    /**
-     * Advance processor @p p one scheduling step starting at @p now.
-     * Returns the next event time for this processor, or nullopt when
-     * it has nothing runnable (finished, or all contexts barrier
-     * blocked).
-     */
-    std::optional<uint64_t> step(uint32_t p, uint64_t now);
+    /** Earliest pending event time across all processors. */
+    uint64_t
+    minScheduled() const
+    {
+        uint64_t t = kNoEvent;
+        for (uint64_t s : scheduledAt_)
+            t = s < t ? s : t;
+        return t;
+    }
 
     /**
-     * Perform the memory access, updating caches, directory and stats.
-     * Returns true when the access missed (context must stall).
+     * Perform the memory access on @p block (already translated from
+     * the address), updating caches, directory and stats. Returns true
+     * when the access missed (context must stall).
      */
-    bool access(uint32_t p, uint32_t tid, uint64_t addr, bool isStore);
+    bool access(uint32_t p, uint32_t tid, uint64_t block, bool isStore);
 
-    /** Deliver invalidations for @p block to @p victims. */
+    /**
+     * Deliver the invalidations of write transaction @p txn for
+     * @p block, walking the victim bitmask in ascending processor
+     * order (the same order the old vector was built in). Bitmask in,
+     * no heap traffic: see docs/performance.md.
+     */
     void applyInvalidations(uint32_t causerProc, uint32_t causerTid,
-                            const std::vector<uint32_t> &victims,
-                            uint64_t block);
+                            const Directory::Txn &txn, uint64_t block);
 
     /** Record a barrier arrival; releases everyone on the last one. */
     void barrierArrive(uint32_t p, size_t c, uint64_t now);
@@ -149,8 +174,17 @@ class Machine
     /** Wake every barrier waiter at time @p now. */
     void releaseBarrier(uint64_t now);
 
-    /** Enqueue an event for @p p at @p t (dedupe/stale handling). */
-    void schedule(uint32_t p, uint64_t t);
+    /** Move processor @p p's next event up to @p t if earlier. */
+    void
+    schedule(uint32_t p, uint64_t t)
+    {
+        util::panicIf(t == kNoEvent,
+                      "event time collides with the no-event sentinel");
+        if (t < scheduledAt_[p]) {
+            scheduledAt_[p] = t;
+            rescheduled_ = true;
+        }
+    }
 
     SimConfig cfg_;
     const trace::TraceSet &traces_;
@@ -159,6 +193,14 @@ class Machine
     std::vector<Proc> procs_;
     std::vector<Cache> caches_;
     Directory directory_;
+
+    // frameDir_[p * framesPerCache_ + f] is the Txn::entry handle for
+    // the block cache p's frame f holds (meaningless while the frame
+    // is invalid). Evicting through the handle instead of re-hashing
+    // the tag removes one directory lookup per miss
+    // (docs/performance.md).
+    size_t framesPerCache_ = 0;
+    std::vector<Directory::Entry *> frameDir_;
     Interconnect interconnect_;
     std::optional<SharingMonitor> monitor_;
     AccessObserver accessObserver_;
@@ -172,12 +214,15 @@ class Machine
     uint64_t refsUntilCheck_ = 0;
     uint64_t refsSeen_ = 0;
 
-    // Event queue: (time, processor), earliest first. scheduledAt_
-    // tracks each processor's authoritative outstanding event so that
-    // superseded heap entries can be recognized and skipped.
-    using Ev = std::pair<uint64_t, uint32_t>;
-    std::priority_queue<Ev, std::vector<Ev>, std::greater<>> pq_;
+    // Event "queue": scheduledAt_[p] is processor p's next event time
+    // (kNoEvent when it has none). With at most 128 processors, the
+    // run() loop finds the earliest event with a linear argmin scan —
+    // cheaper than a binary heap at this size, and allocation-free by
+    // construction (see docs/performance.md).
+    // rescheduled_ flags a mid-chain schedule() (barrier release) so
+    // run() recomputes its cached horizon only when it can change.
     std::vector<uint64_t> scheduledAt_;
+    bool rescheduled_ = false;
 
     // Barrier state.
     uint32_t barrierParticipants_ = 0;  //!< 0 when traces are barrier-free

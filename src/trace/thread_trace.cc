@@ -61,28 +61,5 @@ ThreadTrace::append(TraceEvent e)
     }
 }
 
-TraceCursor::Chunk
-TraceCursor::next()
-{
-    Chunk chunk;
-    const auto &events = trace_->events();
-    while (pos_ < events.size()) {
-        const TraceEvent &e = events[pos_];
-        ++pos_;
-        if (e.kind() == EventKind::Work) {
-            chunk.work += e.instructions();
-        } else if (e.kind() == EventKind::Barrier) {
-            chunk.isBarrier = true;
-            chunk.addr = e.barrierIndex();
-            break;
-        } else {
-            chunk.hasRef = true;
-            chunk.isStore = e.isStore();
-            chunk.addr = e.address();
-            break;
-        }
-    }
-    return chunk;
-}
 
 } // namespace tsp::trace

@@ -112,20 +112,47 @@ class TraceCursor
     };
 
     /** Bind to @p tt, which must outlive the cursor. */
-    explicit TraceCursor(const ThreadTrace &tt) : trace_(&tt) {}
+    explicit TraceCursor(const ThreadTrace &tt)
+        : pos_(tt.events().data()),
+          end_(tt.events().data() + tt.events().size())
+    {
+    }
 
     /** True when the whole trace has been consumed. */
-    bool done() const { return pos_ >= trace_->events().size(); }
+    bool done() const { return pos_ == end_; }
 
     /**
      * Consume and return the next chunk: all leading work plus the next
      * data reference if one follows. A trailing chunk may have no ref.
+     * Inline, over raw event pointers: this is the simulator's
+     * per-reference fetch path (docs/performance.md).
      */
-    Chunk next();
+    Chunk
+    next()
+    {
+        Chunk chunk;
+        while (pos_ != end_) {
+            const TraceEvent &e = *pos_;
+            ++pos_;
+            if (e.kind() == EventKind::Work) {
+                chunk.work += e.instructions();
+            } else if (e.kind() == EventKind::Barrier) {
+                chunk.isBarrier = true;
+                chunk.addr = e.barrierIndex();
+                break;
+            } else {
+                chunk.hasRef = true;
+                chunk.isStore = e.isStore();
+                chunk.addr = e.address();
+                break;
+            }
+        }
+        return chunk;
+    }
 
   private:
-    const ThreadTrace *trace_;
-    size_t pos_ = 0;
+    const TraceEvent *pos_;
+    const TraceEvent *end_;
 };
 
 } // namespace tsp::trace

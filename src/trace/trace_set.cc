@@ -1,6 +1,7 @@
 #include "trace/trace_set.h"
 
 #include "util/error.h"
+#include "util/flat_map.h"
 
 namespace tsp::trace {
 
@@ -38,6 +39,37 @@ TraceSet::threadLengths() const
     for (const auto &t : threads_)
         lengths.push_back(t.instructionCount());
     return lengths;
+}
+
+const TraceSet::TouchedBlocks &
+TraceSet::touchedBlocks(unsigned blockShift) const
+{
+    std::shared_ptr<TouchedMemo> memo = touched_;
+    std::lock_guard<std::mutex> lock(memo->mutex);
+    auto it = memo->byShift.find(blockShift);
+    if (it != memo->byShift.end())
+        return it->second;
+
+    TouchedBlocks census;
+    census.perThread.reserve(threads_.size());
+    util::FlatMap<uint64_t, uint8_t> global;
+    util::FlatMap<uint64_t, uint8_t> local;
+    for (const auto &t : threads_) {
+        local.clear();
+        local.reserve(t.memRefCount() < 4096 ? t.memRefCount() : 4096);
+        for (const TraceEvent &e : t.events()) {
+            EventKind kind = e.kind();
+            if (kind != EventKind::Load && kind != EventKind::Store)
+                continue;
+            uint64_t block = e.address() >> blockShift;
+            local.tryEmplace(block);
+            global.tryEmplace(block);
+        }
+        census.perThread.push_back(local.size());
+    }
+    census.total = global.size();
+    return memo->byShift.emplace(blockShift, std::move(census))
+        .first->second;
 }
 
 } // namespace tsp::trace

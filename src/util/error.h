@@ -67,6 +67,28 @@ panicIf(bool cond, const std::string &msg)
         panic(msg);
 }
 
+// String-literal overloads: the std::string& versions construct (and
+// heap-allocate) the message temporary even when the condition is
+// false, which the simulator hot path cannot afford — checks run per
+// memory reference. These defer the std::string until the throw
+// actually happens (docs/performance.md).
+
+/** Fatal-check for literal messages: allocation-free unless thrown. */
+inline void
+fatalIf(bool cond, const char *msg)
+{
+    if (cond) [[unlikely]]
+        throw FatalError(msg);
+}
+
+/** Panic-check for literal messages: allocation-free unless thrown. */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond) [[unlikely]]
+        throw PanicError(msg);
+}
+
 } // namespace tsp::util
 
 #endif // TSP_UTIL_ERROR_H

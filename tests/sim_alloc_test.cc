@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Pins the simulator's allocation-free steady state: once a Machine is
+ * constructed (tables pre-reserved from the trace census), running the
+ * simulation performs zero heap allocations — no directory or history
+ * rehash, no per-transaction invalidation vector, no event-queue
+ * growth. Style follows the obs/fault disabled-cost pins: a global
+ * operator-new counter brackets the region under test.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "core/placement_map.h"
+#include "core/random_placement.h"
+#include "sim/machine.h"
+#include "trace/address_space.h"
+#include "trace/trace_set.h"
+#include "util/rng.h"
+
+using namespace tsp;
+
+// --------------------------------------------------------------------
+// Global allocation counter: every operator new in this binary bumps
+// it, so a test can assert that a region of code allocates nothing.
+
+namespace {
+std::atomic<uint64_t> allocationCount{0};
+}
+
+// GCC pairs its builtin operator-new knowledge with the free() below
+// and warns; the pairing is in fact consistent (new = malloc here).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void *
+operator new(std::size_t size)
+{
+    allocationCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace tsp::sim {
+namespace {
+
+using placement::PlacementMap;
+using trace::AddressSpace;
+using trace::ThreadTrace;
+using trace::TraceSet;
+
+/**
+ * A sharing-heavy workload: every thread mixes private and shared
+ * blocks with stores, so the run exercises misses, evictions,
+ * upgrades, invalidation fan-out, and cross-thread conflict misses —
+ * each a path that used to allocate.
+ */
+TraceSet
+contendedTraces(uint32_t threads, int refsPerThread, bool barriers)
+{
+    TraceSet ts("alloc-test");
+    util::Rng rng(7);
+    for (uint32_t tid = 0; tid < threads; ++tid) {
+        ThreadTrace t(tid);
+        for (int i = 0; i < refsPerThread; ++i) {
+            t.appendWork(rng.uniformInt(1, 8));
+            bool shared = rng.bernoulli(0.5);
+            uint64_t addr = shared
+                ? AddressSpace::sharedBase + rng.uniformInt(0, 63) * 32
+                : AddressSpace::sharedBase + 0x10000 + tid * 0x1000 +
+                      rng.uniformInt(0, 31) * 32;
+            if (rng.bernoulli(0.3))
+                t.appendStore(addr);
+            else
+                t.appendLoad(addr);
+            if (barriers && i % 50 == 25)
+                t.appendBarrier();
+        }
+        ts.addThread(std::move(t));
+    }
+    return ts;
+}
+
+/** Simulate and assert the run() region allocated nothing. */
+void
+expectAllocationFreeRun(const SimConfig &cfg, const TraceSet &ts,
+                        const PlacementMap &map)
+{
+    Machine machine(cfg, ts, map);
+
+    const uint64_t before =
+        allocationCount.load(std::memory_order_relaxed);
+    SimStats stats = machine.run();
+    const uint64_t after =
+        allocationCount.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << "Machine::run() must not allocate: the directory, history "
+           "and event state are pre-reserved at construction";
+    EXPECT_GT(stats.totalMemRefs(), 0u);
+    EXPECT_GT(stats.totalMisses(), 0u);
+}
+
+TEST(SimAllocation, SteadyStateRunAllocatesNothing)
+{
+    const uint64_t sanityBefore =
+        allocationCount.load(std::memory_order_relaxed);
+    TraceSet ts = contendedTraces(8, 400, /*barriers=*/false);
+    ASSERT_GT(allocationCount.load(std::memory_order_relaxed),
+              sanityBefore)
+        << "the counting operator new is not installed";
+
+    SimConfig cfg;
+    cfg.processors = 4;
+    cfg.contexts = 2;
+    cfg.cacheBytes = 1024;
+    cfg.blockBytes = 32;
+    cfg.paranoidEvery = 0;  // the checker's scratch state is its own
+    cfg.profileSharing = false;
+    util::Rng rng(3);
+    expectAllocationFreeRun(cfg, ts,
+                            placement::randomPlacement(8, 4, rng));
+}
+
+TEST(SimAllocation, BarrierRunAllocatesNothing)
+{
+    // Barriers exercise the waiter list and release rescheduling;
+    // the waiter list is reserved to the thread count up front.
+    TraceSet ts = contendedTraces(4, 200, /*barriers=*/true);
+    SimConfig cfg;
+    cfg.processors = 2;
+    cfg.contexts = 2;
+    cfg.cacheBytes = 1024;
+    cfg.blockBytes = 32;
+    cfg.paranoidEvery = 0;
+    cfg.profileSharing = false;
+    util::Rng rng(4);
+    expectAllocationFreeRun(cfg, ts,
+                            placement::randomPlacement(4, 2, rng));
+}
+
+TEST(SimAllocation, PendingThreadQueueRunAllocatesNothing)
+{
+    // More threads than hardware contexts: retired contexts reload
+    // from the pending queue mid-run.
+    TraceSet ts = contendedTraces(12, 150, /*barriers=*/false);
+    SimConfig cfg;
+    cfg.processors = 2;
+    cfg.contexts = 2;
+    cfg.cacheBytes = 1024;
+    cfg.blockBytes = 32;
+    cfg.paranoidEvery = 0;
+    cfg.profileSharing = false;
+    util::Rng rng(5);
+    expectAllocationFreeRun(cfg, ts,
+                            placement::randomPlacement(12, 2, rng));
+}
+
+} // namespace
+} // namespace tsp::sim

@@ -18,7 +18,7 @@ TEST(Directory, FirstReadGrantsExclusive)
     auto txn = d.read(/*proc=*/1, /*tid=*/10, /*block=*/100);
     EXPECT_FALSE(txn.blockSeenBefore);
     EXPECT_TRUE(txn.grantedExclusive);
-    EXPECT_TRUE(txn.invalidate.empty());
+    EXPECT_FALSE(txn.anyInvalidate());
     const auto *e = d.find(100);
     ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->state, Directory::State::Owned);
@@ -61,7 +61,8 @@ TEST(Directory, WriteMissInvalidatesAllOtherSharers)
     d.read(1, 2, 100);
     d.read(2, 3, 100);
     auto txn = d.write(3, 9, 100);
-    EXPECT_EQ(txn.invalidate,
+    EXPECT_EQ(txn.invalidateCount(), 3u);
+    EXPECT_EQ(txn.invalidateList(),
               (std::vector<uint32_t>{0, 1, 2}));
     const auto *e = d.find(100);
     EXPECT_EQ(e->state, Directory::State::Owned);
@@ -75,7 +76,7 @@ TEST(Directory, WriteToOwnedInvalidatesOwnerOnly)
     Directory d(4);
     d.write(0, 1, 100);
     auto txn = d.write(2, 5, 100);
-    EXPECT_EQ(txn.invalidate, std::vector<uint32_t>{0});
+    EXPECT_EQ(txn.invalidateList(), std::vector<uint32_t>{0});
     EXPECT_EQ(txn.prevLastWriter, 1);
 }
 
@@ -85,7 +86,7 @@ TEST(Directory, UpgradeFromSharedSkipsSelf)
     d.read(0, 1, 100);
     d.read(1, 2, 100);  // Shared {0, 1}
     auto txn = d.write(0, 1, 100);  // proc 0 upgrades
-    EXPECT_EQ(txn.invalidate, std::vector<uint32_t>{1});
+    EXPECT_EQ(txn.invalidateList(), std::vector<uint32_t>{1});
     EXPECT_EQ(d.find(100)->owner, 0u);
 }
 
@@ -94,7 +95,8 @@ TEST(Directory, WriteToUncachedIsQuiet)
     Directory d(2);
     auto txn = d.write(1, 4, 50);
     EXPECT_FALSE(txn.blockSeenBefore);
-    EXPECT_TRUE(txn.invalidate.empty());
+    EXPECT_FALSE(txn.anyInvalidate());
+    EXPECT_EQ(txn.invalidateCount(), 0u);
     EXPECT_EQ(d.find(50)->lastWriter, 4);
 }
 
@@ -145,7 +147,8 @@ TEST(Directory, SharerBitsAboveSixtyFour)
     EXPECT_EQ(e->sharerCount(), 2u);
 
     auto txn = d.write(100, 1, 7);
-    EXPECT_EQ(txn.invalidate, std::vector<uint32_t>{127});
+    EXPECT_TRUE(txn.anyInvalidate());
+    EXPECT_EQ(txn.invalidateList(), std::vector<uint32_t>{127});
 }
 
 TEST(Directory, TooManyProcessorsIsFatal)

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * FlatMap tests: randomized operation-sequence parity against
+ * std::unordered_map, backward-shift deletion edge cases driven
+ * through a degenerate hash (erase in the middle of a probe chain,
+ * chains wrapping the table end), reserve/rehash behaviour, and
+ * iteration.
+ */
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flat_map.h"
+#include "util/rng.h"
+
+namespace tsp::util {
+namespace {
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<uint64_t, int> m;
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_FALSE(m.erase(42));
+    EXPECT_TRUE(m.begin() == m.end());
+}
+
+TEST(FlatMap, TryEmplaceInsertsValueInitializedAndFindsBack)
+{
+    FlatMap<uint64_t, int> m;
+    auto [v, inserted] = m.tryEmplace(5);
+    ASSERT_TRUE(inserted);
+    EXPECT_EQ(*v, 0);  // value-initialized
+    *v = 77;
+
+    auto [v2, inserted2] = m.tryEmplace(5);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(*v2, 77);  // existing entry, not reset
+    EXPECT_EQ(m.size(), 1u);
+
+    int *found = m.find(5);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, 77);
+}
+
+TEST(FlatMap, ReservePreventsRehash)
+{
+    FlatMap<uint64_t, uint64_t> m;
+    m.reserve(1000);
+    const size_t cap = m.capacity();
+    for (uint64_t k = 0; k < 1000; ++k)
+        *m.tryEmplace(k * 0x9e3779b97f4a7c15ull).first = k;
+    EXPECT_EQ(m.capacity(), cap)
+        << "inserting within the reserved count must not rehash";
+    EXPECT_EQ(m.size(), 1000u);
+}
+
+TEST(FlatMap, GrowsAndKeepsEveryEntry)
+{
+    FlatMap<uint64_t, uint64_t> m;  // no reserve: forces rehashes
+    for (uint64_t k = 0; k < 5000; ++k)
+        *m.tryEmplace(k).first = k * 3;
+    EXPECT_EQ(m.size(), 5000u);
+    for (uint64_t k = 0; k < 5000; ++k) {
+        const uint64_t *v = m.find(k);
+        ASSERT_NE(v, nullptr) << "key " << k << " lost in a rehash";
+        EXPECT_EQ(*v, k * 3);
+    }
+}
+
+TEST(FlatMap, ClearKeepsCapacity)
+{
+    FlatMap<uint64_t, int> m;
+    for (uint64_t k = 0; k < 100; ++k)
+        m.tryEmplace(k);
+    const size_t cap = m.capacity();
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.find(1), nullptr);
+    // Reusable after clear.
+    m.tryEmplace(1);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+// ----------------------------------------------------- erase edge cases
+//
+// An identity hash makes slot placement fully predictable: key k lands
+// at slot k & mask, so probe chains (and the backward-shift deletion's
+// cyclic-distance logic) can be staged deliberately.
+
+struct IdentityHash
+{
+    uint64_t operator()(uint64_t x) const { return x; }
+};
+
+using PlannedMap = FlatMap<uint64_t, int, IdentityHash>;
+
+TEST(FlatMap, EraseHeadOfProbeChainShiftsFollowersBack)
+{
+    PlannedMap m;
+    m.reserve(8);  // capacity 16 (minimum), mask 15
+    const size_t cap = m.capacity();
+    // Three keys with the same home slot 3: a chain 3 -> 4 -> 5.
+    for (uint64_t k : {uint64_t{3}, 3 + cap, 3 + 2 * cap})
+        *m.tryEmplace(k).first = static_cast<int>(k);
+    // Erase the chain head; the followers must remain reachable.
+    EXPECT_TRUE(m.erase(3));
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(3 + cap), nullptr);
+    ASSERT_NE(m.find(3 + 2 * cap), nullptr);
+    EXPECT_EQ(*m.find(3 + cap), static_cast<int>(3 + cap));
+    EXPECT_EQ(m.find(3), nullptr);
+}
+
+TEST(FlatMap, EraseMiddleOfMixedChainPreservesForeignKeys)
+{
+    PlannedMap m;
+    m.reserve(8);
+    const size_t cap = m.capacity();
+    // Slot 3: two residents (3, 3+cap); key 4 is displaced to slot 5.
+    m.tryEmplace(3);
+    m.tryEmplace(3 + cap);
+    m.tryEmplace(4);
+    // Erasing a middle element must not pull key 4 before its home.
+    EXPECT_TRUE(m.erase(3 + cap));
+    ASSERT_NE(m.find(3), nullptr);
+    ASSERT_NE(m.find(4), nullptr);
+    EXPECT_EQ(m.find(3 + cap), nullptr);
+}
+
+TEST(FlatMap, EraseInChainWrappingTheTableEnd)
+{
+    PlannedMap m;
+    m.reserve(8);
+    const size_t cap = m.capacity();
+    const uint64_t last = cap - 1;
+    // Home slot = last slot; the chain wraps to slots 0 and 1.
+    for (uint64_t k : {last, last + cap, last + 2 * cap})
+        m.tryEmplace(k);
+    EXPECT_TRUE(m.erase(last));
+    ASSERT_NE(m.find(last + cap), nullptr);
+    ASSERT_NE(m.find(last + 2 * cap), nullptr);
+    EXPECT_TRUE(m.erase(last + 2 * cap));
+    ASSERT_NE(m.find(last + cap), nullptr);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EraseEveryElementInRandomOrder)
+{
+    PlannedMap m;
+    util::Rng rng(11);
+    std::vector<uint64_t> keys;
+    for (uint64_t k = 0; k < 200; ++k)
+        keys.push_back(k * 7);  // overlapping homes after masking
+    for (uint64_t k : keys)
+        m.tryEmplace(k);
+    rng.shuffle(keys);
+    for (size_t i = 0; i < keys.size(); ++i) {
+        EXPECT_TRUE(m.erase(keys[i]));
+        // Every not-yet-erased key must still be reachable.
+        for (size_t j = i + 1; j < keys.size(); ++j)
+            ASSERT_NE(m.find(keys[j]), nullptr)
+                << "erasing " << keys[i] << " lost " << keys[j];
+    }
+    EXPECT_TRUE(m.empty());
+}
+
+// ------------------------------------------------------ randomized parity
+
+TEST(FlatMap, RandomizedOpSequenceMatchesUnorderedMap)
+{
+    FlatMap<uint64_t, uint64_t> flat;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    util::Rng rng(99);
+
+    for (int op = 0; op < 50000; ++op) {
+        // A small key universe keeps hit rates high for every op kind.
+        uint64_t key = static_cast<uint64_t>(rng.uniformInt(0, 799));
+        switch (rng.uniformInt(0, 3)) {
+          case 0:
+          case 1: {  // insert-or-update
+            uint64_t val = static_cast<uint64_t>(op);
+            auto [v, inserted] = flat.tryEmplace(key);
+            auto [it, refInserted] = ref.try_emplace(key);
+            EXPECT_EQ(inserted, refInserted);
+            *v = val;
+            it->second = val;
+            break;
+          }
+          case 2: {  // erase
+            EXPECT_EQ(flat.erase(key), ref.erase(key) == 1);
+            break;
+          }
+          case 3: {  // lookup
+            const uint64_t *v = flat.find(key);
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(v, nullptr);
+            } else {
+                ASSERT_NE(v, nullptr);
+                EXPECT_EQ(*v, it->second);
+            }
+            break;
+          }
+        }
+        EXPECT_EQ(flat.size(), ref.size());
+    }
+
+    // Full-content parity, via both iteration styles.
+    std::map<uint64_t, uint64_t> fromForEach;
+    flat.forEach([&](uint64_t k, const uint64_t &v) {
+        EXPECT_TRUE(fromForEach.emplace(k, v).second)
+            << "duplicate key in forEach";
+    });
+    std::map<uint64_t, uint64_t> fromIter;
+    for (const auto &slot : flat)
+        EXPECT_TRUE(fromIter.emplace(slot.key, slot.value).second);
+    std::map<uint64_t, uint64_t> expected(ref.begin(), ref.end());
+    EXPECT_EQ(fromForEach, expected);
+    EXPECT_EQ(fromIter, expected);
+}
+
+} // namespace
+} // namespace tsp::util

@@ -12,8 +12,11 @@
 # bench: name, exit status, wall-clock seconds.
 #
 # Each bench also exports its metrics registry (see
-# docs/observability.md) to <out-dir>/<bench>.metrics.json, so the
-# wall-clock CSV and the per-bench metric JSONs land side by side.
+# docs/observability.md) to <out-dir>/<bench>.metrics.json, and its
+# Google-Benchmark results (refs/sec, wall-ms per case) to
+# <out-dir>/<bench>.json — the machine-readable input that
+# tools/compare_benches.py gates against BENCH_baseline.json (see
+# docs/performance.md).
 
 set -euo pipefail
 
@@ -40,7 +43,8 @@ for bench in "$BENCH_DIR"/*; do
     start_ns=$(date +%s%N)
     if TSP_OUT="$OUT_DIR" TSP_METRICS=1 \
        TSP_METRICS_OUT="$OUT_DIR/$name.metrics.json" \
-       "$bench" > "$log" 2>&1; then
+       "$bench" --benchmark_out="$OUT_DIR/$name.json" \
+                --benchmark_out_format=json > "$log" 2>&1; then
         status=ok
     else
         status=fail
