@@ -38,7 +38,8 @@ tsp_add_bench(bench_ablation_false_sharing)
 tsp_add_bench(bench_paper_summary)
 
 # Micro-benchmarks (google-benchmark).
-foreach(name bench_micro_simulator bench_micro_placement)
+foreach(name bench_micro_simulator bench_micro_placement
+        bench_batched_simulator)
     tsp_add_bench(${name})
     target_link_libraries(${name} PRIVATE
         benchmark::benchmark benchmark::benchmark_main)

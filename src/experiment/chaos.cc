@@ -9,9 +9,12 @@
 #include "experiment/configs.h"
 #include "experiment/parallel.h"
 #include "experiment/report.h"
+#include "sim/batch_machine.h"
+#include "trace/chunk_source.h"
 #include "trace/trace_io.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "workload/stream.h"
 
 namespace tsp::experiment::chaos {
 
@@ -80,10 +83,65 @@ fingerprint(const std::vector<RunJob> &jobs,
 }
 
 /**
+ * Streaming batched leg: two placement arms advance in lockstep over
+ * a chunked, bounded-memory trace stream — trace.chunk_refill and
+ * batch.lane live only on this path. A faulted lane degrades to an
+ * error line while its sibling keeps its exact statistics; the digest
+ * is folded into the scenario fingerprint so recovery legs prove the
+ * streamed results are bit-stable too.
+ */
+std::string
+streamedBatchFingerprint(Lab &lab, const Options &opt,
+                         uint32_t threads)
+{
+    std::vector<MachinePoint> points = standardSweep(threads);
+    const MachinePoint &pt = points.front();
+    const placement::Algorithm algs[] = {
+        placement::Algorithm::LoadBal,
+        placement::Algorithm::ShareRefs};
+
+    std::vector<sim::BatchLane> lanes;
+    for (placement::Algorithm alg : algs) {
+        lanes.push_back(
+            {lab.configFor(opt.app, pt, false),
+             lab.placementFor(opt.app, alg, pt.processors)});
+    }
+
+    workload::AppStreamFactory factory(workload::profile(opt.app),
+                                       lab.scale());
+    trace::SharedTraceStream stream(factory, lanes.size(),
+                                    /*chunkEvents=*/2048);
+    sim::BatchMachine machine(std::move(lanes), stream);
+    std::vector<sim::LaneResult> results = machine.run();
+
+    std::ostringstream os;
+    for (size_t i = 0; i < results.size(); ++i) {
+        os << "stream/" << placement::algorithmName(algs[i]) << '@'
+           << pt.label() << " => ";
+        if (!results[i].ok) {
+            os << "FAILED(" << results[i].error << ")\n";
+            continue;
+        }
+        const sim::SimStats &s = results[i].stats;
+        os << "t=" << s.executionTime()
+           << " refs=" << s.totalMemRefs()
+           << " hits=" << s.totalHits();
+        for (size_t k = 0; k < sim::numMissKinds; ++k) {
+            os << " m" << k << '='
+               << s.totalMissCount(static_cast<sim::MissKind>(k));
+        }
+        os << " inv=" << s.totalInvalidationsSent()
+           << " upg=" << s.totalUpgrades() << '\n';
+    }
+    return os.str();
+}
+
+/**
  * The end-to-end operation each matrix cell stresses: a fresh Lab (so
  * lab.memo_init is on the path), a checkpointed parallel sweep, a
- * trace save/load roundtrip, and a failure-report CSV. Returns the
- * sweep's fingerprint; throws whatever the armed fault makes escape.
+ * streamed lockstep batch, a trace save/load roundtrip, and a
+ * failure-report CSV. Returns the scenario's fingerprint; throws
+ * whatever the armed fault makes escape.
  */
 std::string
 runScenario(const Options &opt, const std::string &checkpointPath)
@@ -112,7 +170,11 @@ runScenario(const Options &opt, const std::string &checkpointPath)
     // Report emission (report.write).
     writeFailuresCsv(opt.workDir + "/chaos_failures.csv", failures);
 
-    return fingerprint(jobs, outcomes);
+    // Streamed lockstep batch (trace.chunk_refill / batch.lane).
+    return fingerprint(jobs, outcomes) +
+           streamedBatchFingerprint(
+               lab, opt,
+               static_cast<uint32_t>(traces.threadCount()));
 }
 
 } // namespace

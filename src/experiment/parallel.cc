@@ -6,10 +6,13 @@
 #include <optional>
 #include <tuple>
 
+#include <cstdlib>
+
 #include "experiment/checkpoint.h"
 #include "obs/metric_defs.h"
 #include "obs/timer.h"
 #include "obs/trace_sink.h"
+#include "sim/batch_machine.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/watchdog.h"
@@ -28,6 +31,22 @@ jobKey(const RunJob &job)
 }
 
 } // namespace
+
+unsigned
+defaultBatchLanes()
+{
+    static const unsigned cached = [] {
+        const char *env = std::getenv("TSP_BATCH");
+        if (!env || !*env)
+            return 1u;
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end == env || *end != '\0' || v == 0)
+            return 1u;
+        return static_cast<unsigned>(v);
+    }();
+    return cached;
+}
 
 std::string
 describeJob(const RunJob &job)
@@ -107,19 +126,84 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
     std::mutex panicMutex;
     std::atomic<size_t> cancelledCells{0};
 
-    util::ThreadPool pool(
-        options_.jobs > 1 ? options_.jobs - 1 : 0);
-    pool.parallelFor(pending.size(), [&](size_t k) {
-        if (panicked.load(std::memory_order_relaxed))
+    // Group the pending cells: with batching on, up to options_.batch
+    // cells of one application become lanes of a single lockstep
+    // sim::BatchMachine over the app's shared traces. With batching
+    // off every group is a singleton, the classic one-cell-per-task
+    // shape. Results are bit-identical either way.
+    const size_t lanesPerBatch =
+        options_.batch > 1 ? options_.batch : 1;
+    std::vector<std::vector<size_t>> groups;
+    groups.reserve(pending.size());
+    if (lanesPerBatch <= 1) {
+        for (size_t u : pending)
+            groups.push_back({u});
+    } else {
+        std::map<int, std::vector<size_t>> open;  // app -> filling
+        for (size_t u : pending) {
+            auto &bucket =
+                open[static_cast<int>(jobs[uniqueJobs[u]].app)];
+            bucket.push_back(u);
+            if (bucket.size() >= lanesPerBatch) {
+                groups.push_back(std::move(bucket));
+                bucket.clear();
+            }
+        }
+        for (auto &[app, bucket] : open) {
+            if (!bucket.empty())
+                groups.push_back(std::move(bucket));
+        }
+    }
+
+    auto notePanic = [&] {
+        std::lock_guard<std::mutex> lock(panicMutex);
+        if (!panic)
+            panic = std::current_exception();
+        panicked.store(true, std::memory_order_relaxed);
+    };
+
+    auto journal = [&](const RunJob &job, const RunResult &result) {
+        if (!options_.checkpoint)
             return;
-        const RunJob &job = jobs[uniqueJobs[pending[k]]];
+        try {
+            options_.checkpoint->record(job, result);
+        } catch (const std::exception &e) {
+            // A journaling failure must not fail the cell — the
+            // result is still good, only resumability of this cell
+            // is lost.
+            obs::checkpointAppendFailures().inc();
+            util::warn(util::concat("checkpoint record failed for ",
+                                    describeJob(job), ": ",
+                                    e.what()));
+        }
+    };
+
+    auto sinkCell = [&](const RunJob &job, double cellMs) {
+        obs::sweepCellMillis().observe(cellMs);
+        if (obs::TraceSink *sink = obs::TraceSink::global()) {
+            sink->complete(
+                describeJob(job), "sweep", cellMs,
+                {obs::TraceArg::str("app",
+                                    workload::appName(job.app)),
+                 obs::TraceArg::str(
+                     "alg", placement::algorithmName(job.alg)),
+                 obs::TraceArg::str("point", job.point.label())});
+        }
+    };
+
+    // Poison stays descriptive: the cell reports *why* it has no
+    // result, and a resume with the same checkpoint re-runs exactly
+    // these cells.
+    auto cancelCell = [&](size_t u) {
+        unique[u] = Outcome<RunResult>::failure(
+            "sweep cancelled before this cell started");
+        cancelledCells.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    auto runSingle = [&](size_t u) {
+        const RunJob &job = jobs[uniqueJobs[u]];
         if (options_.cancel && options_.cancel->cancelled()) {
-            // Poison stays descriptive: the cell reports *why* it has
-            // no result, and a resume with the same checkpoint re-runs
-            // exactly these cells.
-            unique[pending[k]] = Outcome<RunResult>::failure(
-                "sweep cancelled before this cell started");
-            cancelledCells.fetch_add(1, std::memory_order_relaxed);
+            cancelCell(u);
             return;
         }
         std::optional<util::Watchdog::Guard> guard;
@@ -132,41 +216,122 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
             RunResult result = lab_.run(job.app, job.alg, job.point,
                                         job.infiniteCache);
             double cellMs = cellWatch.elapsedMs();
-            uniqueMillis[pending[k]] = cellMs;
-            obs::sweepCellMillis().observe(cellMs);
-            if (obs::TraceSink *sink = obs::TraceSink::global()) {
-                sink->complete(
-                    describeJob(job), "sweep", cellMs,
-                    {obs::TraceArg::str("app",
-                                        workload::appName(job.app)),
-                     obs::TraceArg::str(
-                         "alg", placement::algorithmName(job.alg)),
-                     obs::TraceArg::str("point", job.point.label())});
-            }
-            if (options_.checkpoint) {
-                try {
-                    options_.checkpoint->record(job, result);
-                } catch (const std::exception &e) {
-                    // A journaling failure must not fail the cell —
-                    // the result is still good, only resumability of
-                    // this cell is lost.
-                    obs::checkpointAppendFailures().inc();
-                    util::warn(util::concat(
-                        "checkpoint record failed for ",
-                        describeJob(job), ": ", e.what()));
-                }
-            }
-            unique[pending[k]] =
-                Outcome<RunResult>::success(std::move(result));
+            uniqueMillis[u] = cellMs;
+            sinkCell(job, cellMs);
+            journal(job, result);
+            unique[u] = Outcome<RunResult>::success(std::move(result));
         } catch (const util::PanicError &) {
-            std::lock_guard<std::mutex> lock(panicMutex);
-            if (!panic)
-                panic = std::current_exception();
-            panicked.store(true, std::memory_order_relaxed);
+            notePanic();
         } catch (const std::exception &e) {
-            unique[pending[k]] =
-                Outcome<RunResult>::failure(e.what());
+            unique[u] = Outcome<RunResult>::failure(e.what());
         }
+    };
+
+    auto runBatch = [&](const std::vector<size_t> &group) {
+        if (group.size() == 1) {
+            runSingle(group.front());
+            return;
+        }
+        if (options_.cancel && options_.cancel->cancelled()) {
+            for (size_t u : group)
+                cancelCell(u);
+            return;
+        }
+        // Per-lane preparation keeps per-cell fault isolation: the
+        // chaos hook, the machine-point validation and the placement
+        // can each fail this lane alone.
+        struct Prep
+        {
+            size_t u = 0;
+            sim::SimConfig cfg;
+            placement::PlacementMap placement;
+        };
+        std::vector<Prep> preps;
+        preps.reserve(group.size());
+        for (size_t u : group) {
+            const RunJob &job = jobs[uniqueJobs[u]];
+            try {
+                if (options_.faultInjector)
+                    options_.faultInjector(job);
+                Prep prep;
+                prep.u = u;
+                prep.cfg = lab_.configFor(job.app, job.point,
+                                          job.infiniteCache);
+                prep.placement = lab_.placementFor(
+                    job.app, job.alg, job.point.processors);
+                preps.push_back(std::move(prep));
+            } catch (const util::PanicError &) {
+                notePanic();
+                return;
+            } catch (const std::exception &e) {
+                unique[u] = Outcome<RunResult>::failure(e.what());
+            }
+        }
+        if (preps.empty())
+            return;
+        const RunJob &first = jobs[uniqueJobs[preps.front().u]];
+        std::optional<util::Watchdog::Guard> guard;
+        if (watchdog) {
+            guard.emplace(watchdog->watch(
+                util::concat(describeJob(first), " [batch of ",
+                             preps.size(), " lanes]")));
+        }
+        obs::StopWatch batchWatch;
+        size_t assigned = 0;
+        try {
+            const trace::TraceSet &traces = lab_.traces(first.app);
+            const analysis::StaticAnalysis &an =
+                lab_.analysis(first.app);
+            std::vector<sim::BatchLane> lanes;
+            lanes.reserve(preps.size());
+            for (const Prep &prep : preps)
+                lanes.push_back({prep.cfg, prep.placement});
+            sim::BatchMachine machine(std::move(lanes), traces);
+            std::vector<sim::LaneResult> results = machine.run();
+            // The lanes ran interleaved on one thread; each cell's
+            // attributed cost is its share of the batch wall time.
+            double perLane = batchWatch.elapsedMs() /
+                             static_cast<double>(results.size());
+            for (; assigned < preps.size(); ++assigned) {
+                Prep &prep = preps[assigned];
+                const RunJob &job = jobs[uniqueJobs[prep.u]];
+                sim::LaneResult &lane = results[assigned];
+                if (!lane.ok) {
+                    unique[prep.u] =
+                        Outcome<RunResult>::failure(lane.error);
+                    continue;
+                }
+                RunResult result;
+                result.placement = std::move(prep.placement);
+                result.stats = std::move(lane.stats);
+                result.executionTime = result.stats.executionTime();
+                result.loadImbalance =
+                    result.placement.loadImbalance(an.threadLength());
+                uniqueMillis[prep.u] = perLane;
+                sinkCell(job, perLane);
+                journal(job, result);
+                unique[prep.u] =
+                    Outcome<RunResult>::success(std::move(result));
+            }
+        } catch (const util::PanicError &) {
+            notePanic();
+        } catch (const std::exception &e) {
+            // Batch-level failure (trace materialization or a
+            // poisoned batch): every lane without a result yet
+            // reports it.
+            for (size_t i = assigned; i < preps.size(); ++i) {
+                unique[preps[i].u] =
+                    Outcome<RunResult>::failure(e.what());
+            }
+        }
+    };
+
+    util::ThreadPool pool(
+        options_.jobs > 1 ? options_.jobs - 1 : 0);
+    pool.parallelFor(groups.size(), [&](size_t g) {
+        if (panicked.load(std::memory_order_relaxed))
+            return;
+        runBatch(groups[g]);
     });
 
     if (panic)

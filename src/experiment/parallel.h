@@ -57,6 +57,13 @@ struct RunJob
 /** Human-readable job identity, e.g. "Water/SHARE-REFS@4p x 2c". */
 std::string describeJob(const RunJob &job);
 
+/**
+ * Default lane count for batched lockstep simulation: the TSP_BATCH
+ * environment variable, else 1 (batching off). Invalid values read
+ * as 1.
+ */
+unsigned defaultBatchLanes();
+
 /** One failed cell of a sweep, for failure summaries. */
 struct JobFailure
 {
@@ -84,6 +91,18 @@ struct SweepOptions
 {
     /** Pool width; 1 (or 0) = serial on the calling thread. */
     unsigned jobs = util::ThreadPool::defaultJobs();
+
+    /**
+     * Lanes per batched lockstep simulation (sim::BatchMachine).
+     * Cells of the same application are grouped, up to this many per
+     * group, and advanced in lockstep over the shared traces — the
+     * trace pages stream through the cache once per group instead of
+     * once per cell. 1 (or 0) disables batching. Results are
+     * bit-identical either way; per-cell robustness semantics
+     * (checkpoint, fault isolation, cancellation) are preserved
+     * lane by lane.
+     */
+    unsigned batch = defaultBatchLanes();
 
     /** Journal completed cells here and replay previous ones. */
     Checkpoint *checkpoint = nullptr;

@@ -166,6 +166,11 @@ Registry::catalog()
          "appending a row to a report CSV fails"},
         {"sim.step", "sim::Machine",
          "a simulated memory access fails mid-run"},
+        {"trace.chunk_refill", "trace::SharedTraceStream",
+         "pulling the next trace chunk from a streaming producer "
+         "fails"},
+        {"batch.lane", "sim::BatchMachine",
+         "constructing one lane of a lockstep batch fails"},
     };
     return sites;
 }

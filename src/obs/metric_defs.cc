@@ -126,6 +126,25 @@ TSP_OBS_GAUGE(simHistoryEntries, "sim.history_entries", "sim::Cache",
               "summed per-cache departure-history entries after a run "
               "(max = largest run)")
 
+TSP_OBS_COUNTER(traceChunkRefills, "trace.chunk_refills",
+                "trace::SharedTraceStream",
+                "chunk windows pulled from streaming producers")
+TSP_OBS_GAUGE(traceWindowEvents, "trace.window_events",
+              "trace::SharedTraceStream",
+              "events resident across chunk windows "
+              "(max = streaming memory high water)")
+TSP_OBS_GAUGE(traceResidentBytes, "trace.resident_bytes",
+              "workload::generateTraces",
+              "bytes held by materialized thread traces after "
+              "generation (max = largest application)")
+
+TSP_OBS_GAUGE(batchLanes, "batch.lanes", "sim::BatchMachine",
+              "lanes being advanced by the running batch "
+              "(max = widest batch)")
+TSP_OBS_COUNTER(batchLaneFailures, "batch.lane_failures",
+                "sim::BatchMachine",
+                "lanes that failed and degraded to an error result")
+
 TSP_OBS_COUNTER(faultInjected, "fault.injected", "fault::Registry",
                 "faults the injection framework actually fired")
 TSP_OBS_GAUGE(faultSitesRegistered, "fault.sites", "fault::Registry",
@@ -172,6 +191,11 @@ allMetrics()
     simUpgrades();
     simDirEntries();
     simHistoryEntries();
+    traceChunkRefills();
+    traceWindowEvents();
+    traceResidentBytes();
+    batchLanes();
+    batchLaneFailures();
     faultInjected();
     faultSitesRegistered();
     benchWallMillis();

@@ -65,6 +65,15 @@ Counter &simUpgrades();          //!< directory upgrade transactions
 Gauge &simDirEntries();          //!< directory table size after a run
 Gauge &simHistoryEntries();      //!< summed cache-history sizes
 
+// ----------------------------------------- trace::SharedTraceStream
+Counter &traceChunkRefills();     //!< chunks pulled from producers
+Gauge &traceWindowEvents();       //!< events resident in chunk windows
+Gauge &traceResidentBytes();      //!< bytes held by materialized traces
+
+// --------------------------------------------------- sim::BatchMachine
+Gauge &batchLanes();              //!< lanes in the running batch
+Counter &batchLaneFailures();     //!< lanes degraded to an error
+
 // ----------------------------------------------------- fault::Registry
 Counter &faultInjected();         //!< faults actually injected
 Gauge &faultSitesRegistered();    //!< injection sites registered

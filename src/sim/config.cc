@@ -45,8 +45,10 @@ setDefaultParanoidEvery(uint64_t every)
 void
 SimConfig::validate() const
 {
-    util::fatalIf(processors == 0 || processors > 128,
-                  "processors must be in [1, 128]");
+    util::fatalIf(processors == 0 || processors > kMaxProcessors,
+                  "processors must be in [1, " +
+                      std::to_string(kMaxProcessors) +
+                      "] (directory sharer-mask width)");
     util::fatalIf(contexts == 0, "need >= 1 hardware context");
     util::fatalIf(!util::isPow2(cacheBytes), "cache size must be 2^k");
     util::fatalIf(!util::isPow2(blockBytes), "block size must be 2^k");

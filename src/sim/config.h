@@ -30,10 +30,20 @@ uint64_t defaultParanoidEvery();
 /** Override defaultParanoidEvery() (CLI `--paranoid N`). */
 void setDefaultParanoidEvery(uint64_t every);
 
+/**
+ * Hard processor-count cap. The directory's sharer masks and the
+ * sharing monitor's toucher masks are fixed-width bit vectors
+ * (std::array<uint64_t, 2>, see sim/directory.h and
+ * sim/sharing_monitor.h); both carry a static_assert against this
+ * constant, so widening the machine means widening the masks in the
+ * same change. validate() rejects anything larger with a clear error.
+ */
+inline constexpr uint32_t kMaxProcessors = 128;
+
 /** Complete architectural description consumed by the Machine. */
 struct SimConfig
 {
-    /** Number of processors. At most 128 (directory bitmask width). */
+    /** Number of processors. At most kMaxProcessors (mask width). */
     uint32_t processors = 4;
 
     /** Hardware contexts per processor. */

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/config.h"
 #include "util/flat_map.h"
 
 namespace tsp::sim {
@@ -44,10 +45,17 @@ class Directory
         Owned = 2,     //!< exactly one cache holds it (E or M)
     };
 
+    /** Sharer/invalidation bitmask words; ties the mask to the cap. */
+    static constexpr size_t kMaskWords = 2;
+    static_assert(kMaxProcessors <= kMaskWords * 64,
+                  "directory sharer masks are narrower than the "
+                  "processor cap; widen kMaskWords with kMaxProcessors");
+
     /** Per-block directory entry. */
     struct Entry
     {
-        std::array<uint64_t, 2> sharers{};  //!< bitmask over processors
+        std::array<uint64_t, kMaskWords> sharers{};  //!< bitmask over
+                                                     //!< processors
         State state = State::Uncached;
         uint32_t owner = 0;       //!< valid when state == Owned
         int32_t lastWriter = -1;  //!< last thread to write the block
@@ -81,7 +89,7 @@ class Directory
          * instead of a heap vector keeps every write transaction
          * allocation-free; iterate with forEachInvalidate().
          */
-        std::array<uint64_t, 2> invalidate{};
+        std::array<uint64_t, kMaskWords> invalidate{};
 
         /** Whether the block was granted Exclusive (read, no sharers). */
         bool grantedExclusive = false;

@@ -13,37 +13,70 @@ namespace tsp::sim {
 
 Machine::Machine(const SimConfig &cfg, const trace::TraceSet &traces,
                  const placement::PlacementMap &placement)
-    : cfg_(cfg), traces_(traces),
+    : cfg_(cfg), traces_(&traces),
       directory_(cfg.processors),
       interconnect_(cfg.networkChannels, cfg.memoryLatency,
                     cfg.channelOccupancy)
 {
-    cfg_.validate();
-    util::fatalIf(placement.threadCount() != traces.threadCount(),
-                  "placement and trace set disagree on thread count");
-    util::fatalIf(placement.processors() != cfg.processors,
-                  "placement and config disagree on processor count");
-    blockShift_ = util::log2Floor(cfg.blockBytes);
+    construct(placement);
+}
 
-    procs_.resize(cfg.processors);
-    caches_.reserve(cfg.processors);
-    for (uint32_t p = 0; p < cfg.processors; ++p) {
+Machine::Machine(const SimConfig &cfg, trace::TraceSource &source,
+                 const placement::PlacementMap &placement)
+    : cfg_(cfg), source_(&source),
+      directory_(cfg.processors),
+      interconnect_(cfg.networkChannels, cfg.memoryLatency,
+                    cfg.channelOccupancy)
+{
+    construct(placement);
+}
+
+uint32_t
+Machine::threadCountOf() const
+{
+    return traces_ ? static_cast<uint32_t>(traces_->threadCount())
+                   : source_->threadCount();
+}
+
+uint64_t
+Machine::barrierCountOf(uint32_t tid) const
+{
+    return traces_ ? traces_->thread(tid).barrierCount()
+                   : source_->barrierCount(tid);
+}
+
+void
+Machine::construct(const placement::PlacementMap &placement)
+{
+    cfg_.validate();
+    const uint32_t threads = threadCountOf();
+    util::fatalIf(placement.threadCount() != threads,
+                  "placement and trace set disagree on thread count");
+    util::fatalIf(placement.processors() != cfg_.processors,
+                  "placement and config disagree on processor count");
+    blockShift_ = util::log2Floor(cfg_.blockBytes);
+
+    procs_.resize(cfg_.processors);
+    caches_.reserve(cfg_.processors);
+    for (uint32_t p = 0; p < cfg_.processors; ++p) {
         caches_.emplace_back(cfg_);
-        procs_[p].ctxs.resize(cfg.contexts);
+        procs_[p].ctxs.resize(cfg_.contexts);
     }
-    stats_.procs.resize(cfg.processors);
-    stats_.coherencePairs = stats::PairMatrix(traces.threadCount());
-    scheduledAt_.assign(cfg.processors, kNoEvent);
+    stats_.procs.resize(cfg_.processors);
+    stats_.coherencePairs = stats::PairMatrix(threads);
+    scheduledAt_.assign(cfg_.processors, kNoEvent);
     framesPerCache_ = caches_[0].numFrames();
-    frameDir_.assign(cfg.processors * framesPerCache_, nullptr);
+    frameDir_.assign(cfg_.processors * framesPerCache_, nullptr);
 
     // Pre-size every hash table and queue from the trace census so the
     // event loop never rehashes or reallocates (the allocation-free
-    // steady state tests/sim_alloc_test.cc pins).
-    const trace::TraceSet::TouchedBlocks &touched =
-        traces.touchedBlocks(blockShift_);
+    // steady state tests/sim_alloc_test.cc pins). In streaming mode
+    // the source runs a dedicated census pass (memoized across lanes).
+    const trace::TraceSet::TouchedBlocks &touched = traces_
+        ? traces_->touchedBlocks(blockShift_)
+        : source_->touchedBlocks(blockShift_);
     directory_.reserveBlocks(touched.total);
-    barrierWaiters_.reserve(traces.threadCount());
+    barrierWaiters_.reserve(threads);
     if (cfg_.profileSharing)
         monitor_.emplace();
     if (cfg_.paranoidEvery > 0) {
@@ -53,24 +86,21 @@ Machine::Machine(const SimConfig &cfg, const trace::TraceSet &traces,
 
     // Barrier discovery and validation: either no thread uses
     // barriers, or all threads execute the same number of them.
-    uint64_t barriers = traces.threadCount()
-        ? traces.thread(0).barrierCount()
-        : 0;
+    uint64_t barriers = threads ? barrierCountOf(0) : 0;
     bool anyBarriers = false;
-    for (const auto &t : traces.threads()) {
-        util::fatalIf(t.barrierCount() != barriers,
+    for (uint32_t tid = 0; tid < threads; ++tid) {
+        util::fatalIf(barrierCountOf(tid) != barriers,
                       "all threads must execute the same barrier "
                       "sequence");
-        anyBarriers |= t.barrierCount() > 0;
+        anyBarriers |= barrierCountOf(tid) > 0;
     }
     if (anyBarriers)
-        barrierParticipants_ =
-            static_cast<uint32_t>(traces.threadCount());
+        barrierParticipants_ = threads;
 
     // Distribute each processor's threads over its hardware contexts;
     // overflow threads wait in the pending queue.
     auto clusters = placement.clusters();
-    for (uint32_t p = 0; p < cfg.processors; ++p) {
+    for (uint32_t p = 0; p < cfg_.processors; ++p) {
         Proc &proc = procs_[p];
         size_t c = 0;
         uint64_t historyBlocks = 0;
@@ -97,7 +127,10 @@ Machine::loadThread(Proc &proc, size_t c, uint32_t tid, uint64_t now)
 {
     Context &ctx = proc.ctxs[c];
     ctx.thread = static_cast<int32_t>(tid);
-    ctx.cursor.emplace(traces_.thread(tid));
+    if (traces_)
+        ctx.cursor.emplace(traces_->thread(tid));
+    else
+        ctx.cursor.emplace(source_->openThread(tid));
     ctx.readyAt = now;
     if (c < 64)
         proc.liveMask |= 1ull << c;
@@ -352,14 +385,28 @@ Machine::applyInvalidations(uint32_t causerProc, uint32_t causerTid,
 SimStats
 Machine::run()
 {
-    util::fatalIf(ran_, "a Machine can only run once");
-    ran_ = true;
+    util::fatalIf(started_, "a Machine can only run once");
+    advance(0);
+    return finish();
+}
 
-    for (uint32_t p = 0; p < cfg_.processors; ++p)
-        schedule(p, 0);
+bool
+Machine::advance(uint64_t maxChains)
+{
+    util::fatalIf(finished_, "machine already finished");
+    if (complete_)
+        return true;
+    if (!started_) {
+        started_ = true;
+        for (uint32_t p = 0; p < cfg_.processors; ++p)
+            schedule(p, 0);
+    }
 
     const uint32_t n = cfg_.processors;
+    uint64_t chains = 0;
     while (true) {
+        if (maxChains != 0 && chains++ == maxChains)
+            return false;
         // Earliest pending event and runner-up in one scan. Strict
         // less-than keeps the first of equal times, so ties go to the
         // lowest processor id — exactly the old heap's
@@ -525,6 +572,18 @@ Machine::run()
         }
     }
 
+    complete_ = true;
+    return true;
+}
+
+SimStats
+Machine::finish()
+{
+    util::fatalIf(!complete_,
+                  "finish() before the simulation completed");
+    util::fatalIf(finished_, "finish() may only be called once");
+    finished_ = true;
+
     // Safety net: everything must have retired (a mismatched barrier
     // structure or an overflowed context pool would strand contexts).
     for (uint32_t p = 0; p < cfg_.processors; ++p) {
@@ -550,6 +609,32 @@ Machine::run()
     return std::move(stats_);
 }
 
+void
+recordRunMetrics(const SimStats &stats, const Machine &machine,
+                 double wallMillis)
+{
+    obs::simRunMillis().observe(wallMillis);
+    if (!obs::metricsEnabled())
+        return;
+    obs::simRuns().inc();
+    obs::simInstructions().add(stats.totalInstructions());
+    obs::simMemRefs().add(stats.totalMemRefs());
+    obs::simMissCompulsory().add(
+        stats.totalMissCount(MissKind::Compulsory));
+    obs::simMissIntraConflict().add(
+        stats.totalMissCount(MissKind::IntraConflict));
+    obs::simMissInterConflict().add(
+        stats.totalMissCount(MissKind::InterConflict));
+    obs::simMissInvalidation().add(
+        stats.totalMissCount(MissKind::Invalidation));
+    obs::simInvalidationsSent().add(stats.totalInvalidationsSent());
+    obs::simUpgrades().add(stats.totalUpgrades());
+    obs::simDirEntries().set(
+        static_cast<double>(machine.directoryEntries()));
+    obs::simHistoryEntries().set(
+        static_cast<double>(machine.historyEntries()));
+}
+
 SimStats
 simulate(const SimConfig &cfg, const trace::TraceSet &traces,
          const placement::PlacementMap &placement)
@@ -559,27 +644,7 @@ simulate(const SimConfig &cfg, const trace::TraceSet &traces,
     SimStats stats = machine.run();
     // Per-run aggregation at the simulate() boundary: one batch of
     // counter adds per run, zero accounting in the event loop.
-    obs::simRunMillis().observe(watch.elapsedMs());
-    if (obs::metricsEnabled()) {
-        obs::simRuns().inc();
-        obs::simInstructions().add(stats.totalInstructions());
-        obs::simMemRefs().add(stats.totalMemRefs());
-        obs::simMissCompulsory().add(
-            stats.totalMissCount(MissKind::Compulsory));
-        obs::simMissIntraConflict().add(
-            stats.totalMissCount(MissKind::IntraConflict));
-        obs::simMissInterConflict().add(
-            stats.totalMissCount(MissKind::InterConflict));
-        obs::simMissInvalidation().add(
-            stats.totalMissCount(MissKind::Invalidation));
-        obs::simInvalidationsSent().add(
-            stats.totalInvalidationsSent());
-        obs::simUpgrades().add(stats.totalUpgrades());
-        obs::simDirEntries().set(
-            static_cast<double>(machine.directoryEntries()));
-        obs::simHistoryEntries().set(
-            static_cast<double>(machine.historyEntries()));
-    }
+    recordRunMetrics(stats, machine, watch.elapsedMs());
     return stats;
 }
 

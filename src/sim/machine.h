@@ -36,6 +36,7 @@
 #include "sim/invariant_checker.h"
 #include "sim/results.h"
 #include "sim/sharing_monitor.h"
+#include "trace/chunk_source.h"
 #include "trace/trace_set.h"
 #include "util/error.h"
 
@@ -54,6 +55,17 @@ class Machine
      *                  match @p cfg
      */
     Machine(const SimConfig &cfg, const trace::TraceSet &traces,
+            const placement::PlacementMap &placement);
+
+    /**
+     * Streaming variant: consume a trace::TraceSource (chunked feeds)
+     * instead of a materialized TraceSet. Identical simulation — the
+     * cursor re-merges chunk boundaries, so the event sequence is the
+     * one the equivalent TraceSet would produce — with trace memory
+     * bounded by the source's chunk windows. @p source must outlive
+     * the machine.
+     */
+    Machine(const SimConfig &cfg, trace::TraceSource &source,
             const placement::PlacementMap &placement);
 
     /**
@@ -76,6 +88,38 @@ class Machine
 
     /** Run the simulation to completion and return the statistics. */
     SimStats run();
+
+    /**
+     * Advance the simulation by at most @p maxChains event chains
+     * (outer-loop scheduler picks; 0 = unbounded). Returns true once
+     * the event queue has drained. All scheduling state lives in
+     * members between chains, so pausing here is invisible to the
+     * simulation: any advance()/finish() slicing produces results
+     * bit-identical to a single run(). Drives lockstep batching
+     * (sim::BatchMachine).
+     */
+    bool advance(uint64_t maxChains);
+
+    /**
+     * Finalize after advance() returned true: end-of-run validation
+     * plus the stats that only exist at completion. run() is exactly
+     * advance(0) + finish().
+     */
+    SimStats finish();
+
+    /**
+     * Memory references retired so far: the lockstep scheduler's
+     * progress metric (advancing the laggard first keeps the shared
+     * chunk windows small).
+     */
+    uint64_t
+    memRefsSoFar() const
+    {
+        uint64_t sum = 0;
+        for (const ProcessorStats &ps : stats_.procs)
+            sum += ps.memRefs;
+        return sum;
+    }
 
     /** Blocks in the directory table (for the sim.dir_entries gauge). */
     size_t directoryEntries() const { return directory_.entryCount(); }
@@ -186,8 +230,18 @@ class Machine
         }
     }
 
+    /** Shared tail of both constructors (members above already set). */
+    void construct(const placement::PlacementMap &placement);
+
+    /** Thread count from whichever trace source is bound. */
+    uint32_t threadCountOf() const;
+
+    /** Barrier count of thread @p tid from the bound source. */
+    uint64_t barrierCountOf(uint32_t tid) const;
+
     SimConfig cfg_;
-    const trace::TraceSet &traces_;
+    const trace::TraceSet *traces_ = nullptr;  //!< materialized mode
+    trace::TraceSource *source_ = nullptr;     //!< streaming mode
     unsigned blockShift_;
 
     std::vector<Proc> procs_;
@@ -205,7 +259,9 @@ class Machine
     std::optional<SharingMonitor> monitor_;
     AccessObserver accessObserver_;
     SimStats stats_;
-    bool ran_ = false;
+    bool started_ = false;   //!< first advance()/run() happened
+    bool complete_ = false;  //!< event queue drained
+    bool finished_ = false;  //!< finish() consumed the stats
 
     // Paranoid mode (SimConfig::paranoidEvery > 0): the checker and a
     // countdown of references until the next check. When disabled the
@@ -233,6 +289,14 @@ class Machine
 /** Convenience wrapper: construct a Machine and run it. */
 SimStats simulate(const SimConfig &cfg, const trace::TraceSet &traces,
                   const placement::PlacementMap &placement);
+
+/**
+ * Record the per-run obs metrics for a completed simulation (one
+ * batch of counter adds per run, zero accounting in the event loop).
+ * Shared by simulate() and the batched engine's per-lane accounting.
+ */
+void recordRunMetrics(const SimStats &stats, const Machine &machine,
+                      double wallMillis);
 
 } // namespace tsp::sim
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "sim/config.h"
 #include "stats/summary.h"
 
 namespace tsp::sim {
@@ -94,6 +95,9 @@ class SharingMonitor
   private:
     struct BlockState
     {
+        static_assert(kMaxProcessors <= 2 * 64,
+                      "toucher masks are narrower than the processor "
+                      "cap; widen them with kMaxProcessors");
         std::array<uint64_t, 2> threads{};  //!< toucher bitmask (128)
         uint32_t runThread = 0;   //!< thread of the current run
         uint64_t runLength = 0;   //!< accesses in the current run

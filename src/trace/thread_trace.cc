@@ -62,4 +62,20 @@ ThreadTrace::append(TraceEvent e)
 }
 
 
+void
+TraceCursor::refill()
+{
+    const TraceEvent *begin = nullptr;
+    const TraceEvent *end = nullptr;
+    while (feed_->next(&begin, &end)) {
+        if (begin != end) {
+            pos_ = begin;
+            end_ = end;
+            return;
+        }
+    }
+    feed_ = nullptr;
+    pos_ = end_ = nullptr;
+}
+
 } // namespace tsp::trace

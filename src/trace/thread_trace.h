@@ -73,6 +73,43 @@ class ThreadTrace
     /** Reserve space for @p n events. */
     void reserve(size_t n) { events_.reserve(n); }
 
+    /**
+     * Release the append-path slack: generation reserves from length
+     * estimates, so finished traces can carry sizeable unused capacity.
+     * Called once per thread at the end of generateTraces; the saving
+     * is visible in the trace.resident_bytes gauge
+     * (docs/performance.md).
+     */
+    void shrinkToFit() { events_.shrink_to_fit(); }
+
+    /** Bytes resident in the event storage (capacity, not size). */
+    size_t
+    residentBytes() const
+    {
+        return events_.capacity() * sizeof(TraceEvent);
+    }
+
+    /**
+     * Move the buffered events onto the end of @p out and clear the
+     * buffer, keeping the cached counters (they describe everything
+     * appended so far, drained or not — the streaming composer's
+     * budget arithmetic depends on that). Returns the events moved.
+     *
+     * A later appendWork cannot merge into a drained work run, so a
+     * drained stream may split work runs differently from a
+     * materialized trace of the same emission sequence. TraceCursor
+     * re-accumulates split work runs, so consumers see the identical
+     * chunk sequence either way (tests/trace_chunk_test.cc pins this).
+     */
+    size_t
+    drainEventsTo(std::vector<TraceEvent> &out)
+    {
+        size_t n = events_.size();
+        out.insert(out.end(), events_.begin(), events_.end());
+        events_.clear();
+        return n;
+    }
+
     bool operator==(const ThreadTrace &o) const
     {
         return id_ == o.id_ && events_ == o.events_;
@@ -88,8 +125,33 @@ class ThreadTrace
 };
 
 /**
+ * Pull interface feeding a TraceCursor in chunked (streaming) mode:
+ * successive bounded spans of one thread's events, produced on demand.
+ * Each span stays valid until the following next() call on the same
+ * feed. Returning false means end-of-trace; empty spans are allowed
+ * (the cursor skips them) and a feed may be polled again after EOF.
+ */
+class ChunkFeed
+{
+  public:
+    virtual ~ChunkFeed() = default;
+
+    /** Next span; false at end of trace (outputs untouched). */
+    virtual bool next(const TraceEvent **begin,
+                      const TraceEvent **end) = 0;
+};
+
+/**
  * Sequential consumer of a ThreadTrace for the simulator: yields chunks
  * of (work-run, optional following data reference).
+ *
+ * Two modes share one implementation:
+ *  - scalar: raw pointers over a materialized ThreadTrace (the hot
+ *    path — the feed branch is never taken);
+ *  - chunked: the same pointers walk bounded spans pulled from a
+ *    ChunkFeed, refilled eagerly so done() stays an exact pointer
+ *    compare and a work run split across a span boundary re-merges
+ *    into one chunk (bit-identical consumption either way).
  */
 class TraceCursor
 {
@@ -118,14 +180,29 @@ class TraceCursor
     {
     }
 
-    /** True when the whole trace has been consumed. */
+    /**
+     * Bind to @p feed (chunked mode), which must outlive the cursor.
+     * Primes the first span eagerly, so done() is meaningful
+     * immediately.
+     */
+    explicit TraceCursor(ChunkFeed &feed) : feed_(&feed) { refill(); }
+
+    /**
+     * True when the whole trace has been consumed. Exact in both
+     * modes: chunked refills happen eagerly whenever consumption
+     * empties the current span, so the span is non-empty until true
+     * end-of-trace.
+     */
     bool done() const { return pos_ == end_; }
 
     /**
      * Consume and return the next chunk: all leading work plus the next
      * data reference if one follows. A trailing chunk may have no ref.
      * Inline, over raw event pointers: this is the simulator's
-     * per-reference fetch path (docs/performance.md).
+     * per-reference fetch path (docs/performance.md). In chunked mode
+     * a work run split across a span boundary keeps accumulating into
+     * the same chunk, so consumers cannot observe where the producer
+     * cut its spans.
      */
     Chunk
     next()
@@ -136,6 +213,8 @@ class TraceCursor
             ++pos_;
             if (e.kind() == EventKind::Work) {
                 chunk.work += e.instructions();
+                if (pos_ == end_ && feed_ != nullptr)
+                    refill();  // the run may continue in the next span
             } else if (e.kind() == EventKind::Barrier) {
                 chunk.isBarrier = true;
                 chunk.addr = e.barrierIndex();
@@ -147,12 +226,22 @@ class TraceCursor
                 break;
             }
         }
+        if (pos_ == end_ && feed_ != nullptr)
+            refill();  // keep done() exact after a terminating ref
         return chunk;
     }
 
   private:
-    const TraceEvent *pos_;
-    const TraceEvent *end_;
+    /**
+     * Pull spans from the feed until one is non-empty; at end-of-trace
+     * drop the feed so done() stays a plain pointer compare and EOF is
+     * never re-polled.
+     */
+    void refill();
+
+    const TraceEvent *pos_ = nullptr;
+    const TraceEvent *end_ = nullptr;
+    ChunkFeed *feed_ = nullptr;
 };
 
 } // namespace tsp::trace

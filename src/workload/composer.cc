@@ -88,21 +88,29 @@ TraceComposer::barrier()
     trace_.appendBarrier();
 }
 
+bool
+TraceComposer::padStep()
+{
+    // Consume the remaining budget with private references at the
+    // usual data-reference density, then one final pure-work run.
+    if (remaining() == 0)
+        return false;
+    double refsLeft = static_cast<double>(remaining()) *
+                      params_.dataRefFrac;
+    if (refsLeft >= 1.0) {
+        privateRef();
+        return true;
+    }
+    trace_.appendWork(remaining());
+    return false;
+}
+
 trace::ThreadTrace
 TraceComposer::finish()
 {
-    // Consume the remaining budget with private references at the
-    // usual data-reference density, then pure work.
-    while (remaining() > 0) {
-        double refsLeft = static_cast<double>(remaining()) *
-                          params_.dataRefFrac;
-        if (refsLeft < 1.0)
-            break;
-        privateRef();
+    while (padStep()) {
     }
-    if (remaining() > 0)
-        trace_.appendWork(remaining());
-    return std::move(trace_);
+    return takeTrace();
 }
 
 } // namespace tsp::workload

@@ -69,9 +69,31 @@ class TraceComposer
     /**
      * Pad with private references and work to exactly the target
      * length and return the finished trace. The composer must not be
-     * used afterwards.
+     * used afterwards. Exactly: while (padStep()) {} + takeTrace().
      */
     trace::ThreadTrace finish();
+
+    /**
+     * One step of the finish() padding: emit one private reference at
+     * the usual data-reference density, or the final pure-work run.
+     * Returns false once padding is complete (idempotent thereafter).
+     * Streaming emission interleaves these with drains.
+     */
+    bool padStep();
+
+    /**
+     * Move buffered events to @p out, keeping the composer's budget
+     * counters intact (they live in the ThreadTrace's count caches,
+     * which draining preserves — see ThreadTrace::drainEventsTo).
+     */
+    size_t
+    drainEventsTo(std::vector<trace::TraceEvent> &out)
+    {
+        return trace_.drainEventsTo(out);
+    }
+
+    /** Take the (possibly drained) trace after padding completed. */
+    trace::ThreadTrace takeTrace() { return std::move(trace_); }
 
   private:
     /** Emit one private reference with pool locality. */

@@ -3,19 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metric_defs.h"
 #include "trace/address_space.h"
 #include "util/bits.h"
 #include "util/error.h"
-#include "workload/composer.h"
+#include "workload/stream.h"
 
 namespace tsp::workload {
 
 using trace::AddressSpace;
 
 namespace {
-
-/** Sweep window in words (8 blocks of 32 B at 4 B words). */
-constexpr uint64_t kWindowWords = 64;
 
 /** Validate profile invariants shared by all entry points. */
 void
@@ -182,299 +180,6 @@ sampleThreadLengths(const AppProfile &p, uint32_t scale)
     return lengths;
 }
 
-namespace {
-
-/**
- * Per-thread emission machinery for one generated application.
- */
-class ThreadEmitter
-{
-  public:
-    ThreadEmitter(const AppProfile &p, const SharedLayout &layout,
-                  uint32_t tid, uint64_t length, util::Rng rng)
-        : p_(p), layout_(layout), tid_(tid), rng_(rng),
-          composer_(tid, makeParams(p, tid, length, layout), rng.fork())
-    {
-        sharedBudget_ = static_cast<uint64_t>(
-            static_cast<double>(length) * p.dataRefFrac *
-            p.sharedRefFrac);
-    }
-
-    /** Run all phases and return the finished trace. */
-    trace::ThreadTrace
-    emit()
-    {
-        const uint32_t phases = p_.phases;
-        uint64_t gBudget = component(p_.globalFrac);
-        uint64_t nBudget = component(p_.neighborFrac);
-        uint64_t mBudget = component(p_.mailboxFrac);
-        uint64_t sBudget = component(p_.sliceFrac);
-        for (uint32_t k = 0; k < phases; ++k) {
-            if (alive_) {
-                uint64_t g = phaseShare(gBudget, k, phases);
-                uint64_t n = phaseShare(nBudget, k, phases);
-                uint64_t m = phaseShare(mBudget, k, phases);
-                uint64_t s = phaseShare(sBudget, k, phases);
-                emitSliceReads(s / 3 * 2);
-                emitEdgeSweep(edgeOf(tid_), k, n / 2,
-                              /*lowEnd=*/false);
-                emitGlobalSweep(k, g);
-                emitEdgeSweep(edgeOf(tid_ + 1), k, n - n / 2,
-                              /*lowEnd=*/true);
-                emitMailboxRuns(k, m);
-                emitSliceWrite(s - s / 3 * 2);
-            }
-            // Every thread emits the same barrier sequence regardless
-            // of how much of its budget survived.
-            if (p_.barriers && k + 1 < phases)
-                composer_.barrier();
-        }
-        return composer_.finish();
-    }
-
-  private:
-    static TraceComposer::Params
-    makeParams(const AppProfile &p, uint32_t tid, uint64_t length,
-               const SharedLayout &layout)
-    {
-        (void)layout;
-        double privateRefs = static_cast<double>(length) *
-                             p.dataRefFrac * (1.0 - p.sharedRefFrac);
-        uint64_t poolWords = std::max<uint64_t>(
-            16, static_cast<uint64_t>(privateRefs /
-                                      p.refsPerPrivateAddr));
-        TraceComposer::Params params;
-        params.targetLength = length;
-        params.dataRefFrac = p.dataRefFrac;
-        params.sharedRefFrac = p.sharedRefFrac;
-        params.writeFrac = p.writeFrac;
-        params.privatePoolBase = AddressSpace::privateBase(tid);
-        params.privatePoolWords = poolWords;
-        util::fatalIf(poolWords * AddressSpace::wordBytes >
-                          AddressSpace::privateSpan,
-                      "private pool exceeds the private region");
-        return params;
-    }
-
-    uint64_t
-    component(double frac) const
-    {
-        return static_cast<uint64_t>(static_cast<double>(sharedBudget_) *
-                                     frac);
-    }
-
-    static uint64_t
-    phaseShare(uint64_t total, uint32_t k, uint32_t phases)
-    {
-        uint64_t base = total / phases;
-        return k + 1 == phases ? total - base * (phases - 1) : base;
-    }
-
-    uint32_t edgeOf(uint32_t i) const { return i % p_.threads; }
-
-    /** Emit one shared reference; tracks composer exhaustion. */
-    void
-    ref(uint64_t addr, bool isWrite)
-    {
-        if (alive_)
-            alive_ = composer_.sharedRef(addr, isWrite);
-    }
-
-    /**
-     * Windowed multi-pass sweep: the core sequential-sharing motif.
-     * Emits exactly @p budget references over [0, words) of @p addrFn,
-     * window by window, several passes per window.
-     */
-    template <typename AddrFn, typename WriteFn>
-    void
-    sweep(uint64_t words, uint64_t budget, AddrFn addrFn,
-          WriteFn writeFn)
-    {
-        if (words == 0 || budget == 0)
-            return;
-        uint64_t passes = std::max<uint64_t>(
-            1, static_cast<uint64_t>(
-                   std::llround(static_cast<double>(budget) /
-                                static_cast<double>(words))));
-        uint64_t emitted = 0;
-        while (emitted < budget && alive_) {
-            for (uint64_t w0 = 0; w0 < words && emitted < budget;
-                 w0 += kWindowWords) {
-                uint64_t hi = std::min(words, w0 + kWindowWords);
-                for (uint64_t pass = 0;
-                     pass < passes && emitted < budget; ++pass) {
-                    for (uint64_t w = w0; w < hi && emitted < budget;
-                         ++w) {
-                        ref(addrFn(w), writeFn(pass, w));
-                        ++emitted;
-                        if (!alive_)
-                            return;
-                    }
-                }
-            }
-        }
-    }
-
-    void
-    emitGlobalSweep(uint32_t phase, uint64_t budget)
-    {
-        if (layout_.globalWords == 0 || budget == 0)
-            return;
-        const uint32_t sections = p_.phases;
-        uint64_t sectionWords = std::max<uint64_t>(
-            1, layout_.globalWords / sections);
-        uint32_t section = (tid_ + phase) % sections;
-        uint64_t base = static_cast<uint64_t>(section) * sectionWords;
-        uint64_t words = section + 1 == sections
-            ? layout_.globalWords - base
-            : sectionWords;
-
-        auto addrFn = [&](uint64_t w) {
-            return layout_.globalAddr(base + w);
-        };
-
-        // Writes are clustered into a single once-per-phase burst on
-        // a slice that exactly one co-resident thread owns in any
-        // phase, so shared words see one ownership transfer per phase
-        // rather than per-access ping-pong. In Migratory mode the
-        // owned slice rotates among the group (migrating write runs,
-        // FFT-style); in OwnerWrites mode it is fixed (Gauss-style
-        // own-rows updates).
-        uint64_t burstLo = 0, burstWords = 0;
-        if (p_.globalWriteMode != GlobalWriteMode::ReadShare &&
-            p_.globalWrittenFrac > 0.0) {
-            uint32_t slices, sliceIdx;
-            if (p_.globalWriteMode == GlobalWriteMode::Migratory) {
-                // Ownership rotates among the threads co-resident in
-                // this section (rank = tid / sections), so the data
-                // migrates between writers across phases.
-                slices = static_cast<uint32_t>(
-                    util::divCeil(p_.threads, sections));
-                sliceIdx = (tid_ / sections + phase) % slices;
-            } else {
-                // OwnerWrites: each thread owns a fixed slice of
-                // every section — one writer per address for the
-                // whole run (Gauss updates only its own rows).
-                slices = p_.threads;
-                sliceIdx = tid_;
-            }
-            uint64_t slice = std::max<uint64_t>(1, words / slices);
-            burstLo = std::min<uint64_t>(words - 1,
-                                         sliceIdx * slice);
-            uint64_t hi = std::min<uint64_t>(words, burstLo + slice);
-            burstWords = std::max<uint64_t>(
-                1, static_cast<uint64_t>(
-                       static_cast<double>(hi - burstLo) *
-                       p_.globalWrittenFrac));
-            burstWords = std::min(burstWords, hi - burstLo);
-            burstWords = std::min(burstWords, budget / 2);
-        }
-
-        sweep(words, budget - burstWords, addrFn,
-              [](uint64_t, uint64_t) { return false; });
-        for (uint64_t w = 0; w < burstWords && alive_; ++w)
-            ref(addrFn(burstLo + w), true);
-    }
-
-    void
-    emitEdgeSweep(uint32_t edge, uint32_t phase, uint64_t budget,
-                  bool lowEnd)
-    {
-        if (layout_.edgeWords == 0 || budget == 0)
-            return;
-        const uint64_t words = layout_.edgeWords;
-        auto addrFn = [&](uint64_t w) {
-            return layout_.edgeAddr(edge, w);
-        };
-
-        // Both endpoints read the whole pool; each phase every word
-        // is write-burst by exactly one endpoint, alternating per
-        // phase so the data migrates back and forth across the edge.
-        uint64_t half = std::max<uint64_t>(1, words / 2);
-        uint64_t burstLo = (lowEnd ^ (phase & 1u)) ? 0 : half;
-        uint64_t burstHi = burstLo == 0 ? half : words;
-        uint64_t burstWords = std::max<uint64_t>(
-            1, static_cast<uint64_t>(
-                   static_cast<double>(burstHi - burstLo) *
-                   p_.globalWrittenFrac));
-        burstWords = std::min(burstWords, burstHi - burstLo);
-        burstWords = std::min(burstWords, budget / 2);
-
-        sweep(words, budget - burstWords, addrFn,
-              [](uint64_t, uint64_t) { return false; });
-        for (uint64_t w = 0; w < burstWords && alive_; ++w)
-            ref(addrFn(burstLo + w), true);
-    }
-
-    void
-    emitMailboxRuns(uint32_t phase, uint64_t budget)
-    {
-        if (layout_.mailboxWords == 0 || budget == 0 || p_.threads < 2)
-            return;
-        // Rotating partner schedule: in phase k, thread i writes a
-        // message for thread i+k+1 and reads the message thread
-        // i-k-1 wrote for it. Writer and reader of every used mailbox
-        // therefore both touch it (in the same phase), and the
-        // pairing sweeps the whole ring over the phases — the
-        // random-communication structure of Fullconn with
-        // deterministic, analyzable sharing.
-        uint32_t hop = 1 + phase % (p_.threads - 1);
-        uint32_t to = (tid_ + hop) % p_.threads;
-        uint32_t from = (tid_ + p_.threads - hop) % p_.threads;
-
-        uint64_t half = budget / 2;
-        auto writeAddr = [&](uint64_t w) {
-            return layout_.mailboxAddr(tid_, to,
-                                       w % layout_.mailboxWords);
-        };
-        sweep(layout_.mailboxWords, half, writeAddr,
-              [](uint64_t, uint64_t) { return true; });
-
-        auto readAddr = [&](uint64_t w) {
-            return layout_.mailboxAddr(from, tid_,
-                                       w % layout_.mailboxWords);
-        };
-        sweep(layout_.mailboxWords, budget - half, readAddr,
-              [](uint64_t, uint64_t) { return false; });
-    }
-
-    void
-    emitSliceReads(uint64_t budget)
-    {
-        if (layout_.sliceWords == 0 || budget == 0 || p_.threads < 2)
-            return;
-        uint32_t left = (tid_ + p_.threads - 1) % p_.threads;
-        uint32_t right = (tid_ + 1) % p_.threads;
-        uint64_t half = budget / 2;
-        sweep(layout_.sliceWords, half,
-              [&](uint64_t w) { return layout_.sliceAddr(left, w); },
-              [](uint64_t, uint64_t) { return false; });
-        sweep(layout_.sliceWords, budget - half,
-              [&](uint64_t w) { return layout_.sliceAddr(right, w); },
-              [](uint64_t, uint64_t) { return false; });
-    }
-
-    void
-    emitSliceWrite(uint64_t budget)
-    {
-        if (layout_.sliceWords == 0 || budget == 0)
-            return;
-        sweep(layout_.sliceWords, budget,
-              [&](uint64_t w) { return layout_.sliceAddr(tid_, w); },
-              [](uint64_t, uint64_t) { return true; });
-    }
-
-    const AppProfile &p_;
-    const SharedLayout &layout_;
-    uint32_t tid_;
-    util::Rng rng_;
-    TraceComposer composer_;
-    uint64_t sharedBudget_ = 0;
-    bool alive_ = true;
-};
-
-} // namespace
-
 trace::TraceSet
 generateTraces(const AppProfile &p, uint32_t scale)
 {
@@ -484,11 +189,18 @@ generateTraces(const AppProfile &p, uint32_t scale)
 
     util::Rng appRng(p.seed * 0xD1B54A32D192ED03ull + 7);
     trace::TraceSet set(p.name);
+    size_t resident = 0;
     for (uint32_t tid = 0; tid < p.threads; ++tid) {
-        ThreadEmitter emitter(p, layout, tid, lengths[tid],
-                              appRng.fork());
-        set.addThread(emitter.emit());
+        ThreadStream stream(p, layout, tid, lengths[tid],
+                            appRng.fork());
+        trace::ThreadTrace tt = stream.emitAll();
+        // Drop the growth slack left by the append path; the traces
+        // stay resident for the whole experiment run.
+        tt.shrinkToFit();
+        resident += tt.residentBytes();
+        set.addThread(std::move(tt));
     }
+    obs::traceResidentBytes().set(static_cast<int64_t>(resident));
     return set;
 }
 

@@ -1,0 +1,351 @@
+#include "workload/stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/address_space.h"
+#include "util/bits.h"
+#include "util/error.h"
+
+namespace tsp::workload {
+
+using trace::AddressSpace;
+
+namespace {
+
+/** Sweep window in words (8 blocks of 32 B at 4 B words). */
+constexpr uint64_t kWindowWords = 64;
+
+/** Composer ratio/pool parameters for one thread (see generator.h). */
+TraceComposer::Params
+composerParams(const AppProfile &p, uint32_t tid, uint64_t length)
+{
+    double privateRefs = static_cast<double>(length) * p.dataRefFrac *
+                         (1.0 - p.sharedRefFrac);
+    uint64_t poolWords = std::max<uint64_t>(
+        16,
+        static_cast<uint64_t>(privateRefs / p.refsPerPrivateAddr));
+    TraceComposer::Params params;
+    params.targetLength = length;
+    params.dataRefFrac = p.dataRefFrac;
+    params.sharedRefFrac = p.sharedRefFrac;
+    params.writeFrac = p.writeFrac;
+    params.privatePoolBase = AddressSpace::privateBase(tid);
+    params.privatePoolWords = poolWords;
+    util::fatalIf(poolWords * AddressSpace::wordBytes >
+                      AddressSpace::privateSpan,
+                  "private pool exceeds the private region");
+    return params;
+}
+
+} // namespace
+
+ThreadStream::ThreadStream(const AppProfile &p,
+                           const SharedLayout &layout, uint32_t tid,
+                           uint64_t length, util::Rng rng)
+    : p_(p), layout_(layout), tid_(tid),
+      composer_(tid, composerParams(p, tid, length), rng.fork())
+{
+    sharedBudget_ = static_cast<uint64_t>(
+        static_cast<double>(length) * p.dataRefFrac * p.sharedRefFrac);
+    auto component = [&](double frac) {
+        return static_cast<uint64_t>(
+            static_cast<double>(sharedBudget_) * frac);
+    };
+    gBudget_ = component(p.globalFrac);
+    nBudget_ = component(p.neighborFrac);
+    mBudget_ = component(p.mailboxFrac);
+    sBudget_ = component(p.sliceFrac);
+    startPhase();
+}
+
+void
+ThreadStream::SweepExec::reset(const SweepOp &op)
+{
+    passes = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::llround(static_cast<double>(op.budget) /
+                            static_cast<double>(op.words))));
+    emitted = 0;
+    w0 = 0;
+    pass = 0;
+    w = 0;
+    hi = std::min(op.words, kWindowWords);
+}
+
+void
+ThreadStream::SweepExec::advance(const SweepOp &op)
+{
+    ++emitted;
+    ++w;
+    if (w < hi)
+        return;
+    ++pass;
+    if (pass < passes) {
+        w = w0;
+        return;
+    }
+    pass = 0;
+    w0 += kWindowWords;
+    if (w0 >= op.words)
+        w0 = 0;  // full traversal done; restart while budget remains
+    hi = std::min(op.words, w0 + kWindowWords);
+    w = w0;
+}
+
+void
+ThreadStream::startPhase()
+{
+    ops_.clear();
+    opIdx_ = 0;
+    execActive_ = false;
+    const uint32_t k = phase_;
+    uint64_t g = phaseShare(gBudget_, k);
+    uint64_t n = phaseShare(nBudget_, k);
+    uint64_t m = phaseShare(mBudget_, k);
+    uint64_t s = phaseShare(sBudget_, k);
+    compileSliceReads(s / 3 * 2);
+    compileEdgeSweep(edgeOf(tid_), k, n / 2, /*lowEnd=*/false);
+    compileGlobalSweep(k, g);
+    compileEdgeSweep(edgeOf(tid_ + 1), k, n - n / 2, /*lowEnd=*/true);
+    compileMailboxRuns(k, m);
+    compileSliceWrite(s - s / 3 * 2);
+}
+
+void
+ThreadStream::compileSliceReads(uint64_t budget)
+{
+    if (layout_.sliceWords == 0 || budget == 0 || p_.threads < 2)
+        return;
+    uint32_t left = (tid_ + p_.threads - 1) % p_.threads;
+    uint32_t right = (tid_ + 1) % p_.threads;
+    uint64_t half = budget / 2;
+    ops_.push_back({layout_.slicesBase + left * layout_.sliceStride,
+                    layout_.sliceWords, half, false});
+    ops_.push_back({layout_.slicesBase + right * layout_.sliceStride,
+                    layout_.sliceWords, budget - half, false});
+}
+
+void
+ThreadStream::compileEdgeSweep(uint32_t edge, uint32_t phase,
+                               uint64_t budget, bool lowEnd)
+{
+    if (layout_.edgeWords == 0 || budget == 0)
+        return;
+    const uint64_t words = layout_.edgeWords;
+    uint64_t half = std::max<uint64_t>(1, words / 2);
+    uint64_t burstLo = (lowEnd ^ (phase & 1u)) ? 0 : half;
+    uint64_t burstHi = burstLo == 0 ? half : words;
+    uint64_t burstWords = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(burstHi - burstLo) *
+               p_.globalWrittenFrac));
+    burstWords = std::min(burstWords, burstHi - burstLo);
+    burstWords = std::min(burstWords, budget / 2);
+    uint64_t base = layout_.edgesBase + edge * layout_.edgeStride;
+    ops_.push_back({base, words, budget - burstWords, false});
+    ops_.push_back({base + burstLo, burstWords, burstWords, true});
+}
+
+void
+ThreadStream::compileGlobalSweep(uint32_t phase, uint64_t budget)
+{
+    if (layout_.globalWords == 0 || budget == 0)
+        return;
+    const uint32_t sections = p_.phases;
+    uint64_t sectionWords =
+        std::max<uint64_t>(1, layout_.globalWords / sections);
+    uint32_t section = (tid_ + phase) % sections;
+    uint64_t base = static_cast<uint64_t>(section) * sectionWords;
+    uint64_t words = section + 1 == sections
+        ? layout_.globalWords - base
+        : sectionWords;
+
+    uint64_t burstLo = 0, burstWords = 0;
+    if (p_.globalWriteMode != GlobalWriteMode::ReadShare &&
+        p_.globalWrittenFrac > 0.0) {
+        uint32_t slices, sliceIdx;
+        if (p_.globalWriteMode == GlobalWriteMode::Migratory) {
+            slices = static_cast<uint32_t>(
+                util::divCeil(p_.threads, sections));
+            sliceIdx = (tid_ / sections + phase) % slices;
+        } else {
+            slices = p_.threads;
+            sliceIdx = tid_;
+        }
+        uint64_t slice = std::max<uint64_t>(1, words / slices);
+        burstLo = std::min<uint64_t>(words - 1, sliceIdx * slice);
+        uint64_t hi = std::min<uint64_t>(words, burstLo + slice);
+        burstWords = std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   static_cast<double>(hi - burstLo) *
+                   p_.globalWrittenFrac));
+        burstWords = std::min(burstWords, hi - burstLo);
+        burstWords = std::min(burstWords, budget / 2);
+    }
+
+    ops_.push_back({layout_.globalBase + base, words,
+                    budget - burstWords, false});
+    ops_.push_back({layout_.globalBase + base + burstLo, burstWords,
+                    burstWords, true});
+}
+
+void
+ThreadStream::compileMailboxRuns(uint32_t phase, uint64_t budget)
+{
+    if (layout_.mailboxWords == 0 || budget == 0 || p_.threads < 2)
+        return;
+    uint32_t hop = 1 + phase % (p_.threads - 1);
+    uint32_t to = (tid_ + hop) % p_.threads;
+    uint32_t from = (tid_ + p_.threads - hop) % p_.threads;
+    uint64_t half = budget / 2;
+    uint64_t writeBase = layout_.mailboxBase +
+        (static_cast<uint64_t>(tid_) * p_.threads + to) *
+            layout_.mailboxStride;
+    uint64_t readBase = layout_.mailboxBase +
+        (static_cast<uint64_t>(from) * p_.threads + tid_) *
+            layout_.mailboxStride;
+    // The eager path's `w % mailboxWords` wrap never fires: sweep
+    // indices stay below the word count, so the mapping is affine.
+    ops_.push_back({writeBase, layout_.mailboxWords, half, true});
+    ops_.push_back(
+        {readBase, layout_.mailboxWords, budget - half, false});
+}
+
+void
+ThreadStream::compileSliceWrite(uint64_t budget)
+{
+    if (layout_.sliceWords == 0 || budget == 0)
+        return;
+    ops_.push_back({layout_.slicesBase + tid_ * layout_.sliceStride,
+                    layout_.sliceWords, budget, true});
+}
+
+bool
+ThreadStream::stepOnce()
+{
+    switch (stage_) {
+      case Stage::Done:
+        return false;
+      case Stage::Padding:
+        if (composer_.padStep())
+            return true;
+        stage_ = Stage::Done;
+        return false;
+      case Stage::Ops:
+        break;
+    }
+    for (;;) {
+        if (opIdx_ == ops_.size()) {
+            // Phase complete. Every thread emits the same barrier
+            // sequence regardless of how much budget survived.
+            if (phase_ + 1 < p_.phases) {
+                ++phase_;
+                startPhase();
+                if (p_.barriers) {
+                    composer_.barrier();
+                    return true;
+                }
+                continue;
+            }
+            stage_ = Stage::Padding;
+            if (composer_.padStep())
+                return true;
+            stage_ = Stage::Done;
+            return false;
+        }
+        if (!alive_) {
+            // Budget exhausted: the remaining ops cannot emit (the
+            // eager sweeps would fall straight through too).
+            opIdx_ = ops_.size();
+            continue;
+        }
+        const SweepOp &op = ops_[opIdx_];
+        if (!execActive_) {
+            if (op.words == 0 || op.budget == 0) {
+                ++opIdx_;
+                continue;
+            }
+            exec_.reset(op);
+            execActive_ = true;
+        }
+        alive_ = composer_.sharedRef(
+            AddressSpace::sharedWord(op.wordBase + exec_.w), op.write);
+        exec_.advance(op);
+        if (!alive_ || exec_.done(op)) {
+            execActive_ = false;
+            ++opIdx_;
+        }
+        return true;
+    }
+}
+
+trace::ThreadTrace
+ThreadStream::emitAll()
+{
+    while (stepOnce()) {
+    }
+    return composer_.takeTrace();
+}
+
+namespace {
+
+/** ChunkProducer running a ThreadStream in bounded batches. */
+class ThreadStreamProducer : public trace::ChunkProducer
+{
+  public:
+    ThreadStreamProducer(const AppProfile &p, const SharedLayout &layout,
+                         uint32_t tid, uint64_t length, util::Rng rng,
+                         uint64_t steps)
+        : stream_(p, layout, tid, length, rng), steps_(steps)
+    {
+    }
+
+    bool
+    produce(std::vector<trace::TraceEvent> &out) override
+    {
+        if (done_)
+            return false;
+        size_t before = out.size();
+        for (uint64_t i = 0; i < steps_; ++i) {
+            if (!stream_.stepOnce()) {
+                done_ = true;
+                break;
+            }
+        }
+        stream_.drainTo(out);
+        return out.size() > before || !done_;
+    }
+
+  private:
+    ThreadStream stream_;
+    uint64_t steps_;
+    bool done_ = false;
+};
+
+} // namespace
+
+AppStreamFactory::AppStreamFactory(const AppProfile &p, uint32_t scale,
+                                   uint64_t stepsPerBatch)
+    : p_(p), stepsPerBatch_(stepsPerBatch),
+      layout_(computeLayout(p, scale)),
+      lengths_(sampleThreadLengths(p, scale))
+{
+    util::fatalIf(stepsPerBatch == 0, "stepsPerBatch must be >= 1");
+    // Fork the per-thread RNG streams in thread-id order, exactly as
+    // generateTraces does, so streamed and materialized traces agree.
+    util::Rng appRng(p_.seed * 0xD1B54A32D192ED03ull + 7);
+    rngs_.reserve(p_.threads);
+    for (uint32_t tid = 0; tid < p_.threads; ++tid)
+        rngs_.push_back(appRng.fork());
+}
+
+std::unique_ptr<trace::ChunkProducer>
+AppStreamFactory::openProducer(trace::ThreadId tid)
+{
+    util::fatalIf(tid >= p_.threads, "thread id out of range");
+    return std::make_unique<ThreadStreamProducer>(
+        p_, layout_, tid, lengths_[tid], rngs_[tid], stepsPerBatch_);
+}
+
+} // namespace tsp::workload

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Streaming workload generation: the generator's per-thread emission,
+ * reformulated as a resumable op program so traces can be produced in
+ * bounded chunks (trace::ChunkProducer) instead of materialized whole.
+ *
+ * Every emission step of the phase structure documented in generator.h
+ * reduces to affine windowed sweeps over contiguous word ranges
+ * (SweepOp); compiling a phase is pure arithmetic over the profile,
+ * layout and thread id — no RNG — so the op program can be replayed
+ * deterministically any number of times. The RNG feeds only the
+ * TraceComposer's private-reference interleaving, exactly as in the
+ * eager path.
+ *
+ * There is ONE emission implementation: generateTraces() itself runs
+ * these ThreadStreams to completion, so the streaming chunks and the
+ * materialized traces are the same sequence by construction (the
+ * golden-digest and stream-parity tests pin it).
+ */
+
+#ifndef TSP_WORKLOAD_STREAM_H
+#define TSP_WORKLOAD_STREAM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/chunk_source.h"
+#include "trace/thread_trace.h"
+#include "util/rng.h"
+#include "workload/app_profile.h"
+#include "workload/composer.h"
+#include "workload/generator.h"
+
+namespace tsp::workload {
+
+/**
+ * One compiled emission op: a windowed multi-pass sweep emitting
+ * exactly @p budget shared references over the @p words-word range
+ * starting at shared word index @p wordBase, all reads or all writes.
+ * The once-per-phase write bursts are sweeps too (their budget equals
+ * their word count, so they make a single in-order pass).
+ */
+struct SweepOp
+{
+    uint64_t wordBase = 0;
+    uint64_t words = 0;
+    uint64_t budget = 0;
+    bool write = false;
+};
+
+/**
+ * Resumable emission of one thread's trace. stepOnce() advances by one
+ * micro-step (one shared reference, one barrier, or one padding step);
+ * buffered events can be drained after any step. Used two ways:
+ * emitAll() for the eager generateTraces() path, and wrapped in a
+ * ChunkProducer (AppStreamFactory) for the streaming path.
+ */
+class ThreadStream
+{
+  public:
+    ThreadStream(const AppProfile &p, const SharedLayout &layout,
+                 uint32_t tid, uint64_t length, util::Rng rng);
+
+    /**
+     * One micro-step of emission. Returns false once the trace is
+     * complete (nothing will ever be appended again).
+     */
+    bool stepOnce();
+
+    /** Move buffered events to @p out (chunked work runs re-merge in
+     * the TraceCursor, see ThreadTrace::drainEventsTo). */
+    void
+    drainTo(std::vector<trace::TraceEvent> &out)
+    {
+        composer_.drainEventsTo(out);
+    }
+
+    /** Run to completion and take the whole trace (eager path). */
+    trace::ThreadTrace emitAll();
+
+  private:
+    enum class Stage { Ops, Padding, Done };
+
+    /** Compile phase_'s op list (pure arithmetic, no RNG). */
+    void startPhase();
+
+    void compileSliceReads(uint64_t budget);
+    void compileEdgeSweep(uint32_t edge, uint32_t phase,
+                          uint64_t budget, bool lowEnd);
+    void compileGlobalSweep(uint32_t phase, uint64_t budget);
+    void compileMailboxRuns(uint32_t phase, uint64_t budget);
+    void compileSliceWrite(uint64_t budget);
+
+    uint64_t
+    phaseShare(uint64_t total, uint32_t k) const
+    {
+        uint64_t base = total / p_.phases;
+        return k + 1 == p_.phases ? total - base * (p_.phases - 1)
+                                  : base;
+    }
+
+    uint32_t edgeOf(uint32_t i) const { return i % p_.threads; }
+
+    /**
+     * Cursor into the running op, replicating the windowed multi-pass
+     * loop nest of the eager sweep(): windows of kWindowWords in
+     * order, `passes` passes per window, budget-bounded; the whole
+     * traversal restarts while budget remains.
+     */
+    struct SweepExec
+    {
+        uint64_t passes = 1;
+        uint64_t emitted = 0;
+        uint64_t w0 = 0;
+        uint64_t pass = 0;
+        uint64_t w = 0;
+        uint64_t hi = 0;
+
+        void reset(const SweepOp &op);
+        bool done(const SweepOp &op) const { return emitted >= op.budget; }
+        void advance(const SweepOp &op);
+    };
+
+    AppProfile p_;
+    SharedLayout layout_;
+    uint32_t tid_;
+    TraceComposer composer_;
+    uint64_t sharedBudget_ = 0;
+    uint64_t gBudget_ = 0, nBudget_ = 0, mBudget_ = 0, sBudget_ = 0;
+    bool alive_ = true;
+
+    Stage stage_ = Stage::Ops;
+    uint32_t phase_ = 0;
+    std::vector<SweepOp> ops_;
+    size_t opIdx_ = 0;
+    bool execActive_ = false;
+    SweepExec exec_;
+};
+
+/**
+ * trace::StreamFactory over an AppProfile: openProducer(tid) starts a
+ * fresh deterministic pass of thread tid's emission, in batches of
+ * stepsPerBatch micro-steps. Thread lengths and per-thread RNG streams
+ * are precomputed in tid order at construction, so producers replay
+ * identically no matter how often or in what order they are opened.
+ */
+class AppStreamFactory : public trace::StreamFactory
+{
+  public:
+    AppStreamFactory(const AppProfile &p, uint32_t scale,
+                     uint64_t stepsPerBatch = 1024);
+
+    uint32_t threadCount() const override { return p_.threads; }
+
+    /** Analytic: every thread emits phases-1 barriers when enabled. */
+    uint64_t
+    barrierCount(trace::ThreadId) const override
+    {
+        return p_.barriers ? p_.phases - 1 : 0;
+    }
+
+    std::unique_ptr<trace::ChunkProducer>
+    openProducer(trace::ThreadId tid) override;
+
+    const SharedLayout &layout() const { return layout_; }
+
+  private:
+    AppProfile p_;
+    uint64_t stepsPerBatch_;
+    SharedLayout layout_;
+    std::vector<uint64_t> lengths_;
+    std::vector<util::Rng> rngs_;  //!< per-thread, forked in tid order
+};
+
+} // namespace tsp::workload
+
+#endif // TSP_WORKLOAD_STREAM_H

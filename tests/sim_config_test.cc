@@ -40,7 +40,12 @@ TEST(SimConfig, ValidationCatchesBadParameters)
     SimConfig cfg;
     cfg.processors = 0;
     EXPECT_THROW(cfg.validate(), util::FatalError);
-    cfg.processors = 129;
+    // The directory/monitor sharer masks are sized for exactly
+    // kMaxProcessors; the boundary must validate and one past it
+    // must not.
+    cfg.processors = kMaxProcessors;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.processors = kMaxProcessors + 1;
     EXPECT_THROW(cfg.validate(), util::FatalError);
     cfg = SimConfig{};
     cfg.contexts = 0;

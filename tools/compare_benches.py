@@ -4,6 +4,7 @@
 Usage:
     tools/compare_benches.py BASELINE CURRENT [--threshold PCT]
                              [--advisory] [--out REPORT]
+                             [--require PREFIX ...]
 
 BASELINE is either the repo's BENCH_baseline.json (its top-level
 "benchmarks" table) or a raw Google-Benchmark ``--benchmark_out`` JSON.
@@ -19,6 +20,11 @@ the machine the baseline was recorded on — absolute numbers only
 transfer between identical hosts; see docs/performance.md for the
 methodology (including why noisy-host runs need interleaved A/B
 comparisons rather than this gate).
+
+The comparison silently skips baseline entries absent from CURRENT (a
+partial run is a valid way to gate a subset). --require PREFIX closes
+that hole for benchmarks that must never drop out of a gated run: exit
+status 2 if no compared benchmark name starts with PREFIX (repeatable).
 """
 
 import argparse
@@ -108,6 +114,10 @@ def main():
     ap.add_argument("--advisory", action="store_true",
                     help="report but never fail (cross-machine runs)")
     ap.add_argument("--out", help="also write the report to this file")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="PREFIX",
+                    help="fail unless a compared benchmark name starts "
+                         "with PREFIX (repeatable)")
     args = ap.parse_args()
 
     baseline = load_baseline(args.baseline)
@@ -119,6 +129,14 @@ def main():
         print("error: no overlapping benchmarks between %s and %s"
               % (args.baseline, args.current), file=sys.stderr)
         return 2
+    compared = [name for name, *_ in rows]
+    for prefix in args.require:
+        if not any(name.startswith(prefix) for name in compared):
+            print("error: required benchmark '%s*' missing from the "
+                  "comparison (not in both %s and %s)"
+                  % (prefix, args.baseline, args.current),
+                  file=sys.stderr)
+            return 2
 
     lines = ["%-40s %10s %12s %12s %8s %s"
              % ("benchmark", "metric", "baseline", "current",

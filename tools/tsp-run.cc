@@ -32,6 +32,10 @@
  * options (sweep mode):
  *   --scale N          workload scale divisor
  *   --jobs N           worker threads
+ *   --batch N          lanes per batched lockstep simulation: up to N
+ *                      cells of one application advance together over
+ *                      its shared traces (bit-identical results;
+ *                      overrides TSP_BATCH; 1 = off)
  *   --checkpoint PATH  journal completed cells to PATH; a re-run
  *                      replays the journal and simulates only the
  *                      missing cells (crash-safe resume)
@@ -130,6 +134,8 @@ usage()
         "  --switch N    --scale N      --infinite --profile\n"
         "  --jobs N      --metrics-out PATH  --trace-out PATH\n"
         "  --fault site:nth[+]:kind    --paranoid N\n"
+        "  --batch N     lanes per lockstep simulation batch in sweep\n"
+        "                mode (default $TSP_BATCH, else 1 = off)\n"
         "algorithms: ");
     for (placement::Algorithm alg : placement::allAlgorithms())
         std::fprintf(stderr, "%s ",
@@ -154,6 +160,7 @@ runSweep(int argc, char **argv)
 
     uint32_t scale = workload::defaultScale();
     unsigned jobs = util::ThreadPool::defaultJobs();
+    unsigned batch = experiment::defaultBatchLanes();
     std::string checkpointPath;
     std::string metricsPath;
     std::string tracePath;
@@ -170,6 +177,9 @@ runSweep(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--jobs"))
             jobs = util::parseUnsigned32(next("--jobs"), "--jobs", 0,
                                          4096);
+        else if (!std::strcmp(argv[i], "--batch"))
+            batch = util::parseUnsigned32(next("--batch"), "--batch",
+                                          1, 4096);
         else if (!std::strcmp(argv[i], "--checkpoint"))
             checkpointPath = next("--checkpoint");
         else if (!std::strcmp(argv[i], "--deadline"))
@@ -211,6 +221,7 @@ runSweep(int argc, char **argv)
     std::vector<double> cellMillis;
     experiment::SweepOptions options;
     options.jobs = jobs;
+    options.batch = batch;
     options.checkpoint = checkpoint ? &*checkpoint : nullptr;
     options.failures = &failures;
     options.statsOut = &stats;
