@@ -171,10 +171,23 @@ runScenario(const Options &opt, const std::string &checkpointPath)
     writeFailuresCsv(opt.workDir + "/chaos_failures.csv", failures);
 
     // Streamed lockstep batch (trace.chunk_refill / batch.lane).
-    return fingerprint(jobs, outcomes) +
-           streamedBatchFingerprint(
-               lab, opt,
-               static_cast<uint32_t>(traces.threadCount()));
+    std::string print =
+        fingerprint(jobs, outcomes) +
+        streamedBatchFingerprint(
+            lab, opt, static_cast<uint32_t>(traces.threadCount()));
+
+    // Higher-layer leg (the svc daemon/store sites), when plugged in.
+    if (opt.extension.run)
+        print += opt.extension.run(opt.workDir);
+    return print;
+}
+
+/** Delete the extension leg's on-disk state, if one is plugged in. */
+void
+resetExtension(const Options &opt)
+{
+    if (opt.extension.reset)
+        opt.extension.reset(opt.workDir);
 }
 
 } // namespace
@@ -197,9 +210,11 @@ baselineFingerprint(const Options &options)
 {
     std::string path = options.workDir + "/chaos_baseline.tspc";
     std::remove(path.c_str());
+    resetExtension(options);
     std::string print = runScenario(options, path);
     std::remove(path.c_str());
     std::remove((path + ".tmp").c_str());
+    resetExtension(options);
     return print;
 }
 
@@ -217,8 +232,13 @@ runMatrix(const Options &opt)
             cell.spec = {site.name, 1, false, kind};
 
             // Fresh journal per cell so recovery is attributable.
+            // The extension's state is reset here too, but NOT
+            // between the faulted run and the recovery leg — the
+            // recovery leg resumes over whatever survived, proving
+            // the extension's artifacts are crash-resumable.
             std::remove(checkpointPath.c_str());
             std::remove((checkpointPath + ".tmp").c_str());
+            resetExtension(opt);
 
             uint64_t injectedBefore =
                 fault::Registry::instance().injectedCount();
@@ -264,6 +284,7 @@ runMatrix(const Options &opt)
 
     std::remove(checkpointPath.c_str());
     std::remove((checkpointPath + ".tmp").c_str());
+    resetExtension(opt);
     return matrix;
 }
 

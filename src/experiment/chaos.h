@@ -23,6 +23,7 @@
 #ifndef TSP_EXPERIMENT_CHAOS_H
 #define TSP_EXPERIMENT_CHAOS_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,23 @@
 #include "workload/suite.h"
 
 namespace tsp::experiment::chaos {
+
+/**
+ * A scenario leg plugged in by a layer *above* experiment (svc is the
+ * one user), so its fault sites join the matrix without inverting the
+ * layering. `run` executes the leg in the given work directory and
+ * returns text folded into the scenario fingerprint — it must be
+ * deterministic for fault-free runs over the same surviving on-disk
+ * state. `reset` deletes the leg's on-disk state; the harness calls
+ * it wherever it deletes its own checkpoint (baseline legs and the
+ * start of each cell), and leaves the state alone for the recovery
+ * leg so resumability is exercised.
+ */
+struct ScenarioExtension
+{
+    std::function<std::string(const std::string &workDir)> run;
+    std::function<void(const std::string &workDir)> reset;
+};
 
 /** Knobs of one chaos-matrix run. */
 struct Options
@@ -51,6 +69,9 @@ struct Options
 
     /** Print one line per cell as the matrix runs. */
     bool verbose = false;
+
+    /** Extra scenario leg from a higher layer; empty = none. */
+    ScenarioExtension extension;
 };
 
 /** Verdict of one (site, kind) cell of the matrix. */

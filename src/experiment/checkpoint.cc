@@ -4,10 +4,9 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
-#include <string_view>
-#include <vector>
 
 #include "experiment/parallel.h"
+#include "experiment/run_codec.h"
 #include "fault/fault.h"
 #include "obs/metric_defs.h"
 #include "util/checksum.h"
@@ -23,241 +22,6 @@ constexpr char kMagic[4] = {'T', 'S', 'P', 'C'};
 constexpr uint32_t kVersion = 1;
 constexpr size_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint32_t);
 constexpr size_t kFrameBytes = 2 * sizeof(uint32_t);
-
-// ------------------------------------------- little binary (de)serializer
-
-/** Append-only byte buffer with typed writers. */
-class ByteWriter
-{
-  public:
-    void
-    raw(const void *data, size_t len)
-    {
-        bytes_.append(static_cast<const char *>(data), len);
-    }
-
-    void u8(uint8_t v) { raw(&v, sizeof(v)); }
-    void u32(uint32_t v) { raw(&v, sizeof(v)); }
-    void u64(uint64_t v) { raw(&v, sizeof(v)); }
-    void f64(double v) { raw(&v, sizeof(v)); }
-
-    const std::string &bytes() const { return bytes_; }
-
-  private:
-    std::string bytes_;
-};
-
-/** Bounds-checked reader over a record payload. */
-class ByteReader
-{
-  public:
-    explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
-
-    void
-    raw(void *out, size_t len)
-    {
-        util::fatalIf(len > bytes_.size() - pos_,
-                      "checkpoint record truncated");
-        std::memcpy(out, bytes_.data() + pos_, len);
-        pos_ += len;
-    }
-
-    uint8_t
-    u8()
-    {
-        uint8_t v;
-        raw(&v, sizeof(v));
-        return v;
-    }
-
-    uint32_t
-    u32()
-    {
-        uint32_t v;
-        raw(&v, sizeof(v));
-        return v;
-    }
-
-    uint64_t
-    u64()
-    {
-        uint64_t v;
-        raw(&v, sizeof(v));
-        return v;
-    }
-
-    double
-    f64()
-    {
-        double v;
-        raw(&v, sizeof(v));
-        return v;
-    }
-
-    bool done() const { return pos_ == bytes_.size(); }
-
-  private:
-    std::string_view bytes_;
-    size_t pos_ = 0;
-};
-
-// -------------------------------------------------- RunResult (de)coding
-
-void
-writeSummary(ByteWriter &w, const stats::Summary &s)
-{
-    w.u64(s.count());
-    w.f64(s.mean());
-    w.f64(s.rawM2());
-    w.f64(s.min());
-    w.f64(s.max());
-}
-
-stats::Summary
-readSummary(ByteReader &r)
-{
-    uint64_t count = r.u64();
-    double mean = r.f64();
-    double m2 = r.f64();
-    double min = r.f64();
-    double max = r.f64();
-    return stats::Summary::fromState(count, mean, m2, min, max);
-}
-
-void
-writePairMatrix(ByteWriter &w, const stats::PairMatrix &m)
-{
-    w.u64(m.size());
-    for (size_t i = 0; i < m.size(); ++i)
-        for (size_t j = i + 1; j < m.size(); ++j)
-            w.f64(m.get(i, j));
-}
-
-stats::PairMatrix
-readPairMatrix(ByteReader &r)
-{
-    uint64_t n = r.u64();
-    // 8 bytes per upper-triangle cell must fit in the remaining
-    // payload; ByteReader::raw enforces it cell by cell, so a corrupt
-    // size fails fast instead of allocating.
-    util::fatalIf(n > 4096, "checkpoint pair matrix unreasonably large");
-    stats::PairMatrix m(static_cast<size_t>(n));
-    for (size_t i = 0; i < m.size(); ++i)
-        for (size_t j = i + 1; j < m.size(); ++j) {
-            double v = r.f64();
-            if (v != 0.0)
-                m.set(i, j, v);
-        }
-    return m;
-}
-
-void
-writeResult(ByteWriter &w, const RunResult &result)
-{
-    const auto &assign = result.placement.assignment();
-    w.u32(result.placement.processors());
-    w.u64(assign.size());
-    for (uint32_t proc : assign)
-        w.u32(proc);
-
-    w.u64(result.executionTime);
-    w.f64(result.loadImbalance);
-
-    const sim::SimStats &stats = result.stats;
-    w.u64(stats.procs.size());
-    for (const auto &p : stats.procs) {
-        w.u64(p.busyCycles);
-        w.u64(p.switchCycles);
-        w.u64(p.idleCycles);
-        w.u64(p.finishTime);
-        w.u64(p.barrierCycles);
-        w.u64(p.instructions);
-        w.u64(p.memRefs);
-        w.u64(p.hits);
-        for (uint64_t m : p.misses)
-            w.u64(m);
-        w.u64(p.upgrades);
-        w.u64(p.invalidationsSent);
-        w.u64(p.invalidationsReceived);
-        w.u64(p.writebacks);
-    }
-
-    writePairMatrix(w, stats.coherencePairs);
-    w.u64(stats.sharingCompulsoryMisses);
-
-    w.u8(stats.profiledSharing ? 1 : 0);
-    const auto &prof = stats.sharingProfile;
-    w.u64(prof.privateBlocks);
-    w.u64(prof.sharedBlocks);
-    w.u64(prof.readOnlyShared);
-    w.u64(prof.migratoryShared);
-    w.u64(prof.otherShared);
-    writeSummary(w, prof.writeRunLength);
-    writeSummary(w, prof.readRunLength);
-
-    w.u64(stats.networkTransactions);
-    w.u64(stats.networkQueueingCycles);
-    w.u64(stats.networkMaxQueueing);
-}
-
-RunResult
-readResult(ByteReader &r)
-{
-    RunResult result;
-
-    uint32_t processors = r.u32();
-    uint64_t threads = r.u64();
-    util::fatalIf(threads > 65536,
-                  "checkpoint placement unreasonably large");
-    std::vector<uint32_t> assign(static_cast<size_t>(threads));
-    for (auto &proc : assign)
-        proc = r.u32();
-    result.placement =
-        placement::PlacementMap(processors, std::move(assign));
-
-    result.executionTime = r.u64();
-    result.loadImbalance = r.f64();
-
-    sim::SimStats &stats = result.stats;
-    uint64_t procCount = r.u64();
-    util::fatalIf(procCount > 65536,
-                  "checkpoint processor stats unreasonably large");
-    stats.procs.resize(static_cast<size_t>(procCount));
-    for (auto &p : stats.procs) {
-        p.busyCycles = r.u64();
-        p.switchCycles = r.u64();
-        p.idleCycles = r.u64();
-        p.finishTime = r.u64();
-        p.barrierCycles = r.u64();
-        p.instructions = r.u64();
-        p.memRefs = r.u64();
-        p.hits = r.u64();
-        for (auto &m : p.misses)
-            m = r.u64();
-        p.upgrades = r.u64();
-        p.invalidationsSent = r.u64();
-        p.invalidationsReceived = r.u64();
-        p.writebacks = r.u64();
-    }
-
-    stats.coherencePairs = readPairMatrix(r);
-    stats.sharingCompulsoryMisses = r.u64();
-
-    stats.profiledSharing = r.u8() != 0;
-    auto &prof = stats.sharingProfile;
-    prof.privateBlocks = r.u64();
-    prof.sharedBlocks = r.u64();
-    prof.readOnlyShared = r.u64();
-    prof.migratoryShared = r.u64();
-    prof.otherShared = r.u64();
-    prof.writeRunLength = readSummary(r);
-    prof.readRunLength = readSummary(r);
-
-    stats.networkTransactions = r.u64();
-    stats.networkQueueingCycles = r.u64();
-    stats.networkMaxQueueing = r.u64();
-    return result;
-}
 
 } // namespace
 
@@ -278,7 +42,7 @@ Checkpoint::keyOf(const RunJob &job)
 Checkpoint::Checkpoint(std::string path, uint32_t scale)
     : path_(std::move(path)), scale_(scale)
 {
-    ByteWriter header;
+    codec::ByteWriter header;
     header.raw(kMagic, sizeof(kMagic));
     header.u32(kVersion);
     header.u32(scale_);
@@ -337,14 +101,14 @@ Checkpoint::load()
         if (util::crc32(payload) != crc)
             break;  // torn or bit-rotted record
         try {
-            ByteReader r(payload);
+            codec::ByteReader r(payload);
             Key key;
             key.app = r.u32();
             key.alg = r.u32();
             key.processors = r.u32();
             key.contexts = r.u32();
             key.infiniteCache = r.u8();
-            RunResult result = readResult(r);
+            RunResult result = codec::readRunResult(r);
             util::fatalIf(!r.done(),
                           "checkpoint record has trailing bytes");
             results_[key] = std::move(result);
@@ -384,15 +148,15 @@ Checkpoint::record(const RunJob &job, const RunResult &result)
     if (results_.count(key))
         return;
 
-    ByteWriter payload;
+    codec::ByteWriter payload;
     payload.u32(key.app);
     payload.u32(key.alg);
     payload.u32(key.processors);
     payload.u32(key.contexts);
     payload.u8(key.infiniteCache);
-    writeResult(payload, result);
+    codec::writeRunResult(payload, result);
 
-    ByteWriter frame;
+    codec::ByteWriter frame;
     frame.u32(static_cast<uint32_t>(payload.bytes().size()));
     frame.u32(util::crc32(payload.bytes()));
 

@@ -1,0 +1,167 @@
+#include "experiment/run_codec.h"
+
+#include "util/error.h"
+
+namespace tsp::experiment::codec {
+
+namespace {
+
+void
+writeSummary(ByteWriter &w, const stats::Summary &s)
+{
+    w.u64(s.count());
+    w.f64(s.mean());
+    w.f64(s.rawM2());
+    w.f64(s.min());
+    w.f64(s.max());
+}
+
+stats::Summary
+readSummary(ByteReader &r)
+{
+    uint64_t count = r.u64();
+    double mean = r.f64();
+    double m2 = r.f64();
+    double min = r.f64();
+    double max = r.f64();
+    return stats::Summary::fromState(count, mean, m2, min, max);
+}
+
+void
+writePairMatrix(ByteWriter &w, const stats::PairMatrix &m)
+{
+    w.u64(m.size());
+    for (size_t i = 0; i < m.size(); ++i)
+        for (size_t j = i + 1; j < m.size(); ++j)
+            w.f64(m.get(i, j));
+}
+
+stats::PairMatrix
+readPairMatrix(ByteReader &r)
+{
+    uint64_t n = r.u64();
+    // 8 bytes per upper-triangle cell must fit in the remaining
+    // payload; ByteReader::raw enforces it cell by cell, so a corrupt
+    // size fails fast instead of allocating.
+    util::fatalIf(n > 4096, "serialized pair matrix unreasonably large");
+    stats::PairMatrix m(static_cast<size_t>(n));
+    for (size_t i = 0; i < m.size(); ++i)
+        for (size_t j = i + 1; j < m.size(); ++j) {
+            double v = r.f64();
+            if (v != 0.0)
+                m.set(i, j, v);
+        }
+    return m;
+}
+
+} // namespace
+
+void
+writeRunResult(ByteWriter &w, const RunResult &result)
+{
+    const auto &assign = result.placement.assignment();
+    w.u32(result.placement.processors());
+    w.u64(assign.size());
+    for (uint32_t proc : assign)
+        w.u32(proc);
+
+    w.u64(result.executionTime);
+    w.f64(result.loadImbalance);
+
+    const sim::SimStats &stats = result.stats;
+    w.u64(stats.procs.size());
+    for (const auto &p : stats.procs) {
+        w.u64(p.busyCycles);
+        w.u64(p.switchCycles);
+        w.u64(p.idleCycles);
+        w.u64(p.finishTime);
+        w.u64(p.barrierCycles);
+        w.u64(p.instructions);
+        w.u64(p.memRefs);
+        w.u64(p.hits);
+        for (uint64_t m : p.misses)
+            w.u64(m);
+        w.u64(p.upgrades);
+        w.u64(p.invalidationsSent);
+        w.u64(p.invalidationsReceived);
+        w.u64(p.writebacks);
+    }
+
+    writePairMatrix(w, stats.coherencePairs);
+    w.u64(stats.sharingCompulsoryMisses);
+
+    w.u8(stats.profiledSharing ? 1 : 0);
+    const auto &prof = stats.sharingProfile;
+    w.u64(prof.privateBlocks);
+    w.u64(prof.sharedBlocks);
+    w.u64(prof.readOnlyShared);
+    w.u64(prof.migratoryShared);
+    w.u64(prof.otherShared);
+    writeSummary(w, prof.writeRunLength);
+    writeSummary(w, prof.readRunLength);
+
+    w.u64(stats.networkTransactions);
+    w.u64(stats.networkQueueingCycles);
+    w.u64(stats.networkMaxQueueing);
+}
+
+RunResult
+readRunResult(ByteReader &r)
+{
+    RunResult result;
+
+    uint32_t processors = r.u32();
+    uint64_t threads = r.u64();
+    util::fatalIf(threads > 65536,
+                  "serialized placement unreasonably large");
+    std::vector<uint32_t> assign(static_cast<size_t>(threads));
+    for (auto &proc : assign)
+        proc = r.u32();
+    result.placement =
+        placement::PlacementMap(processors, std::move(assign));
+
+    result.executionTime = r.u64();
+    result.loadImbalance = r.f64();
+
+    sim::SimStats &stats = result.stats;
+    uint64_t procCount = r.u64();
+    util::fatalIf(procCount > 65536,
+                  "serialized processor stats unreasonably large");
+    stats.procs.resize(static_cast<size_t>(procCount));
+    for (auto &p : stats.procs) {
+        p.busyCycles = r.u64();
+        p.switchCycles = r.u64();
+        p.idleCycles = r.u64();
+        p.finishTime = r.u64();
+        p.barrierCycles = r.u64();
+        p.instructions = r.u64();
+        p.memRefs = r.u64();
+        p.hits = r.u64();
+        for (auto &m : p.misses)
+            m = r.u64();
+        p.upgrades = r.u64();
+        p.invalidationsSent = r.u64();
+        p.invalidationsReceived = r.u64();
+        p.writebacks = r.u64();
+    }
+
+    stats.coherencePairs = readPairMatrix(r);
+    stats.sharingCompulsoryMisses = r.u64();
+
+    stats.profiledSharing = r.u8() != 0;
+    auto &prof = stats.sharingProfile;
+    prof.privateBlocks = r.u64();
+    prof.sharedBlocks = r.u64();
+    prof.readOnlyShared = r.u64();
+    prof.migratoryShared = r.u64();
+    prof.otherShared = r.u64();
+    prof.writeRunLength = readSummary(r);
+    prof.readRunLength = readSummary(r);
+
+    stats.networkTransactions = r.u64();
+    stats.networkQueueingCycles = r.u64();
+    stats.networkMaxQueueing = r.u64();
+    return result;
+}
+
+} // namespace tsp::experiment::codec

@@ -171,6 +171,14 @@ Registry::catalog()
          "fails"},
         {"batch.lane", "sim::BatchMachine",
          "constructing one lane of a lockstep batch fails"},
+        {"svc.admit", "svc::Daemon",
+         "admitting a request to the bounded job queue fails"},
+        {"svc.dequeue", "svc::Daemon",
+         "a worker dequeuing the next request fails"},
+        {"store.put", "svc::ResultStore",
+         "persisting a result record to the store fails"},
+        {"store.load", "svc::ResultStore",
+         "opening or replaying the on-disk result store fails"},
     };
     return sites;
 }

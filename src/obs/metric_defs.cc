@@ -145,6 +145,28 @@ TSP_OBS_COUNTER(batchLaneFailures, "batch.lane_failures",
                 "sim::BatchMachine",
                 "lanes that failed and degraded to an error result")
 
+TSP_OBS_GAUGE(svcQueueDepth, "svc.queue_depth", "svc::Daemon",
+              "requests admitted but not yet started "
+              "(max = queue high water)")
+TSP_OBS_COUNTER(svcAdmitted, "svc.admitted", "svc::Daemon",
+                "requests admitted to the bounded queue")
+TSP_OBS_COUNTER(svcShed, "svc.shed", "svc::Daemon",
+                "submissions rejected by admission control (load shed)")
+TSP_OBS_COUNTER(svcExpired, "svc.expired", "svc::Daemon",
+                "requests whose deadline passed while still queued")
+TSP_OBS_COUNTER(svcRequestsCompleted, "svc.requests_completed",
+                "svc::Daemon",
+                "admitted requests answered (any final status)")
+TSP_OBS_MS_HISTOGRAM(svcRequestMillis, "svc.request_ms", "svc::Daemon",
+                     "admit-to-answer latency of admitted requests")
+
+TSP_OBS_COUNTER(storeHits, "store.hits", "svc::ResultStore",
+                "result lookups served from the store")
+TSP_OBS_COUNTER(storeMisses, "store.misses", "svc::ResultStore",
+                "result lookups that missed the store")
+TSP_OBS_COUNTER(storePuts, "store.puts", "svc::ResultStore",
+                "result records persisted (atomic publishes)")
+
 TSP_OBS_COUNTER(faultInjected, "fault.injected", "fault::Registry",
                 "faults the injection framework actually fired")
 TSP_OBS_GAUGE(faultSitesRegistered, "fault.sites", "fault::Registry",
@@ -196,6 +218,15 @@ allMetrics()
     traceResidentBytes();
     batchLanes();
     batchLaneFailures();
+    svcQueueDepth();
+    svcAdmitted();
+    svcShed();
+    svcExpired();
+    svcRequestsCompleted();
+    svcRequestMillis();
+    storeHits();
+    storeMisses();
+    storePuts();
     faultInjected();
     faultSitesRegistered();
     benchWallMillis();

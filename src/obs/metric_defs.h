@@ -74,6 +74,19 @@ Gauge &traceResidentBytes();      //!< bytes held by materialized traces
 Gauge &batchLanes();              //!< lanes in the running batch
 Counter &batchLaneFailures();     //!< lanes degraded to an error
 
+// --------------------------------------------------------- svc::Daemon
+Gauge &svcQueueDepth();           //!< requests queued, not yet started
+Counter &svcAdmitted();           //!< requests admitted to the queue
+Counter &svcShed();               //!< submissions rejected (load shed)
+Counter &svcExpired();            //!< requests expired in the queue
+Counter &svcRequestsCompleted();  //!< requests answered (any status)
+Histogram &svcRequestMillis();    //!< admit-to-answer request latency
+
+// ---------------------------------------------------- svc::ResultStore
+Counter &storeHits();             //!< lookups served from the store
+Counter &storeMisses();           //!< lookups that missed the store
+Counter &storePuts();             //!< result records persisted
+
 // ----------------------------------------------------- fault::Registry
 Counter &faultInjected();         //!< faults actually injected
 Gauge &faultSitesRegistered();    //!< injection sites registered

@@ -1,0 +1,120 @@
+#include "svc/chaos_leg.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "experiment/configs.h"
+#include "svc/daemon.h"
+
+namespace tsp::svc {
+
+using experiment::MachinePoint;
+using experiment::RunJob;
+using experiment::RunResult;
+
+namespace {
+
+std::string
+storePath(const std::string &workDir)
+{
+    return workDir + "/chaos_store.tsps";
+}
+
+/** Exact bit pattern of a double, matching the harness's digests. */
+std::string
+hexBits(double v)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+/**
+ * Two fixed two-cell studies over the first standard machine point:
+ * enough to hit svc.admit and svc.dequeue per request, store.put per
+ * fresh cell, and the duplicate cell exercises the store dedup path.
+ */
+std::vector<StudyRequest>
+legRequests(workload::AppId app, uint32_t threads)
+{
+    std::vector<MachinePoint> points =
+        experiment::standardSweep(threads);
+    const MachinePoint &pt = points.front();
+    RunJob loadBal{app, placement::Algorithm::LoadBal, pt, false};
+    RunJob shareRefs{app, placement::Algorithm::ShareRefs, pt, false};
+
+    std::vector<StudyRequest> requests(2);
+    requests[0].jobs = {loadBal, shareRefs};
+    requests[1].jobs = {shareRefs, loadBal};  // pure duplicates
+    return requests;
+}
+
+std::string
+runLeg(workload::AppId app, uint32_t scale,
+       const std::string &workDir)
+{
+    Daemon::Config config;
+    config.scale = scale;
+    config.workers = 1;
+    config.queueCapacity = 8;
+    config.storePath = storePath(workDir);
+    Daemon daemon(config);  // store.load fires here
+
+    uint32_t threads =
+        static_cast<uint32_t>(daemon.lab().traces(app).threadCount());
+    std::vector<StudyRequest> requests = legRequests(app, threads);
+
+    std::ostringstream os;
+    for (size_t r = 0; r < requests.size(); ++r) {
+        std::vector<RunJob> jobs = requests[r].jobs;
+        SubmitResult submitted =
+            daemon.submit(std::move(requests[r]));
+        os << "svc/req" << r << " => ";
+        if (!submitted.admitted()) {
+            // Only an injected svc.admit fault sheds here (the queue
+            // is never full); the faulted fingerprint is discarded.
+            os << "SHED(" << submitted.rejection << ")\n";
+            continue;
+        }
+        StudyResponse response = submitted.accepted->get();
+        os << statusName(response.status);
+        for (size_t i = 0; i < response.outcomes.size(); ++i) {
+            const auto &outcome = response.outcomes[i];
+            os << ' ' << experiment::describeJob(jobs[i]) << "=>";
+            if (!outcome.ok()) {
+                os << "FAILED(" << outcome.error() << ')';
+                continue;
+            }
+            const RunResult &result = outcome.value();
+            os << "t=" << result.executionTime
+               << ",imb=" << hexBits(result.loadImbalance)
+               << ",refs=" << result.stats.totalMemRefs()
+               << ",miss=" << result.missSummary().totalMisses();
+        }
+        os << '\n';
+    }
+    daemon.drain();
+    return os.str();
+}
+
+} // namespace
+
+experiment::chaos::ScenarioExtension
+chaosLeg(workload::AppId app, uint32_t scale)
+{
+    experiment::chaos::ScenarioExtension extension;
+    extension.run = [app, scale](const std::string &workDir) {
+        return runLeg(app, scale, workDir);
+    };
+    extension.reset = [](const std::string &workDir) {
+        std::remove(storePath(workDir).c_str());
+        std::remove((storePath(workDir) + ".tmp").c_str());
+    };
+    return extension;
+}
+
+} // namespace tsp::svc

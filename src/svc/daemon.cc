@@ -1,0 +1,333 @@
+#include "svc/daemon.h"
+
+#include <algorithm>
+
+#include "fault/fault.h"
+#include "obs/metric_defs.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/watchdog.h"
+
+namespace tsp::svc {
+
+using experiment::Outcome;
+using experiment::RunJob;
+using experiment::RunResult;
+
+namespace {
+
+double
+millisBetween(Daemon::Clock::time_point from,
+              Daemon::Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+} // namespace
+
+std::string
+statusName(StudyStatus status)
+{
+    switch (status) {
+    case StudyStatus::Completed:
+        return "completed";
+    case StudyStatus::Expired:
+        return "expired";
+    case StudyStatus::DeadlineExceeded:
+        return "deadline-exceeded";
+    case StudyStatus::Failed:
+        return "failed";
+    }
+    util::panic("unknown study status");
+}
+
+Daemon::Daemon(const Config &config) : config_(config), lab_(config.scale)
+{
+    util::fatalIf(config_.queueCapacity == 0,
+                  "daemon queue capacity must be >= 1");
+    if (config_.workers == 0)
+        config_.workers = 1;
+    paused_ = config_.startPaused;
+    if (!config_.storePath.empty())
+        store_ = std::make_unique<ResultStore>(config_.storePath,
+                                               config_.scale);
+    workers_.reserve(config_.workers);
+    for (unsigned i = 0; i < config_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Daemon::~Daemon()
+{
+    try {
+        drain();
+    } catch (...) {
+        // A destructor must not throw; workers are joined regardless.
+    }
+}
+
+Daemon::Clock::time_point
+Daemon::now() const
+{
+    return config_.clock ? config_.clock() : Clock::now();
+}
+
+SubmitResult
+Daemon::submit(StudyRequest request)
+{
+    Clock::time_point arrival = now();
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    auto shed = [&](std::string reason) {
+        ++counters_.shed;
+        obs::svcShed().inc();
+        SubmitResult result;
+        result.rejection = std::move(reason);
+        return result;
+    };
+
+    if (request.jobs.empty())
+        return shed("rejected: empty study (no jobs)");
+    if (draining_ || stopping_)
+        return shed("rejected: draining (not admitting new requests)");
+    if (queue_.size() >= config_.queueCapacity)
+        return shed(util::concat("rejected: queue full (",
+                                 config_.queueCapacity, " queued)"));
+    try {
+        TSP_FAULT_POINT("svc.admit");
+    } catch (const util::PanicError &) {
+        throw;  // a bug, not load: never masked as a shed
+    } catch (const std::exception &e) {
+        return shed(std::string("rejected: ") + e.what());
+    }
+
+    std::chrono::milliseconds deadline =
+        request.deadline.count() > 0 ? request.deadline
+                                     : config_.defaultDeadline;
+    Pending pending;
+    pending.request = std::move(request);
+    pending.admitted = arrival;
+    pending.expiry = deadline.count() > 0
+                         ? arrival + deadline
+                         : Clock::time_point::max();
+
+    SubmitResult result;
+    result.accepted = pending.promise.get_future();
+    queue_.emplace(
+        std::make_pair(-pending.request.priority, nextSeq_++),
+        std::move(pending));
+    ++counters_.admitted;
+    obs::svcAdmitted().inc();
+    obs::svcQueueDepth().add(1);
+    workCv_.notify_one();
+    return result;
+}
+
+void
+Daemon::resume()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+    workCv_.notify_all();
+}
+
+void
+Daemon::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+}
+
+void
+Daemon::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    paused_ = false;  // a paused daemon still owes queued answers
+    workCv_.notify_all();
+    idleCv_.wait(lock,
+                 [&] { return queue_.empty() && inFlight_ == 0; });
+    stopping_ = true;
+    workCv_.notify_all();
+    lock.unlock();
+    for (std::thread &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers_.clear();
+}
+
+bool
+Daemon::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_ || stopping_;
+}
+
+size_t
+Daemon::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+Daemon::Counters
+Daemon::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void
+Daemon::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock, [&] {
+            return stopping_ || (!queue_.empty() && !paused_);
+        });
+        if (stopping_ && (queue_.empty() || paused_))
+            return;
+        if (queue_.empty() || paused_)
+            continue;
+
+        auto node = queue_.extract(queue_.begin());
+        Pending pending = std::move(node.mapped());
+        obs::svcQueueDepth().add(-1);
+        ++inFlight_;
+        lock.unlock();
+
+        StudyResponse response;
+        try {
+            TSP_FAULT_POINT("svc.dequeue");
+            response = execute(pending);
+        } catch (const std::exception &e) {
+            // The request boundary: *nothing* a request raises —
+            // injected faults, engine errors, even a PanicError from
+            // a library bug — takes the daemon down. The request is
+            // answered Failed (loudly) and the worker keeps serving.
+            response = StudyResponse{};
+            response.status = StudyStatus::Failed;
+            response.error = e.what();
+            response.outcomes.assign(pending.request.jobs.size(),
+                                     Outcome<RunResult>{});
+            util::warn(util::concat(
+                "daemon request failed (service continues): ",
+                e.what()));
+        }
+        Clock::time_point answered = now();
+        response.totalMillis =
+            millisBetween(pending.admitted, answered);
+        obs::svcRequestMillis().observe(response.totalMillis);
+        obs::svcRequestsCompleted().inc();
+        pending.promise.set_value(std::move(response));
+
+        lock.lock();
+        ++counters_.completed;
+        --inFlight_;
+        if (queue_.empty() && inFlight_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+StudyResponse
+Daemon::execute(Pending &pending)
+{
+    StudyResponse response;
+    Clock::time_point start = now();
+    response.queueMillis = millisBetween(pending.admitted, start);
+    size_t n = pending.request.jobs.size();
+    response.outcomes.assign(n, Outcome<RunResult>{});
+
+    if (start >= pending.expiry) {
+        // The deadline passed while the request sat in the queue:
+        // answer immediately instead of burning a worker on an answer
+        // nobody is waiting for.
+        obs::svcExpired().inc();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.expired;
+        }
+        response.status = StudyStatus::Expired;
+        response.error = "deadline expired while queued";
+        for (auto &outcome : response.outcomes) {
+            outcome = Outcome<RunResult>::failure(
+                "request expired in queue before any cell ran");
+        }
+        return response;
+    }
+
+    // Per-request deadline enforcement: a real-time watchdog trips
+    // the token if a cell stalls past the remaining budget, and the
+    // inline clock checks between cells make the common case (the
+    // budget runs out across many cells) deterministic.
+    util::CancelToken cancel;
+    std::optional<util::Watchdog> watchdog;
+    std::optional<util::Watchdog::Guard> guard;
+    if (pending.expiry != Clock::time_point::max() && !config_.clock) {
+        auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                pending.expiry - start);
+        watchdog.emplace(
+            std::max(remaining, std::chrono::milliseconds(1)),
+            [](const std::string &, std::chrono::milliseconds) {},
+            config_.watchdogPoll);
+        watchdog->cancelOnOverdue(&cancel);
+        guard.emplace(watchdog->watch("study"));
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        const RunJob &job = pending.request.jobs[i];
+        if (now() >= pending.expiry)
+            cancel.requestCancel();
+        if (cancel.cancelled()) {
+            response.outcomes[i] = Outcome<RunResult>::failure(
+                "request deadline exceeded before this cell ran");
+            ++response.cancelledCells;
+            continue;
+        }
+        try {
+            if (store_) {
+                if (std::optional<RunResult> cached =
+                        store_->lookup(job)) {
+                    response.outcomes[i] =
+                        Outcome<RunResult>::success(
+                            std::move(*cached));
+                    ++response.cacheHits;
+                    continue;
+                }
+            }
+            RunResult result = lab_.run(job.app, job.alg, job.point,
+                                        job.infiniteCache);
+            ++response.executed;
+            if (store_) {
+                try {
+                    store_->put(job, result);
+                } catch (const std::exception &e) {
+                    // The computed result is still good; it stays
+                    // resident in the store's memory image and the
+                    // next successful put re-publishes it.
+                    util::warn(util::concat(
+                        "result store put failed (result kept): ",
+                        e.what()));
+                }
+            }
+            response.outcomes[i] =
+                Outcome<RunResult>::success(std::move(result));
+        } catch (const std::exception &e) {
+            // Fault isolation, same policy as the sweep engine: one
+            // failed cell degrades, the rest of the study proceeds.
+            response.outcomes[i] =
+                Outcome<RunResult>::failure(e.what());
+        }
+    }
+
+    guard.reset();
+    watchdog.reset();
+    response.status = response.cancelledCells > 0
+                          ? StudyStatus::DeadlineExceeded
+                          : StudyStatus::Completed;
+    return response;
+}
+
+} // namespace tsp::svc

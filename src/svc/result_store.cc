@@ -1,0 +1,224 @@
+#include "svc/result_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "experiment/run_codec.h"
+#include "fault/fault.h"
+#include "obs/metric_defs.h"
+#include "util/checksum.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/retry.h"
+
+namespace tsp::svc {
+
+using experiment::RunJob;
+using experiment::RunResult;
+namespace codec = experiment::codec;
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'S', 'P', 'S'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint32_t);
+constexpr size_t kFrameBytes = 2 * sizeof(uint32_t);
+
+/** Keys are tiny fixed-layout configuration tuples. */
+constexpr uint32_t kMaxKeyBytes = 256;
+
+} // namespace
+
+ResultStore::ResultStore(std::string path, uint32_t scale)
+    : path_(std::move(path)), scale_(scale)
+{
+    codec::ByteWriter header;
+    header.raw(kMagic, sizeof(kMagic));
+    header.u32(kVersion);
+    header.u32(scale_);
+    image_ = header.bytes();
+    load();
+}
+
+size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.size();
+}
+
+std::string
+ResultStore::keyBytes(const RunJob &job, uint32_t scale)
+{
+    codec::ByteWriter key;
+    key.u32(scale);
+    key.u32(static_cast<uint32_t>(job.app));
+    key.u32(static_cast<uint32_t>(job.alg));
+    key.u32(job.point.processors);
+    key.u32(job.point.contexts);
+    key.u8(job.infiniteCache ? 1 : 0);
+    return key.bytes();
+}
+
+uint64_t
+ResultStore::digestOf(const RunJob &job, uint32_t scale)
+{
+    // FNV-1a over the canonical key bytes: stable across runs and
+    // processes, which is all a content address needs here.
+    std::string key = keyBytes(job, scale);
+    uint64_t hash = 1469598103934665603ull;
+    for (unsigned char c : key)
+        hash = (hash ^ c) * 1099511628211ull;
+    return hash;
+}
+
+void
+ResultStore::load()
+{
+    TSP_FAULT_POINT("store.load");
+    std::ifstream is(path_, std::ios::binary);
+    if (!is)
+        return;  // no store yet: start fresh
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string bytes = buf.str();
+
+    util::fatalIf(bytes.size() < kHeaderBytes ||
+                      std::memcmp(bytes.data(), kMagic,
+                                  sizeof(kMagic)) != 0,
+                  "not a TSPS result store: " + path_);
+    uint32_t version = 0, scale = 0;
+    std::memcpy(&version, bytes.data() + sizeof(kMagic),
+                sizeof(version));
+    std::memcpy(&scale, bytes.data() + sizeof(kMagic) + sizeof(version),
+                sizeof(scale));
+    util::fatalIf(version != kVersion,
+                  util::concat("unsupported result store version ",
+                               version, " in ", path_));
+    util::fatalIf(scale != scale_,
+                  util::concat("result store ", path_,
+                               " was written at workload scale ",
+                               scale, ", this daemon runs at scale ",
+                               scale_));
+
+    size_t pos = kHeaderBytes;
+    size_t good = pos;
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < kFrameBytes)
+            break;  // torn frame header
+        uint32_t len = 0, crc = 0;
+        std::memcpy(&len, bytes.data() + pos, sizeof(len));
+        std::memcpy(&crc, bytes.data() + pos + sizeof(len),
+                    sizeof(crc));
+        if (len > bytes.size() - pos - kFrameBytes)
+            break;  // record truncated mid-payload
+        std::string_view payload(bytes.data() + pos + kFrameBytes,
+                                 len);
+        if (util::crc32(payload) != crc)
+            break;  // torn or bit-rotted record
+        try {
+            codec::ByteReader r(payload);
+            uint64_t digest = r.u64();
+            uint32_t keyLen = r.u32();
+            util::fatalIf(keyLen > kMaxKeyBytes,
+                          "result store key unreasonably large");
+            std::string key(keyLen, '\0');
+            r.raw(key.data(), keyLen);
+            RunResult result = codec::readRunResult(r);
+            util::fatalIf(!r.done(),
+                          "result store record has trailing bytes");
+            // Content-address self-check: a record whose digest does
+            // not match its own key bytes is corrupt despite the CRC.
+            uint64_t expect = 1469598103934665603ull;
+            for (unsigned char c : key)
+                expect = (expect ^ c) * 1099511628211ull;
+            util::fatalIf(digest != expect,
+                          "result store record digest mismatch");
+            results_[std::move(key)] = std::move(result);
+        } catch (const util::FatalError &) {
+            break;  // malformed payload despite a valid CRC frame
+        }
+        pos += kFrameBytes + len;
+        good = pos;
+    }
+
+    dropped_ = bytes.size() - good;
+    if (dropped_ > 0) {
+        util::warn(util::concat(
+            "result store ", path_, ": dropping ", dropped_,
+            " trailing bytes (truncated or corrupt record, likely a "
+            "killed daemon); ", results_.size(),
+            " intact results recovered"));
+    }
+    image_ = bytes.substr(0, good);
+}
+
+std::optional<RunResult>
+ResultStore::lookup(const RunJob &job) const
+{
+    std::string key = keyBytes(job, scale_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+        obs::storeMisses().inc();
+        return std::nullopt;
+    }
+    obs::storeHits().inc();
+    return it->second;
+}
+
+bool
+ResultStore::put(const RunJob &job, const RunResult &result)
+{
+    std::string key = keyBytes(job, scale_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (results_.count(key))
+        return false;
+
+    codec::ByteWriter payload;
+    payload.u64(digestOf(job, scale_));
+    payload.u32(static_cast<uint32_t>(key.size()));
+    payload.raw(key.data(), key.size());
+    codec::writeRunResult(payload, result);
+
+    codec::ByteWriter frame;
+    frame.u32(static_cast<uint32_t>(payload.bytes().size()));
+    frame.u32(util::crc32(payload.bytes()));
+
+    image_ += frame.bytes();
+    image_ += payload.bytes();
+    results_[std::move(key)] = result;
+    persist();
+    obs::storePuts().inc();
+    return true;
+}
+
+void
+ResultStore::persist() const
+{
+    // Atomic publish, same discipline as the checkpoint journal:
+    // whole image to .tmp, rename over the real file, bounded
+    // jittered retry around the transient-failure seam.
+    std::string tmp = path_ + ".tmp";
+    util::retry(
+        [&] {
+            TSP_FAULT_POINT("store.put");
+            std::ofstream os(tmp,
+                             std::ios::binary | std::ios::trunc);
+            util::fatalIf(
+                !os, "cannot open result store for writing: " + tmp);
+            os.write(image_.data(),
+                     static_cast<std::streamsize>(image_.size()));
+            os.flush();
+            util::fatalIf(!os, "result store write failed: " + tmp);
+            os.close();
+            util::fatalIf(
+                std::rename(tmp.c_str(), path_.c_str()) != 0,
+                "cannot publish result store: " + path_);
+        },
+        util::jitteredRetryPolicy(path_), "result store put " + path_);
+}
+
+} // namespace tsp::svc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Crash-safe content-addressed result store (the TSPS format): every
+ * completed (job, scale) cell is keyed by its canonical configuration
+ * bytes, so a duplicate study is a disk cache hit and a daemon
+ * restart serves previously computed results bit-identically.
+ *
+ * Durability model (shared with the TSPC checkpoint journal):
+ *  - every record is framed `u32 len | u32 crc32(payload) | payload`,
+ *    with the payload produced by experiment::codec;
+ *  - persistence is a whole-image write to `<path>.tmp` followed by
+ *    an atomic rename, wrapped in bounded jittered retry — a kill -9
+ *    at any instant leaves either the old or the new store intact;
+ *  - load() drops a truncated or corrupt tail (warning loudly) and
+ *    keeps every CRC-valid record before it, so a killed daemon
+ *    loses at most the record being published.
+ *
+ * Fault sites: `store.load` (open/replay) and `store.put` (persist),
+ * both in the chaos matrix.
+ */
+
+#ifndef TSP_SVC_RESULT_STORE_H
+#define TSP_SVC_RESULT_STORE_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "experiment/lab.h"
+#include "experiment/parallel.h"
+
+namespace tsp::svc {
+
+/**
+ * Disk-backed map from canonical job configuration to RunResult.
+ * Thread-safe: lookup() and put() may race from any number of daemon
+ * workers.
+ */
+class ResultStore
+{
+  public:
+    /**
+     * Open (or create) the store at @p path, replaying every intact
+     * record. Throws FatalError on a foreign or wrong-scale file.
+     */
+    ResultStore(std::string path, uint32_t scale);
+
+    /** The workload scale every stored result was computed at. */
+    uint32_t scale() const { return scale_; }
+
+    /** Number of resident result records. */
+    size_t size() const;
+
+    /** Bytes of truncated/corrupt tail dropped by the last load. */
+    size_t droppedBytes() const { return dropped_; }
+
+    /** The backing file path. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * FNV-1a digest of the canonical configuration bytes of
+     * (@p job, @p scale) — the store's content address.
+     */
+    static uint64_t digestOf(const experiment::RunJob &job,
+                             uint32_t scale);
+
+    /**
+     * The stored result of @p job, if present. Bumps the store.hits /
+     * store.misses metrics.
+     */
+    std::optional<experiment::RunResult>
+    lookup(const experiment::RunJob &job) const;
+
+    /**
+     * Persist @p result under @p job's content address. Returns false
+     * (and writes nothing) when the key is already present. On a
+     * persist failure that survives bounded retry the record stays
+     * resident in memory — served to lookups, and re-published by the
+     * next successful put (the image is rewritten whole) — and the
+     * error propagates so the caller can report it.
+     */
+    bool put(const experiment::RunJob &job,
+             const experiment::RunResult &result);
+
+  private:
+    /** Canonical key bytes: scale, app, alg, point, cache mode. */
+    static std::string keyBytes(const experiment::RunJob &job,
+                                uint32_t scale);
+
+    void load();
+    void persist() const;
+
+    std::string path_;
+    uint32_t scale_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, experiment::RunResult> results_;
+    std::string image_;  //!< serialized file image (header + records)
+    size_t dropped_ = 0;
+};
+
+} // namespace tsp::svc
+
+#endif // TSP_SVC_RESULT_STORE_H

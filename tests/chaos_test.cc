@@ -15,6 +15,7 @@
 
 #include "experiment/chaos.h"
 #include "fault/fault.h"
+#include "svc/chaos_leg.h"
 
 namespace tsp::experiment::chaos {
 namespace {
@@ -29,6 +30,9 @@ TEST(Chaos, EveryCellOfTheMatrixPassesTheTrifecta)
     options.jobs = 4;
     options.workDir = testing::TempDir();
     options.verbose = false;
+    // The svc daemon/store leg makes the four service fault sites
+    // (svc.admit, svc.dequeue, store.put, store.load) reachable.
+    options.extension = svc::chaosLeg(options.app, options.scale);
 
     MatrixResult matrix = runMatrix(options);
 
@@ -55,6 +59,7 @@ TEST(Chaos, BaselineFingerprintIsDeterministic)
     options.scale = 64;
     options.jobs = 2;
     options.workDir = testing::TempDir();
+    options.extension = svc::chaosLeg(options.app, options.scale);
     EXPECT_EQ(baselineFingerprint(options),
               baselineFingerprint(options));
 }

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The closed-loop load generator (svc::runLoadGen) and its shed-retry
+ * policy: deterministic, bounded per-client backoff schedules; an
+ * overload run whose counters reconcile exactly (nothing lost,
+ * nothing double-counted, nonzero sheds survived); and a
+ * scheduling-independent result digest that matches across identical
+ * shed-free runs — the property the restart/cache-hit CI leg leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "svc/daemon.h"
+#include "svc/loadgen.h"
+#include "util/retry.h"
+
+namespace tsp::svc {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr uint32_t kScale = 64;
+
+std::vector<experiment::RunJob>
+smallPalette()
+{
+    // Two cheap distinct cells: enough for dedup and digest checks
+    // without making the overload run slow.
+    experiment::MachinePoint point{4, 4};
+    return {{workload::AppId::Water, placement::Algorithm::LoadBal,
+             point, false},
+            {workload::AppId::Water, placement::Algorithm::ShareRefs,
+             point, false}};
+}
+
+std::vector<std::chrono::milliseconds>
+delaysOf(unsigned client, unsigned attempts,
+         std::chrono::milliseconds initial, unsigned draws)
+{
+    util::BackoffSchedule schedule(
+        loadGenRetryPolicy(client, attempts, initial));
+    std::vector<std::chrono::milliseconds> delays;
+    for (unsigned i = 0; i < draws; ++i)
+        delays.push_back(schedule.next());
+    return delays;
+}
+
+TEST(LoadGenRetryPolicy, ScheduleIsDeterministicPerClient)
+{
+    auto a = delaysOf(3, 4, 2ms, 8);
+    auto b = delaysOf(3, 4, 2ms, 8);
+    EXPECT_EQ(a, b);  // pure function of the client identity
+
+    // Distinct clients jitter on distinct schedules (they should not
+    // thunder back into a full queue in lockstep).
+    auto other = delaysOf(4, 4, 2ms, 8);
+    EXPECT_NE(a, other);
+}
+
+TEST(LoadGenRetryPolicy, DelaysStayWithinTheConfiguredBounds)
+{
+    util::RetryPolicy policy = loadGenRetryPolicy(7, 5, 3ms);
+    EXPECT_EQ(policy.maxAttempts, 5u);
+    EXPECT_EQ(policy.initialBackoff, 3ms);
+    EXPECT_NE(policy.jitterSeed, 0u);  // jitter actually on
+
+    for (auto delay : delaysOf(7, 5, 3ms, 64)) {
+        EXPECT_GE(delay, 3ms);
+        EXPECT_LE(delay, policy.maxBackoff);
+    }
+    // A zero retry budget still yields a valid one-attempt policy.
+    EXPECT_EQ(loadGenRetryPolicy(7, 0, 3ms).maxAttempts, 1u);
+}
+
+TEST(LoadGen, OverloadRunShedsButEveryRequestIsAccountedFor)
+{
+    // A deliberately overwhelmed daemon: one worker, capacity 1,
+    // four closed-loop clients with a tiny retry budget.
+    Daemon::Config config;
+    config.scale = kScale;
+    config.workers = 1;
+    config.queueCapacity = 1;
+    Daemon daemon(config);
+
+    LoadGenOptions options;
+    options.clients = 4;
+    options.requestsPerClient = 6;
+    options.palette = smallPalette();
+    options.retryBudget = 1;
+    options.retryBackoff = 1ms;
+    options.seed = 42;
+
+    LoadGenReport report = runLoadGen(daemon, options);
+    daemon.drain();
+
+    const uint64_t issued =
+        static_cast<uint64_t>(options.clients) *
+        options.requestsPerClient;
+    // Exact conservation: every request was admitted, abandoned after
+    // its retry budget, or skipped — and every admitted request got
+    // exactly one answer.
+    EXPECT_EQ(report.admitted + report.abandoned + report.skipped,
+              issued);
+    EXPECT_EQ(report.skipped, 0u);  // no stop token in play
+    EXPECT_EQ(report.completed + report.expired +
+                  report.deadlineExceeded + report.failed,
+              report.admitted);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.latenciesMs.size(), report.admitted);
+
+    // Attempts = one per admission + one per shed observed.
+    EXPECT_EQ(report.attempts, report.admitted + report.shed);
+    // Capacity 1 against 4 clients must shed; the daemon's view and
+    // the clients' view of the shed/admit split must agree.
+    EXPECT_GT(report.shed, 0u);
+    Daemon::Counters counters = daemon.counters();
+    EXPECT_EQ(counters.admitted, report.admitted);
+    EXPECT_EQ(counters.shed, report.shed);
+    EXPECT_EQ(counters.completed, report.admitted);
+
+    // Percentiles come from the sorted latency set.
+    ASSERT_FALSE(report.latenciesMs.empty());
+    EXPECT_LE(report.p50Ms, report.p99Ms);
+    EXPECT_LE(report.p99Ms, report.maxMs);
+    EXPECT_EQ(report.maxMs, report.latenciesMs.back());
+    EXPECT_FALSE(report.resultDigest.empty());
+    EXPECT_NE(report.summary().find("result digest:"),
+              std::string::npos);
+}
+
+TEST(LoadGen, ShedFreeRunsDigestIdentically)
+{
+    LoadGenOptions options;
+    options.clients = 2;
+    options.requestsPerClient = 4;
+    options.jobsPerRequest = 2;
+    options.palette = smallPalette();
+    options.seed = 7;
+
+    auto runOnce = [&options]() {
+        // Ample capacity: no sheds, so the request streams (and hence
+        // the digests) are exactly reproducible.
+        Daemon::Config config;
+        config.scale = kScale;
+        config.workers = 2;
+        config.queueCapacity = 64;
+        Daemon daemon(config);
+        LoadGenReport report = runLoadGen(daemon, options);
+        EXPECT_EQ(report.shed, 0u);
+        EXPECT_EQ(report.abandoned, 0u);
+        daemon.drain();
+        return report;
+    };
+
+    LoadGenReport first = runOnce();
+    LoadGenReport second = runOnce();
+    EXPECT_EQ(first.resultDigest, second.resultDigest);
+    EXPECT_EQ(first.completed, second.completed);
+
+    // A different seed draws different request streams.
+    options.seed = 8;
+    LoadGenReport third = runOnce();
+    EXPECT_NE(first.resultDigest, third.resultDigest);
+}
+
+} // namespace
+} // namespace tsp::svc

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The crash-safe content-addressed result store (svc::ResultStore):
+ * bit-identical roundtrips through the TSPS format, idempotent puts,
+ * restart recovery, truncated/corrupt-tail dropping, scale binding,
+ * and the store.put fault site healing under bounded retry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "experiment/run_codec.h"
+#include "fault/fault.h"
+#include "svc/result_store.h"
+#include "util/error.h"
+
+namespace tsp::svc {
+namespace {
+
+using experiment::MachinePoint;
+using experiment::RunJob;
+using experiment::RunResult;
+
+constexpr uint32_t kScale = 64;
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+RunJob
+jobAt(placement::Algorithm alg, uint32_t processors,
+      bool infinite = false)
+{
+    return {workload::AppId::Water, alg,
+            MachinePoint{processors, 4}, infinite};
+}
+
+/** Compute a real result once; cells are cheap at scale 64. */
+RunResult
+computedResult(const RunJob &job)
+{
+    static experiment::Lab lab(kScale);
+    return lab.run(job.app, job.alg, job.point, job.infiniteCache);
+}
+
+/** Canonical bytes of a result, for bit-identity assertions. */
+std::string
+bytesOf(const RunResult &result)
+{
+    experiment::codec::ByteWriter w;
+    experiment::codec::writeRunResult(w, result);
+    return w.bytes();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ResultStore, PutLookupRoundtripIsBitIdentical)
+{
+    std::string path = tempPath("store_roundtrip.tsps");
+    std::remove(path.c_str());
+    ResultStore store(path, kScale);
+
+    RunJob job = jobAt(placement::Algorithm::LoadBal, 4);
+    RunResult result = computedResult(job);
+    EXPECT_TRUE(store.put(job, result));
+    EXPECT_EQ(store.size(), 1u);
+
+    auto cached = store.lookup(job);
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_EQ(bytesOf(*cached), bytesOf(result));
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, DuplicatePutIsIdempotent)
+{
+    std::string path = tempPath("store_dup.tsps");
+    std::remove(path.c_str());
+    ResultStore store(path, kScale);
+
+    RunJob job = jobAt(placement::Algorithm::ShareRefs, 4);
+    RunResult result = computedResult(job);
+    EXPECT_TRUE(store.put(job, result));
+    size_t fileSize = readFile(path).size();
+    EXPECT_FALSE(store.put(job, result));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(readFile(path).size(), fileSize);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, MissIsEmptyAndDistinctKeysCoexist)
+{
+    std::string path = tempPath("store_keys.tsps");
+    std::remove(path.c_str());
+    ResultStore store(path, kScale);
+
+    RunJob a = jobAt(placement::Algorithm::LoadBal, 4);
+    RunJob b = jobAt(placement::Algorithm::LoadBal, 4, true);
+    EXPECT_NE(ResultStore::digestOf(a, kScale),
+              ResultStore::digestOf(b, kScale));
+    EXPECT_NE(ResultStore::digestOf(a, kScale),
+              ResultStore::digestOf(a, kScale / 2));
+
+    EXPECT_FALSE(store.lookup(a).has_value());
+    store.put(a, computedResult(a));
+    EXPECT_TRUE(store.lookup(a).has_value());
+    EXPECT_FALSE(store.lookup(b).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, RestartServesPersistedResultsBitIdentically)
+{
+    std::string path = tempPath("store_restart.tsps");
+    std::remove(path.c_str());
+    RunJob jobs[] = {jobAt(placement::Algorithm::LoadBal, 4),
+                     jobAt(placement::Algorithm::ShareRefs, 4),
+                     jobAt(placement::Algorithm::LoadBal, 8)};
+    {
+        ResultStore store(path, kScale);
+        for (const RunJob &job : jobs)
+            store.put(job, computedResult(job));
+    }
+
+    ResultStore reopened(path, kScale);
+    EXPECT_EQ(reopened.size(), 3u);
+    EXPECT_EQ(reopened.droppedBytes(), 0u);
+    for (const RunJob &job : jobs) {
+        auto cached = reopened.lookup(job);
+        ASSERT_TRUE(cached.has_value());
+        EXPECT_EQ(bytesOf(*cached), bytesOf(computedResult(job)));
+    }
+    EXPECT_EQ(readFile(path).substr(0, 4), "TSPS");
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, WrongScaleIsRejected)
+{
+    std::string path = tempPath("store_scale.tsps");
+    std::remove(path.c_str());
+    {
+        ResultStore store(path, kScale);
+        RunJob job = jobAt(placement::Algorithm::LoadBal, 4);
+        store.put(job, computedResult(job));
+    }
+    EXPECT_THROW(ResultStore(path, kScale / 2), util::FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, ForeignFileIsRejected)
+{
+    std::string path = tempPath("store_foreign.tsps");
+    writeFile(path, "definitely not a TSPS store");
+    EXPECT_THROW(ResultStore(path, kScale), util::FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, TruncatedTailIsDroppedSurvivorsIntact)
+{
+    std::string path = tempPath("store_truncated.tsps");
+    std::remove(path.c_str());
+    RunJob first = jobAt(placement::Algorithm::LoadBal, 4);
+    RunJob second = jobAt(placement::Algorithm::ShareRefs, 4);
+    {
+        ResultStore store(path, kScale);
+        store.put(first, computedResult(first));
+        store.put(second, computedResult(second));
+    }
+
+    // Chop into the last record: a kill -9 mid-write shape.
+    std::string bytes = readFile(path);
+    writeFile(path, bytes.substr(0, bytes.size() - 7));
+
+    ResultStore recovered(path, kScale);
+    EXPECT_EQ(recovered.size(), 1u);
+    EXPECT_GT(recovered.droppedBytes(), 0u);
+    auto cached = recovered.lookup(first);
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_EQ(bytesOf(*cached), bytesOf(computedResult(first)));
+    EXPECT_FALSE(recovered.lookup(second).has_value());
+
+    // The recovered store keeps accepting new records.
+    EXPECT_TRUE(recovered.put(second, computedResult(second)));
+    ResultStore reopened(path, kScale);
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.droppedBytes(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, CorruptTailCrcIsDropped)
+{
+    std::string path = tempPath("store_corrupt.tsps");
+    std::remove(path.c_str());
+    RunJob first = jobAt(placement::Algorithm::LoadBal, 4);
+    RunJob second = jobAt(placement::Algorithm::ShareRefs, 4);
+    {
+        ResultStore store(path, kScale);
+        store.put(first, computedResult(first));
+        store.put(second, computedResult(second));
+    }
+
+    std::string bytes = readFile(path);
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);
+    writeFile(path, bytes);
+
+    ResultStore recovered(path, kScale);
+    EXPECT_EQ(recovered.size(), 1u);
+    EXPECT_GT(recovered.droppedBytes(), 0u);
+    EXPECT_TRUE(recovered.lookup(first).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, TransientPutFaultHealsUnderRetry)
+{
+    std::string path = tempPath("store_fault.tsps");
+    std::remove(path.c_str());
+    ResultStore store(path, kScale);
+    RunJob job = jobAt(placement::Algorithm::LoadBal, 4);
+
+    fault::arm("store.put:1:error");
+    EXPECT_TRUE(store.put(job, computedResult(job)));  // retry heals
+    fault::disarm();
+
+    ResultStore reopened(path, kScale);
+    EXPECT_EQ(reopened.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, PersistentPutFaultThrowsButRecordStaysServable)
+{
+    std::string path = tempPath("store_fault2.tsps");
+    std::remove(path.c_str());
+    ResultStore store(path, kScale);
+    RunJob first = jobAt(placement::Algorithm::LoadBal, 4);
+    RunJob second = jobAt(placement::Algorithm::ShareRefs, 4);
+
+    fault::arm("store.put:1+:error");
+    EXPECT_THROW(store.put(first, computedResult(first)),
+                 std::runtime_error);
+    fault::disarm();
+
+    // Failed to persist, but stays resident and served...
+    EXPECT_TRUE(store.lookup(first).has_value());
+    // ...and the next successful put re-publishes the whole image.
+    EXPECT_TRUE(store.put(second, computedResult(second)));
+    ResultStore reopened(path, kScale);
+    EXPECT_EQ(reopened.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, LoadFaultSiteFires)
+{
+    std::string path = tempPath("store_loadfault.tsps");
+    std::remove(path.c_str());
+    fault::arm("store.load:1:error");
+    EXPECT_THROW(ResultStore(path, kScale), std::runtime_error);
+    fault::disarm();
+    EXPECT_NO_THROW(ResultStore(path, kScale));
+}
+
+} // namespace
+} // namespace tsp::svc

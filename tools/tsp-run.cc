@@ -82,6 +82,7 @@
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "sim/machine.h"
+#include "svc/chaos_leg.h"
 #include "util/bits.h"
 #include "util/cancel.h"
 #include "util/error.h"
@@ -344,6 +345,9 @@ runChaos(int argc, char **argv)
         else
             return usage();
     }
+    // The svc daemon/store leg joins the scenario so the four service
+    // fault sites are reachable (docs/robustness.md).
+    opt.extension = svc::chaosLeg(opt.app, opt.scale);
 
     auto matrix = experiment::chaos::runMatrix(opt);
     std::printf("chaos: %zu/%zu cells passed the trifecta "
