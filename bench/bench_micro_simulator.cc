@@ -15,6 +15,7 @@
 
 #include "core/load_balance.h"
 #include "core/random_placement.h"
+#include "experiment/configs.h"
 #include "experiment/parallel.h"
 #include "experiment/studies.h"
 #include "sim/machine.h"
@@ -72,6 +73,38 @@ BM_SimulateProcessors(benchmark::State &state)
     state.SetLabel("memory references/s");
 }
 BENCHMARK(BM_SimulateProcessors)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/**
+ * BM_SimulateProcessors with the full modern memory system (the
+ * `contended` variant of docs/memory_system.md): shared inclusive L2,
+ * MOESI, and one queued link per processor. Measures the overhead the
+ * hierarchy adds to the per-reference hot path; the gap to
+ * BM_SimulateProcessors at the same processor count is the price of
+ * the L2 lookup + link queueing on every miss.
+ */
+void
+BM_SimulateMemSystem(benchmark::State &state)
+{
+    const auto &traces = benchTraces();
+    uint32_t procs = static_cast<uint32_t>(state.range(0));
+    sim::SimConfig cfg;
+    cfg.processors = procs;
+    cfg.contexts = (16 + procs - 1) / procs;
+    cfg.cacheBytes = 32 * 1024;
+    experiment::applyMemSystem(cfg, experiment::MemSystem::Contended);
+
+    util::Rng rng(1);
+    auto map = placement::randomPlacement(16, procs, rng);
+    uint64_t refs = 0;
+    for (auto _ : state) {
+        auto stats = sim::simulate(cfg, traces, map);
+        refs += stats.totalMemRefs();
+        benchmark::DoNotOptimize(stats.executionTime());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(refs));
+    state.SetLabel("memory references/s");
+}
+BENCHMARK(BM_SimulateMemSystem)->Arg(4)->Arg(16);
 
 void
 BM_SimulateCacheSize(benchmark::State &state)

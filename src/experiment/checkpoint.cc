@@ -19,7 +19,9 @@ namespace tsp::experiment {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'S', 'P', 'C'};
-constexpr uint32_t kVersion = 1;
+// v2: job keys carry the memory-system variant; RunResult payloads
+// carry the shared-L2 counters.
+constexpr uint32_t kVersion = 2;
 constexpr size_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint32_t);
 constexpr size_t kFrameBytes = 2 * sizeof(uint32_t);
 
@@ -36,6 +38,7 @@ Checkpoint::keyOf(const RunJob &job)
     key.processors = job.point.processors;
     key.contexts = job.point.contexts;
     key.infiniteCache = job.infiniteCache ? 1 : 0;
+    key.memSystem = static_cast<uint8_t>(job.memSystem);
     return key;
 }
 
@@ -108,6 +111,7 @@ Checkpoint::load()
             key.processors = r.u32();
             key.contexts = r.u32();
             key.infiniteCache = r.u8();
+            key.memSystem = r.u8();
             RunResult result = codec::readRunResult(r);
             util::fatalIf(!r.done(),
                           "checkpoint record has trailing bytes");
@@ -154,6 +158,7 @@ Checkpoint::record(const RunJob &job, const RunResult &result)
     payload.u32(key.processors);
     payload.u32(key.contexts);
     payload.u8(key.infiniteCache);
+    payload.u8(key.memSystem);
     codec::writeRunResult(payload, result);
 
     codec::ByteWriter frame;

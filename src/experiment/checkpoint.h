@@ -6,7 +6,10 @@
  * result to an on-disk file so a killed multi-hour sweep resumes by
  * replaying the journal and simulating only the missing cells.
  *
- * File format ("TSPC", version 1, little-endian):
+ * File format ("TSPC", version 2, little-endian; version 2 added the
+ * memory-system variant to the job key and the shared-L2 counters to
+ * the serialized statistics — older journals are rejected with a
+ * clear error rather than silently misread):
  *
  *     magic "TSPC" | u32 version | u32 workload scale
  *     record*:  u32 payloadBytes | u32 crc32(payload) | payload
@@ -81,6 +84,7 @@ class Checkpoint
         uint32_t processors = 0;
         uint32_t contexts = 0;
         uint8_t infiniteCache = 0;
+        uint8_t memSystem = 0;
 
         auto operator<=>(const Key &) const = default;
     };

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/config.h"
+
 namespace tsp::experiment {
 
 /** One point of the processors/contexts sweep. */
@@ -31,6 +33,42 @@ struct MachinePoint
  * to hold all threads.
  */
 std::vector<MachinePoint> standardSweep(uint32_t threads);
+
+/**
+ * Memory-system scenario: a named bundle of SimConfig memory knobs
+ * that the hierarchy study sweeps alongside placement algorithm and
+ * machine point. The variants are cumulative — each adds one modern
+ * feature on top of the previous — so the study reads as a bridge
+ * from the paper's 1994 machine to a contended multi-level machine:
+ *
+ *  - Flat1994:  the seed model (MESI, no L2, contention-free flat
+ *               latency) — bit-identical to every existing result;
+ *  - SharedL2:  + an inclusive shared L2 of 4x the L1 capacity
+ *               (8-way, 12-cycle hits);
+ *  - Moesi:     + the MOESI protocol (dirty sharing, no downgrade
+ *               writebacks);
+ *  - Contended: + a queued interconnect (one address-interleaved
+ *               link per processor, 6-cycle occupancy).
+ */
+enum class MemSystem : uint8_t {
+    Flat1994 = 0,
+    SharedL2 = 1,
+    Moesi = 2,
+    Contended = 3,
+};
+
+/** Every MemSystem variant, in cumulative order. */
+std::vector<MemSystem> allMemSystems();
+
+/** Display name ("flat-1994", "shared-l2", "moesi", "contended"). */
+std::string memSystemName(MemSystem ms);
+
+/**
+ * Overlay @p ms onto @p cfg (whose processors/cacheBytes must already
+ * be set — the L2 is sized off the L1). Flat1994 leaves @p cfg
+ * untouched, so the default path stays bit-identical to the seed.
+ */
+void applyMemSystem(sim::SimConfig &cfg, MemSystem ms);
 
 } // namespace tsp::experiment
 

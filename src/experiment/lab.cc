@@ -107,7 +107,7 @@ Lab::warmup(AppId app, bool coherence)
 
 sim::SimConfig
 Lab::configFor(AppId app, const MachinePoint &point,
-               bool infiniteCache) const
+               bool infiniteCache, MemSystem memSystem) const
 {
     sim::SimConfig cfg;
     cfg.processors = point.processors;
@@ -115,6 +115,7 @@ Lab::configFor(AppId app, const MachinePoint &point,
     cfg.cacheBytes = infiniteCache
         ? 8ull * 1024 * 1024
         : workload::scaledCacheBytes(app, scale_);
+    applyMemSystem(cfg, memSystem);
     cfg.validate();
     return cfg;
 }
@@ -144,12 +145,13 @@ Lab::placementFor(AppId app, Algorithm alg, uint32_t processors)
 
 RunResult
 Lab::run(AppId app, Algorithm alg, const MachinePoint &point,
-         bool infiniteCache)
+         bool infiniteCache, MemSystem memSystem)
 {
     // Validate the machine point first: an invalid point must surface
     // as FatalError (so a sweep can isolate the bad cell) before the
     // placement algorithms ever see its processor count.
-    sim::SimConfig cfg = configFor(app, point, infiniteCache);
+    sim::SimConfig cfg = configFor(app, point, infiniteCache,
+                                   memSystem);
     // One analysis lookup serves the placement, the load-imbalance
     // figure and the thread lengths for the whole run.
     const analysis::StaticAnalysis &an = analysis(app);

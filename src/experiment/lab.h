@@ -120,10 +120,15 @@ class Lab
      */
     void warmup(workload::AppId app, bool coherence = false);
 
-    /** Architectural configuration for @p app at @p point. */
+    /**
+     * Architectural configuration for @p app at @p point, with the
+     * @p memSystem scenario overlaid (Flat1994 = the seed model).
+     */
     sim::SimConfig configFor(workload::AppId app,
                              const MachinePoint &point,
-                             bool infiniteCache = false) const;
+                             bool infiniteCache = false,
+                             MemSystem memSystem =
+                                 MemSystem::Flat1994) const;
 
     /** Build the placement of @p alg for @p app on @p processors. */
     placement::PlacementMap placementFor(workload::AppId app,
@@ -133,7 +138,8 @@ class Lab
     /** Place with @p alg and simulate @p app at @p point. */
     RunResult run(workload::AppId app, placement::Algorithm alg,
                   const MachinePoint &point,
-                  bool infiniteCache = false);
+                  bool infiniteCache = false,
+                  MemSystem memSystem = MemSystem::Flat1994);
 
   private:
     /**

@@ -22,12 +22,12 @@ namespace tsp::experiment {
 namespace {
 
 /** Orderable identity of a job, for deduplication. */
-std::tuple<int, int, uint32_t, uint32_t, bool>
+std::tuple<int, int, uint32_t, uint32_t, bool, int>
 jobKey(const RunJob &job)
 {
     return {static_cast<int>(job.app), static_cast<int>(job.alg),
             job.point.processors, job.point.contexts,
-            job.infiniteCache};
+            job.infiniteCache, static_cast<int>(job.memSystem)};
 }
 
 } // namespace
@@ -54,7 +54,10 @@ describeJob(const RunJob &job)
     return workload::appName(job.app) + "/" +
            placement::algorithmName(job.alg) + "@" +
            job.point.label() +
-           (job.infiniteCache ? " (8MB cache)" : "");
+           (job.infiniteCache ? " (8MB cache)" : "") +
+           (job.memSystem != MemSystem::Flat1994
+                ? " [" + memSystemName(job.memSystem) + "]"
+                : "");
 }
 
 std::string
@@ -84,7 +87,8 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
     // Deduplicate: unique jobs simulate once, duplicates copy.
     std::vector<size_t> uniqueOf(jobs.size());
     std::vector<size_t> uniqueJobs;
-    std::map<std::tuple<int, int, uint32_t, uint32_t, bool>, size_t>
+    std::map<std::tuple<int, int, uint32_t, uint32_t, bool, int>,
+             size_t>
         firstSeen;
     for (size_t i = 0; i < jobs.size(); ++i) {
         auto [it, inserted] =
@@ -214,7 +218,8 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
             if (options_.faultInjector)
                 options_.faultInjector(job);
             RunResult result = lab_.run(job.app, job.alg, job.point,
-                                        job.infiniteCache);
+                                        job.infiniteCache,
+                                        job.memSystem);
             double cellMs = cellWatch.elapsedMs();
             uniqueMillis[u] = cellMs;
             sinkCell(job, cellMs);
@@ -256,7 +261,8 @@ ParallelRunner::runAllOutcomes(const std::vector<RunJob> &jobs)
                 Prep prep;
                 prep.u = u;
                 prep.cfg = lab_.configFor(job.app, job.point,
-                                          job.infiniteCache);
+                                          job.infiniteCache,
+                                          job.memSystem);
                 prep.placement = lab_.placementFor(
                     job.app, job.alg, job.point.processors);
                 preps.push_back(std::move(prep));

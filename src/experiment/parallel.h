@@ -52,6 +52,9 @@ struct RunJob
     placement::Algorithm alg{};
     MachinePoint point;
     bool infiniteCache = false;
+
+    /** Memory-system scenario (Flat1994 = the paper's machine). */
+    MemSystem memSystem = MemSystem::Flat1994;
 };
 
 /** Human-readable job identity, e.g. "Water/SHARE-REFS@4p x 2c". */

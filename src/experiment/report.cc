@@ -131,13 +131,14 @@ writeFailuresCsv(const std::string &path,
 {
     CsvWriter csv(path);
     csv.header({"application", "algorithm", "processors", "contexts",
-                "infinite_cache", "error"});
+                "infinite_cache", "mem_system", "error"});
     for (const auto &f : failures) {
         csv.row({workload::appName(f.job.app),
                  placement::algorithmName(f.job.alg),
                  std::to_string(f.job.point.processors),
                  std::to_string(f.job.point.contexts),
-                 f.job.infiniteCache ? "1" : "0", f.error});
+                 f.job.infiniteCache ? "1" : "0",
+                 memSystemName(f.job.memSystem), f.error});
     }
 }
 
@@ -155,6 +156,30 @@ writeExecTimeCsv(const std::string &path,
                  std::to_string(pt.point.contexts),
                  std::to_string(pt.cycles),
                  num(pt.normalizedToRandom), num(pt.loadImbalance),
+                 util::fmtFixed(pt.wallMs, 3),
+                 statusCell(pt.failed, pt.error)});
+    }
+}
+
+void
+writeHierarchyCsv(const std::string &path,
+                  const std::vector<HierarchyPoint> &points)
+{
+    CsvWriter csv(path);
+    csv.header({"mem_system", "algorithm", "processors", "contexts",
+                "cycles", "normalized_to_random", "l2_hits",
+                "l2_misses", "net_queueing_cycles", "wall_ms",
+                "status"});
+    for (const auto &pt : points) {
+        csv.row({memSystemName(pt.memSystem),
+                 placement::algorithmName(pt.alg),
+                 std::to_string(pt.point.processors),
+                 std::to_string(pt.point.contexts),
+                 std::to_string(pt.cycles),
+                 num(pt.normalizedToRandom),
+                 std::to_string(pt.l2Hits),
+                 std::to_string(pt.l2Misses),
+                 std::to_string(pt.netQueueingCycles),
                  util::fmtFixed(pt.wallMs, 3),
                  statusCell(pt.failed, pt.error)});
     }

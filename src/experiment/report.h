@@ -74,6 +74,10 @@ void writeFailuresCsv(const std::string &path,
 void writeExecTimeCsv(const std::string &path,
                       const std::vector<ExecTimePoint> &points);
 
+/** Write a memory-hierarchy study (hierarchy report layout) as CSV. */
+void writeHierarchyCsv(const std::string &path,
+                       const std::vector<HierarchyPoint> &points);
+
 /** Write a miss-component study (Figure 5 layout) as CSV. */
 void writeMissComponentsCsv(const std::string &path,
                             const std::vector<MissComponentRow> &rows);

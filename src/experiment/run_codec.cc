@@ -103,6 +103,11 @@ writeRunResult(ByteWriter &w, const RunResult &result)
     w.u64(stats.networkTransactions);
     w.u64(stats.networkQueueingCycles);
     w.u64(stats.networkMaxQueueing);
+
+    w.u64(stats.l2Hits);
+    w.u64(stats.l2Misses);
+    w.u64(stats.l2Writebacks);
+    w.u64(stats.l2BackInvalidations);
 }
 
 RunResult
@@ -161,6 +166,11 @@ readRunResult(ByteReader &r)
     stats.networkTransactions = r.u64();
     stats.networkQueueingCycles = r.u64();
     stats.networkMaxQueueing = r.u64();
+
+    stats.l2Hits = r.u64();
+    stats.l2Misses = r.u64();
+    stats.l2Writebacks = r.u64();
+    stats.l2BackInvalidations = r.u64();
     return result;
 }
 

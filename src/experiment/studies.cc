@@ -184,6 +184,105 @@ missComponentStudy(Lab &lab, AppId app,
     return missComponentStudy(lab, app, algs, options);
 }
 
+std::vector<HierarchyPoint>
+hierarchyStudy(Lab &lab, AppId app,
+               const std::vector<Algorithm> &algs,
+               const SweepOptions &options)
+{
+    const analysis::StaticAnalysis &an = lab.analysis(app);
+    const auto sweep =
+        standardSweep(static_cast<uint32_t>(an.threadCount()));
+    const auto systems = allMemSystems();
+
+    // Job layout mirrors execTimeStudy, once per memory system: per
+    // (system, point), the RANDOM baseline then every non-RANDOM
+    // algorithm. RANDOM rows reuse the baseline.
+    std::vector<RunJob> fanout;
+    std::vector<std::vector<size_t>> randomIdx(systems.size());
+    std::vector<std::vector<std::vector<size_t>>> algIdx(
+        systems.size());
+    for (size_t m = 0; m < systems.size(); ++m) {
+        randomIdx[m].resize(sweep.size());
+        algIdx[m].resize(sweep.size());
+        for (size_t p = 0; p < sweep.size(); ++p) {
+            randomIdx[m][p] = fanout.size();
+            fanout.push_back({app, Algorithm::Random, sweep[p],
+                              false, systems[m]});
+            algIdx[m][p].reserve(algs.size());
+            for (Algorithm alg : algs) {
+                if (alg == Algorithm::Random) {
+                    algIdx[m][p].push_back(randomIdx[m][p]);
+                } else {
+                    algIdx[m][p].push_back(fanout.size());
+                    fanout.push_back(
+                        {app, alg, sweep[p], false, systems[m]});
+                }
+            }
+        }
+    }
+
+    std::vector<double> cellMillis;
+    SweepOptions runOptions = options;
+    runOptions.cellMillisOut = &cellMillis;
+    auto outcomes =
+        ParallelRunner(lab, runOptions).runAllOutcomes(fanout);
+    collectFailures(fanout, outcomes, options.failures);
+    if (options.cellMillisOut)
+        *options.cellMillisOut = cellMillis;
+
+    std::vector<HierarchyPoint> out;
+    out.reserve(systems.size() * sweep.size() * algs.size());
+    for (size_t m = 0; m < systems.size(); ++m) {
+        for (size_t p = 0; p < sweep.size(); ++p) {
+            const auto &baseline = outcomes[randomIdx[m][p]];
+            for (size_t a = 0; a < algs.size(); ++a) {
+                const auto &oc = outcomes[algIdx[m][p][a]];
+                HierarchyPoint pt;
+                pt.memSystem = systems[m];
+                pt.alg = algs[a];
+                pt.point = sweep[p];
+                pt.wallMs = cellMillis[algIdx[m][p][a]];
+                if (!oc.ok()) {
+                    pt.failed = true;
+                    pt.error = oc.error();
+                } else {
+                    const RunResult &r = oc.value();
+                    pt.cycles = r.executionTime;
+                    pt.l2Hits = r.stats.l2Hits;
+                    pt.l2Misses = r.stats.l2Misses;
+                    pt.netQueueingCycles =
+                        r.stats.networkQueueingCycles;
+                    if (!baseline.ok()) {
+                        pt.failed = true;
+                        pt.error = "RANDOM baseline failed: " +
+                                   baseline.error();
+                    } else {
+                        const RunResult &random = baseline.value();
+                        util::fatalIf(
+                            random.executionTime == 0,
+                            "RANDOM baseline ran for zero cycles");
+                        pt.normalizedToRandom =
+                            static_cast<double>(pt.cycles) /
+                            static_cast<double>(
+                                random.executionTime);
+                    }
+                }
+                out.push_back(pt);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<HierarchyPoint>
+hierarchyStudy(Lab &lab, AppId app,
+               const std::vector<Algorithm> &algs, unsigned jobs)
+{
+    SweepOptions options;
+    options.jobs = jobs;
+    return hierarchyStudy(lab, app, algs, options);
+}
+
 Table4Row
 table4Row(Lab &lab, AppId app)
 {

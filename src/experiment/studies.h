@@ -111,6 +111,55 @@ std::vector<MissComponentRow> missComponentStudy(
     const std::vector<placement::Algorithm> &algs,
     const SweepOptions &options);
 
+// --------------------------------------------------------- Hierarchy study
+
+/** One (memory system, algorithm, machine point) cell. */
+struct HierarchyPoint
+{
+    MemSystem memSystem = MemSystem::Flat1994;
+    placement::Algorithm alg;
+    MachinePoint point;
+    uint64_t cycles = 0;
+
+    /**
+     * Normalized to RANDOM under the *same* memory system at the same
+     * point, so each variant's bars are internally comparable and the
+     * placement sensitivity can be read per memory system.
+     */
+    double normalizedToRandom = 0.0;
+
+    /** Shared-L2 and interconnect behavior of this cell. */
+    uint64_t l2Hits = 0;
+    uint64_t l2Misses = 0;
+    uint64_t netQueueingCycles = 0;
+
+    /** @copydoc ExecTimePoint::wallMs */
+    double wallMs = 0.0;
+
+    /** Cell failed (only in degraded sweeps); @ref error says why. */
+    bool failed = false;
+    std::string error;
+};
+
+/**
+ * Placement sensitivity across memory-system variants: every algorithm
+ * in @p algs at every standard machine point, under every variant in
+ * allMemSystems(), normalized to RANDOM under the same variant at the
+ * same point. This is the bridge study from the paper's flat 1994
+ * machine to a modern shared-L2/MOESI/contended-interconnect memory
+ * system (see docs/memory_system.md).
+ */
+std::vector<HierarchyPoint> hierarchyStudy(
+    Lab &lab, workload::AppId app,
+    const std::vector<placement::Algorithm> &algs,
+    unsigned jobs = util::ThreadPool::defaultJobs());
+
+/** @copydoc hierarchyStudy with full robustness options. */
+std::vector<HierarchyPoint> hierarchyStudy(
+    Lab &lab, workload::AppId app,
+    const std::vector<placement::Algorithm> &algs,
+    const SweepOptions &options);
+
 // ----------------------------------------------------------------- Table 4
 
 /** One application's row of Table 4. */

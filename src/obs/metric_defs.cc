@@ -125,6 +125,13 @@ TSP_OBS_GAUGE(simDirEntries, "sim.dir_entries", "sim::Directory",
 TSP_OBS_GAUGE(simHistoryEntries, "sim.history_entries", "sim::Cache",
               "summed per-cache departure-history entries after a run "
               "(max = largest run)")
+TSP_OBS_COUNTER(simL2Hits, "sim.l2_hits", "sim::SharedL2",
+                "L1 misses filled from the shared L2")
+TSP_OBS_COUNTER(simL2Misses, "sim.l2_misses", "sim::SharedL2",
+                "L1 misses the shared L2 also missed (memory fills)")
+TSP_OBS_COUNTER(simNetQueueDelay, "sim.net_queue_delay",
+                "sim::Interconnect",
+                "cycles transactions waited on busy links/channels")
 
 TSP_OBS_COUNTER(traceChunkRefills, "trace.chunk_refills",
                 "trace::SharedTraceStream",
@@ -213,6 +220,9 @@ allMetrics()
     simUpgrades();
     simDirEntries();
     simHistoryEntries();
+    simL2Hits();
+    simL2Misses();
+    simNetQueueDelay();
     traceChunkRefills();
     traceWindowEvents();
     traceResidentBytes();

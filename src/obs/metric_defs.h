@@ -64,6 +64,9 @@ Counter &simInvalidationsSent(); //!< directory invalidation messages
 Counter &simUpgrades();          //!< directory upgrade transactions
 Gauge &simDirEntries();          //!< directory table size after a run
 Gauge &simHistoryEntries();      //!< summed cache-history sizes
+Counter &simL2Hits();            //!< shared-L2 hits on L1 misses
+Counter &simL2Misses();          //!< shared-L2 misses (memory fills)
+Counter &simNetQueueDelay();     //!< cycles waited on busy links
 
 // ----------------------------------------- trace::SharedTraceStream
 Counter &traceChunkRefills();     //!< chunks pulled from producers

@@ -50,6 +50,19 @@ Cache::recordEviction(uint64_t block, uint32_t evictor)
     *history_.tryEmplace(block).first = {Departure::Evicted, evictor};
 }
 
+Cache::BackInval
+Cache::backInvalidate(uint64_t block, uint32_t causerTid)
+{
+    Frame *f = lookup(block);
+    if (!f)
+        return {};
+    BackInval out{true, f->dirty()};
+    f->state = CoherenceState::Invalid;
+    *history_.tryEmplace(block).first = {Departure::Evicted,
+                                         causerTid};
+    return out;
+}
+
 int32_t
 Cache::invalidate(uint64_t block, uint32_t writerTid)
 {

@@ -21,12 +21,18 @@
 
 namespace tsp::sim {
 
-/** MESI-style per-frame coherence state. */
+/**
+ * Per-frame coherence state. Which states a frame may occupy depends
+ * on SimConfig::protocol: MSI uses {I, S, M}, MESI adds Exclusive,
+ * MOESI adds Owned (a dirty copy whose block other caches share
+ * clean — the M->O downgrade that saves MOESI its writebacks).
+ */
 enum class CoherenceState : uint8_t {
     Invalid = 0,
     Shared = 1,
     Exclusive = 2,
     Modified = 3,
+    Owned = 4,
 };
 
 /**
@@ -45,7 +51,12 @@ class Cache
         CoherenceState state = CoherenceState::Invalid;
 
         bool valid() const { return state != CoherenceState::Invalid; }
-        bool dirty() const { return state == CoherenceState::Modified; }
+        bool
+        dirty() const
+        {
+            return state == CoherenceState::Modified ||
+                   state == CoherenceState::Owned;
+        }
     };
 
     /** Construct from the architectural configuration. */
@@ -148,6 +159,22 @@ class Cache
      * thread id, or -1 if the block was not present.
      */
     int32_t invalidate(uint64_t block, uint32_t writerTid);
+
+    /** Outcome of an inclusion-driven back-invalidation. */
+    struct BackInval
+    {
+        bool present = false;   //!< the block was in this cache
+        bool wasDirty = false;  //!< the departing copy was M or O
+    };
+
+    /**
+     * Remove @p block because the inclusive shared L2 evicted it
+     * (back-invalidation, sim/l2_cache.h). Unlike invalidate(), the
+     * departure is recorded as an *eviction* by @p causerTid — the
+     * thread whose L2 fill displaced the block — so a later re-miss
+     * classifies as a conflict miss, not a coherence invalidation.
+     */
+    BackInval backInvalidate(uint64_t block, uint32_t causerTid);
 
     /** Number of frames (sets x ways). */
     size_t numFrames() const { return frames_.size(); }

@@ -42,6 +42,17 @@ setDefaultParanoidEvery(uint64_t every)
     paranoidOverride.store(every, std::memory_order_relaxed);
 }
 
+std::string
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::Msi:   return "MSI";
+      case Protocol::Mesi:  return "MESI";
+      case Protocol::Moesi: return "MOESI";
+    }
+    util::panic("unknown coherence protocol");
+}
+
 void
 SimConfig::validate() const
 {
@@ -62,6 +73,62 @@ SimConfig::validate() const
                                    associativity,
                   "cache smaller than one set");
     util::fatalIf(hitLatency == 0, "hit latency must be >= 1 cycle");
+    util::fatalIf(protocol != Protocol::Msi &&
+                      protocol != Protocol::Mesi &&
+                      protocol != Protocol::Moesi,
+                  "unknown coherence protocol");
+    if (l2Bytes > 0) {
+        util::fatalIf(!util::isPow2(l2Bytes),
+                      "L2 size must be 2^k bytes");
+        util::fatalIf(!util::isPow2(l2Associativity) ||
+                          l2Associativity > 64,
+                      "L2 associativity must be a power of two <= 64");
+        util::fatalIf(l2Bytes < static_cast<uint64_t>(blockBytes) *
+                                    l2Associativity,
+                      "L2 smaller than one set");
+        util::fatalIf(l2HitLatency == 0 ||
+                          l2HitLatency >= memoryLatency,
+                      "L2 hit latency must be in [1, memoryLatency)");
+    }
+    util::fatalIf(networkLinks > 4096, "implausible link count");
+    util::fatalIf(networkLinks > 0 && networkChannels > 0,
+                  "networkLinks and networkChannels are alternative "
+                  "contention models; enable at most one");
+    util::fatalIf(networkLinks > 0 && linkOccupancy == 0,
+                  "link occupancy must be >= 1 cycle");
+}
+
+std::vector<MemSystemKnob>
+memSystemKnobs()
+{
+    const SimConfig d;  // defaults come from the code, never the doc
+    auto num = [](uint64_t v) { return std::to_string(v); };
+    auto onOff = [](bool v) { return std::string(v ? "true" : "false"); };
+    return {
+        {"cacheBytes", num(d.cacheBytes),
+         "power of two >= blockBytes"},
+        {"blockBytes", num(d.blockBytes), "power of two in [4, 4096]"},
+        {"associativity", num(d.associativity),
+         "power of two in [1, 64]"},
+        {"hitLatency", num(d.hitLatency), ">= 1 cycle"},
+        {"memoryLatency", num(d.memoryLatency), ">= 1 cycle"},
+        {"stallOnUpgrade", onOff(d.stallOnUpgrade), "true / false"},
+        {"protocol", protocolName(d.protocol), "MSI / MESI / MOESI"},
+        {"l2Bytes", num(d.l2Bytes),
+         "0 (no L2) or a power of two >= blockBytes x l2Associativity"},
+        {"l2Associativity", num(d.l2Associativity),
+         "power of two in [1, 64]"},
+        {"l2HitLatency", num(d.l2HitLatency), "[1, memoryLatency)"},
+        {"l2Inclusive", onOff(d.l2Inclusive), "true / false"},
+        {"networkChannels", num(d.networkChannels),
+         "0 (contention-free) or [1, 4096]; exclusive with "
+         "networkLinks"},
+        {"channelOccupancy", num(d.channelOccupancy), ">= 1 cycle"},
+        {"networkLinks", num(d.networkLinks),
+         "0 (contention-free) or [1, 4096]; exclusive with "
+         "networkChannels"},
+        {"linkOccupancy", num(d.linkOccupancy), ">= 1 cycle"},
+    };
 }
 
 std::string
@@ -76,6 +143,17 @@ SimConfig::describe() const
         os << associativity << "-way";
     os << " (" << blockBytes << "B blocks), miss " << memoryLatency
        << "cy, switch " << contextSwitchCycles << "cy";
+    if (protocol != Protocol::Mesi)
+        os << ", " << protocolName(protocol);
+    if (l2Bytes > 0) {
+        os << ", " << (l2Inclusive ? "inclusive" : "exclusive")
+           << " shared L2 " << util::fmtBytes(l2Bytes) << ' '
+           << l2Associativity << "-way " << l2HitLatency << "cy";
+    }
+    if (networkLinks > 0) {
+        os << ", " << networkLinks << " queued links ("
+           << linkOccupancy << "cy occupancy)";
+    }
     if (paranoidEvery)
         os << ", paranoid every " << paranoidEvery << " refs";
     return os.str();

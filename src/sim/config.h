@@ -16,8 +16,30 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace tsp::sim {
+
+/**
+ * Coherence protocol family. The paper's directory grants Exclusive on
+ * sole read misses (MESI-style, see sim/directory.h); the knob exists
+ * so the protocol itself can be a sweep axis:
+ *
+ *  - Msi: no Exclusive state — a sole reader gets Shared, so every
+ *    first store pays an upgrade transaction even on private data;
+ *  - Mesi: the default, faithful to the reproduction's seed model;
+ *  - Moesi: adds the Owned state — a read miss on a Modified block
+ *    leaves the dirty data in the owner's cache (M -> O, no writeback)
+ *    and the owner keeps supplying it while sharers hold clean copies.
+ */
+enum class Protocol : uint8_t {
+    Msi = 0,
+    Mesi = 1,
+    Moesi = 2,
+};
+
+/** Display name ("MSI", "MESI", "MOESI"). */
+std::string protocolName(Protocol p);
 
 /**
  * The process-wide default for SimConfig::paranoidEvery: the last
@@ -69,6 +91,32 @@ struct SimConfig
     /** Flat interconnect/memory latency applied to every miss. */
     uint32_t memoryLatency = 50;
 
+    /** Coherence protocol (sim/directory.h). MESI is the default. */
+    Protocol protocol = Protocol::Mesi;
+
+    /**
+     * Shared L2/LLC capacity in bytes (power of two). 0 (default)
+     * disables the L2 entirely — the paper's one-level hierarchy — so
+     * every L1 miss pays the full memoryLatency. When enabled, L1
+     * misses that hit the shared L2 pay l2HitLatency instead (see
+     * sim/l2_cache.h).
+     */
+    uint64_t l2Bytes = 0;
+
+    /** Shared L2 associativity (ways per set, power of two). */
+    uint32_t l2Associativity = 8;
+
+    /** Latency of an L1 miss served by the shared L2, in cycles. */
+    uint32_t l2HitLatency = 12;
+
+    /**
+     * Shared L2 inclusion policy. Inclusive (default): every L1-resident
+     * block is also in the L2, and an L2 eviction back-invalidates the
+     * L1 copies. Exclusive: the L2 is a victim cache holding only
+     * blocks resident in no L1.
+     */
+    bool l2Inclusive = true;
+
     /**
      * Interconnect channels. 0 (default) reproduces the paper's
      * contention-free multipath network; a positive count bounds the
@@ -79,6 +127,18 @@ struct SimConfig
 
     /** Channel occupancy per transaction, in cycles. */
     uint32_t channelOccupancy = 4;
+
+    /**
+     * Queued-interconnect contention model: address-interleaved links,
+     * each a FIFO a transaction occupies for linkOccupancy cycles, so
+     * latency grows with the queue a miss finds. 0 (default) keeps the
+     * paper's contention-free flat latency. Mutually exclusive with
+     * networkChannels (see sim/interconnect.h).
+     */
+    uint32_t networkLinks = 0;
+
+    /** Link occupancy per transaction, in cycles. */
+    uint32_t linkOccupancy = 6;
 
     /** Cycles to drain the pipeline on a context switch. */
     uint32_t contextSwitchCycles = 6;
@@ -128,7 +188,36 @@ struct SimConfig
         c.cacheBytes = 8ull * 1024 * 1024;
         return c;
     }
+
+    /** Number of L2 sets (meaningful only when l2Bytes > 0). */
+    uint64_t
+    numL2Sets() const
+    {
+        return l2Bytes / blockBytes / l2Associativity;
+    }
 };
+
+/**
+ * One memory-system knob of SimConfig, as documented in
+ * docs/memory_system.md. The `def` and `range` strings are the
+ * machine-checked contract: `tests/memsys_doc_test.cc` diffs this
+ * catalog against the doc's reference table, so a knob added or a
+ * default changed without its doc row fails the build's test suite.
+ */
+struct MemSystemKnob
+{
+    std::string name;   //!< SimConfig field name, e.g. "l2Bytes"
+    std::string def;    //!< default value, rendered as in the doc
+    std::string range;  //!< valid range, rendered as in the doc
+};
+
+/**
+ * The catalog of every memory-system knob (caches, protocol,
+ * interconnect) with its default and valid range. Built from a
+ * default-constructed SimConfig so the defaults here can never drift
+ * from the code.
+ */
+std::vector<MemSystemKnob> memSystemKnobs();
 
 } // namespace tsp::sim
 

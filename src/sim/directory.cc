@@ -31,7 +31,8 @@ Directory::Entry::sharerCount() const
                                  std::popcount(sharers[1]));
 }
 
-Directory::Directory(uint32_t processors) : processors_(processors)
+Directory::Directory(uint32_t processors, Protocol protocol)
+    : processors_(processors), protocol_(protocol)
 {
     util::fatalIf(processors == 0 || processors > 128,
                   "directory supports 1..128 processors");
@@ -48,17 +49,40 @@ Directory::read(uint32_t proc, uint32_t tid, uint64_t block)
 
     switch (e->state) {
       case State::Uncached:
-        e->state = State::Owned;
-        e->owner = proc;
-        e->addSharer(proc);
-        txn.grantedExclusive = true;
+        if (protocol_ == Protocol::Msi) {
+            // MSI has no Exclusive state: a sole reader still only
+            // gets Shared, so its first store pays an upgrade.
+            e->state = State::Shared;
+            e->addSharer(proc);
+        } else {
+            e->state = State::Owned;
+            e->owner = proc;
+            e->addSharer(proc);
+            txn.grantedExclusive = true;
+        }
         break;
       case State::Owned:
         util::panicIf(e->owner == proc,
                       "read miss on a block this processor owns");
         txn.downgradeOwner = true;
         txn.prevOwner = e->owner;
-        e->state = State::Shared;
+        if (protocol_ == Protocol::Moesi) {
+            // Keep the owner on record: if its copy turns out dirty
+            // the Machine leaves it Owned (M -> O, no writeback); if
+            // clean it calls demoteToShared() to collapse to Shared.
+            e->state = State::SharedOwned;
+        } else {
+            e->state = State::Shared;
+        }
+        e->addSharer(proc);
+        break;
+      case State::SharedOwned:
+        util::panicIf(protocol_ != Protocol::Moesi,
+                      "SharedOwned entry outside MOESI");
+        util::panicIf(e->isSharer(proc),
+                      "read miss on a block this processor shares");
+        // The owner keeps supplying the dirty data; the new reader
+        // just joins the sharer set.
         e->addSharer(proc);
         break;
       case State::Shared:
@@ -90,6 +114,10 @@ Directory::write(uint32_t proc, uint32_t tid, uint64_t block)
                       "already owns");
         txn.invalidate[e->owner >> 6] |= 1ull << (e->owner & 63);
         break;
+      case State::SharedOwned:
+        util::panicIf(protocol_ != Protocol::Moesi,
+                      "SharedOwned entry outside MOESI");
+        [[fallthrough]];
       case State::Shared:
         // Every current sharer except the writer loses its copy: the
         // victim set is the sharer mask itself, no per-processor scan.
@@ -105,6 +133,14 @@ Directory::write(uint32_t proc, uint32_t tid, uint64_t block)
     e->lastToucher = static_cast<int32_t>(tid);
     txn.entry = e;
     return txn;
+}
+
+void
+Directory::demoteToShared(Entry *e)
+{
+    util::panicIf(e == nullptr || e->state != State::SharedOwned,
+                  "demoteToShared on a non-SharedOwned entry");
+    e->state = State::Shared;
 }
 
 void
@@ -126,9 +162,11 @@ Directory::evictEntry(uint32_t proc, Entry *e)
     e->dropSharer(proc);
     if (e->sharerCount() == 0) {
         e->state = State::Uncached;
-    } else if (e->state == State::Owned) {
-        // The owner left; remaining copies (none possible under MESI,
-        // but be safe) become Shared.
+    } else if (e->state == State::Owned ||
+               (e->state == State::SharedOwned && e->owner == proc)) {
+        // The owner left; remaining copies become plain Shared. (For
+        // SharedOwned the departing O copy wrote its dirty data back,
+        // which the Machine accounts for from the frame's dirty bit.)
         e->state = State::Shared;
     }
 }

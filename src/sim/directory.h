@@ -42,7 +42,10 @@ class Directory
     enum class State : uint8_t {
         Uncached = 0,  //!< in no cache
         Shared = 1,    //!< clean copies in >= 1 cache
-        Owned = 2,     //!< exactly one cache holds it (E or M)
+        Owned = 2,     //!< exactly one cache holds it (E or M;
+                       //!< M only under MSI)
+        SharedOwned = 3, //!< MOESI only: `owner` holds a dirty O copy,
+                         //!< other sharers hold clean S copies
     };
 
     /** Sharer/invalidation bitmask words; ties the mask to the cap. */
@@ -57,7 +60,8 @@ class Directory
         std::array<uint64_t, kMaskWords> sharers{};  //!< bitmask over
                                                      //!< processors
         State state = State::Uncached;
-        uint32_t owner = 0;       //!< valid when state == Owned
+        uint32_t owner = 0;       //!< valid when state is Owned or
+                                  //!< SharedOwned
         int32_t lastWriter = -1;  //!< last thread to write the block
         int32_t lastToucher = -1; //!< last thread to access the block
 
@@ -146,8 +150,15 @@ class Directory
         }
     };
 
-    /** Construct for @p processors processors (<= 128). */
-    explicit Directory(uint32_t processors);
+    /**
+     * Construct for @p processors processors (<= 128) running
+     * @p protocol. The protocol decides what a read miss is granted
+     * (MSI never grants Exclusive) and whether a read of an Owned
+     * block evicts the dirty copy (MOESI keeps it, entering
+     * SharedOwned).
+     */
+    explicit Directory(uint32_t processors,
+                       Protocol protocol = Protocol::Mesi);
 
     /**
      * Pre-size the entry table for @p blocks distinct blocks, so the
@@ -169,6 +180,14 @@ class Directory
      */
     Txn write(uint32_t proc, uint32_t tid, uint64_t block);
 
+    /**
+     * MOESI only: a read found the block Owned but the Machine saw the
+     * owner's copy was clean (Exclusive, not Modified), so there is no
+     * dirty data to keep supplying — collapse the tentative
+     * SharedOwned state read() set back to plain Shared.
+     */
+    void demoteToShared(Entry *e);
+
     /** Eviction notification from @p proc for @p block. */
     void evict(uint32_t proc, uint64_t block);
 
@@ -188,6 +207,9 @@ class Directory
     /** Processor count this directory was built for. */
     uint32_t processors() const { return processors_; }
 
+    /** Protocol this directory was built for. */
+    Protocol protocol() const { return protocol_; }
+
     /**
      * Visit every (block, entry) pair, in unspecified order. Used by
      * the paranoid-mode InvariantChecker to cross-check the directory
@@ -202,6 +224,7 @@ class Directory
 
   private:
     uint32_t processors_;
+    Protocol protocol_;
     util::FlatMap<uint64_t, Entry> entries_;
 };
 

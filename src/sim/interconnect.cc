@@ -11,25 +11,51 @@ Interconnect::Interconnect(uint32_t channels, uint32_t baseLatency,
     : baseLatency_(baseLatency), occupancy_(occupancy)
 {
     util::fatalIf(channels > 4096, "implausible channel count");
-    channelFreeAt_.assign(channels, 0);
+    freeAt_.assign(channels, 0);
+}
+
+Interconnect::Interconnect(const SimConfig &cfg)
+    : baseLatency_(cfg.memoryLatency)
+{
+    cfg.validate();
+    if (cfg.networkLinks > 0) {
+        interleaved_ = true;
+        occupancy_ = cfg.linkOccupancy;
+        freeAt_.assign(cfg.networkLinks, 0);
+    } else {
+        occupancy_ = cfg.channelOccupancy;
+        freeAt_.assign(cfg.networkChannels, 0);
+    }
+}
+
+uint64_t
+Interconnect::queueDelay(uint64_t now, uint64_t block)
+{
+    ++transactions_;
+    if (freeAt_.empty())
+        return 0;  // contention-free multipath (the paper)
+
+    uint64_t *slot;
+    if (interleaved_) {
+        // Queued link: the block's address picks its FIFO.
+        slot = &freeAt_[block % freeAt_.size()];
+    } else {
+        // Channels: any free path will do; take the earliest.
+        slot = &*std::min_element(freeAt_.begin(), freeAt_.end());
+    }
+    uint64_t start = std::max(now, *slot);
+    uint64_t wait = start - now;
+    *slot = start + occupancy_;
+
+    queueing_ += wait;
+    maxQueueing_ = std::max(maxQueueing_, wait);
+    return wait;
 }
 
 uint64_t
 Interconnect::transactionLatency(uint64_t now)
 {
-    ++transactions_;
-    if (channelFreeAt_.empty())
-        return baseLatency_;  // contention-free multipath (the paper)
-
-    auto it = std::min_element(channelFreeAt_.begin(),
-                               channelFreeAt_.end());
-    uint64_t start = std::max(now, *it);
-    uint64_t wait = start - now;
-    *it = start + occupancy_;
-
-    queueing_ += wait;
-    maxQueueing_ = std::max(maxQueueing_, wait);
-    return wait + baseLatency_;
+    return queueDelay(now, 0) + baseLatency_;
 }
 
 } // namespace tsp::sim

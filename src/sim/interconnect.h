@@ -3,10 +3,20 @@
  * Interconnect model. The paper "assumes a multipath network and does
  * not explicitly model network contention", approximating memory
  * access with a flat 50-cycle latency. This class reproduces that
- * default (unlimited channels) and additionally offers a bounded
- * multipath mode — k channels, each occupied for a fixed number of
- * cycles per transaction — so the contention-free assumption itself
- * can be ablated (`bench_ablation_bandwidth`).
+ * default (unlimited channels) and additionally offers two bounded
+ * contention modes, at most one of which may be enabled:
+ *
+ *  - channels (SimConfig::networkChannels): k interchangeable paths;
+ *    a transaction takes whichever channel frees first and occupies
+ *    it for channelOccupancy cycles (`bench_ablation_bandwidth`);
+ *  - queued links (SimConfig::networkLinks): address-interleaved
+ *    FIFOs — a transaction on block B queues on link B mod k and
+ *    occupies it for linkOccupancy cycles, so latency grows with the
+ *    queue a miss finds and hot blocks contend with themselves.
+ *
+ * The queueing delay is exposed separately from the fill latency
+ * (queueDelay) so the Machine can combine it with whatever the miss
+ * actually costs — full memoryLatency or a shared-L2 hit.
  */
 
 #ifndef TSP_SIM_INTERCONNECT_H
@@ -14,6 +24,8 @@
 
 #include <cstdint>
 #include <vector>
+
+#include "sim/config.h"
 
 namespace tsp::sim {
 
@@ -24,6 +36,9 @@ class Interconnect
 {
   public:
     /**
+     * Channels-mode constructor (kept for the channel ablation and
+     * its tests).
+     *
      * @param channels    parallel paths; 0 means unlimited (the
      *                    paper's contention-free model)
      * @param baseLatency cycles a transaction takes once on a channel
@@ -33,15 +48,31 @@ class Interconnect
                  uint32_t occupancy);
 
     /**
+     * Construct the mode @p cfg selects: queued links when
+     * cfg.networkLinks > 0, channels when cfg.networkChannels > 0,
+     * contention-free otherwise (validate() rejects both at once).
+     */
+    explicit Interconnect(const SimConfig &cfg);
+
+    /**
+     * Issue a transaction for @p block at time @p now; returns the
+     * cycles it waits before its memory access can start (0 in the
+     * contention-free mode). @p block picks the link in queued-links
+     * mode and is ignored by the channels mode.
+     */
+    uint64_t queueDelay(uint64_t now, uint64_t block);
+
+    /**
      * Issue a transaction at time @p now; returns the total latency
-     * (queueing + base) the issuing context observes.
+     * (queueing + base) the issuing context observes. Equivalent to
+     * queueDelay(now, 0) + the base latency.
      */
     uint64_t transactionLatency(uint64_t now);
 
     /** Transactions issued so far. */
     uint64_t transactions() const { return transactions_; }
 
-    /** Total cycles transactions spent waiting for a channel. */
+    /** Total cycles transactions spent waiting for a channel/link. */
     uint64_t queueingCycles() const { return queueing_; }
 
     /** Worst single-transaction queueing delay seen. */
@@ -50,7 +81,9 @@ class Interconnect
   private:
     uint32_t baseLatency_;
     uint32_t occupancy_;
-    std::vector<uint64_t> channelFreeAt_;  //!< empty when unlimited
+    bool interleaved_ = false;  //!< links mode: index by block, FIFO
+    std::vector<uint64_t> freeAt_;  //!< per channel/link; empty when
+                                    //!< contention-free
 
     uint64_t transactions_ = 0;
     uint64_t queueing_ = 0;

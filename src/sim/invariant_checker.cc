@@ -21,6 +21,8 @@ stateName(CoherenceState s)
         return "E";
     case CoherenceState::Modified:
         return "M";
+    case CoherenceState::Owned:
+        return "O";
     }
     return "?";
 }
@@ -35,6 +37,8 @@ dirStateName(Directory::State s)
         return "Shared";
     case Directory::State::Owned:
         return "Owned";
+    case Directory::State::SharedOwned:
+        return "SharedOwned";
     }
     return "?";
 }
@@ -43,9 +47,11 @@ dirStateName(Directory::State s)
 
 InvariantChecker::InvariantChecker(const Directory &directory,
                                    const std::vector<Cache> &caches,
-                                   const SimStats &stats)
-    : directory_(directory), caches_(caches), stats_(stats),
-      prev_(caches.size())
+                                   const SimStats &stats,
+                                   const SharedL2 *l2,
+                                   bool l2Inclusive)
+    : directory_(directory), caches_(caches), stats_(stats), l2_(l2),
+      l2Inclusive_(l2Inclusive), prev_(caches.size())
 {}
 
 std::string
@@ -112,6 +118,37 @@ InvariantChecker::checkDirectoryAgainstCaches(uint64_t when) const
                 f->state != CoherenceState::Modified) {
                 fail("owning cache holds the block without ownership");
             }
+            if (directory_.protocol() == Protocol::Msi &&
+                f->state == CoherenceState::Exclusive) {
+                fail("Exclusive frame under MSI");
+            }
+            break;
+        }
+        case Directory::State::SharedOwned: {
+            if (directory_.protocol() != Protocol::Moesi)
+                fail("SharedOwned block outside MOESI");
+            if (sharers == 0)
+                fail("SharedOwned block has an empty sharer set");
+            if (!e.isSharer(e.owner))
+                fail("SharedOwned block's owner is not in the sharer "
+                     "set");
+            if (e.owner >= caches_.size())
+                fail("SharedOwned block's owner is out of range");
+            for (uint32_t p = 0; p < caches_.size(); ++p) {
+                if (!e.isSharer(p))
+                    continue;
+                const Cache::Frame *f = caches_[p].lookup(block);
+                if (!f)
+                    fail(util::concat("sharer cache ", p,
+                                      " does not hold the block"));
+                CoherenceState want = p == e.owner
+                                          ? CoherenceState::Owned
+                                          : CoherenceState::Shared;
+                if (f->state != want)
+                    fail(util::concat("sharer cache ", p,
+                                      " holds the block in the wrong "
+                                      "state"));
+            }
             break;
         }
         case Directory::State::Shared:
@@ -146,6 +183,42 @@ InvariantChecker::checkCachesAgainstDirectory(uint64_t when) const
                     "coherence invariant violated at ref ", when,
                     ": cache ", p, " holds a block the directory does "
                     "not attribute to it [", dumpBlock(f.tag), "]"));
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::checkL2(uint64_t when) const
+{
+    if (!l2_)
+        return;
+    if (l2Inclusive_) {
+        // Inclusion: every L1-resident block is L2-resident.
+        for (uint32_t p = 0; p < caches_.size(); ++p) {
+            for (const Cache::Frame &f : caches_[p].frames()) {
+                if (!f.valid())
+                    continue;
+                if (!l2_->present(f.tag)) {
+                    util::panic(util::concat(
+                        "L2 inclusion violated at ref ", when,
+                        ": cache ", p, " holds a block absent from "
+                        "the inclusive L2 [", dumpBlock(f.tag), "]"));
+                }
+            }
+        }
+        return;
+    }
+    // Exclusivity: the victim cache holds only blocks in no L1.
+    for (const SharedL2::Frame &lf : l2_->frames()) {
+        if (!lf.valid)
+            continue;
+        for (uint32_t p = 0; p < caches_.size(); ++p) {
+            if (caches_[p].present(lf.tag)) {
+                util::panic(util::concat(
+                    "L2 exclusivity violated at ref ", when,
+                    ": cache ", p, " and the exclusive L2 both hold "
+                    "a block [", dumpBlock(lf.tag), "]"));
             }
         }
     }
@@ -189,6 +262,7 @@ InvariantChecker::check(uint64_t when)
 {
     checkDirectoryAgainstCaches(when);
     checkCachesAgainstDirectory(when);
+    checkL2(when);
     checkCounters(when);
     ++checksRun_;
 }

@@ -8,11 +8,16 @@
  * all three periodically:
  *
  *  - directory vs caches: an Owned block has exactly one sharer, and
- *    that cache holds it Exclusive or Modified; a Shared block's
- *    sharer set matches exactly the caches holding it Shared; an
+ *    that cache holds it Exclusive or Modified (never Exclusive under
+ *    MSI); a Shared block's sharer set matches exactly the caches
+ *    holding it Shared; a SharedOwned block (MOESI) has its owner
+ *    holding it Owned and every other sharer holding it Shared; an
  *    Uncached block has no sharers;
  *  - caches vs directory: every valid frame's block has a directory
  *    entry listing that cache as a sharer;
+ *  - shared L2, when present: inclusive — every valid L1 frame's
+ *    block is L2-resident; exclusive — no L2-resident block is in
+ *    any L1;
  *  - counters: per-processor hits + misses == memory references,
  *    references <= instructions, and every counter is monotonically
  *    non-decreasing between checks (the checker keeps the previous
@@ -34,6 +39,7 @@
 
 #include "sim/cache.h"
 #include "sim/directory.h"
+#include "sim/l2_cache.h"
 #include "sim/results.h"
 
 namespace tsp::sim {
@@ -46,16 +52,23 @@ class InvariantChecker
 {
   public:
     /**
-     * @param directory the machine's block directory
-     * @param caches    one cache per processor
-     * @param stats     the machine's statistics (procs must stay sized
-     *                  to the cache count for the checker's lifetime)
+     * @param directory   the machine's block directory
+     * @param caches      one cache per processor
+     * @param stats       the machine's statistics (procs must stay
+     *                    sized to the cache count for the checker's
+     *                    lifetime)
+     * @param l2          the shared L2, or nullptr when disabled
+     * @param l2Inclusive the L2's inclusion policy (ignored without
+     *                    an L2)
      *
-     * The checker aliases all three; they must outlive it.
+     * The checker aliases everything passed; it all must outlive it.
+     * The protocol checked is the directory's.
      */
     InvariantChecker(const Directory &directory,
                      const std::vector<Cache> &caches,
-                     const SimStats &stats);
+                     const SimStats &stats,
+                     const SharedL2 *l2 = nullptr,
+                     bool l2Inclusive = true);
 
     /**
      * Validate every invariant; throws util::PanicError with a state
@@ -82,6 +95,7 @@ class InvariantChecker
 
     void checkDirectoryAgainstCaches(uint64_t when) const;
     void checkCachesAgainstDirectory(uint64_t when) const;
+    void checkL2(uint64_t when) const;
     void checkCounters(uint64_t when);
 
     /** Render the full state of @p block across directory + caches. */
@@ -90,6 +104,8 @@ class InvariantChecker
     const Directory &directory_;
     const std::vector<Cache> &caches_;
     const SimStats &stats_;
+    const SharedL2 *l2_;
+    bool l2Inclusive_;
     std::vector<ProcSnapshot> prev_;
     uint64_t checksRun_ = 0;
 };

@@ -14,9 +14,8 @@ namespace tsp::sim {
 Machine::Machine(const SimConfig &cfg, const trace::TraceSet &traces,
                  const placement::PlacementMap &placement)
     : cfg_(cfg), traces_(&traces),
-      directory_(cfg.processors),
-      interconnect_(cfg.networkChannels, cfg.memoryLatency,
-                    cfg.channelOccupancy)
+      directory_(cfg.processors, cfg.protocol),
+      interconnect_(cfg)
 {
     construct(placement);
 }
@@ -24,9 +23,8 @@ Machine::Machine(const SimConfig &cfg, const trace::TraceSet &traces,
 Machine::Machine(const SimConfig &cfg, trace::TraceSource &source,
                  const placement::PlacementMap &placement)
     : cfg_(cfg), source_(&source),
-      directory_(cfg.processors),
-      interconnect_(cfg.networkChannels, cfg.memoryLatency,
-                    cfg.channelOccupancy)
+      directory_(cfg.processors, cfg.protocol),
+      interconnect_(cfg)
 {
     construct(placement);
 }
@@ -77,10 +75,13 @@ Machine::construct(const placement::PlacementMap &placement)
         : source_->touchedBlocks(blockShift_);
     directory_.reserveBlocks(touched.total);
     barrierWaiters_.reserve(threads);
+    if (cfg_.l2Bytes > 0)
+        l2_.emplace(cfg_);
     if (cfg_.profileSharing)
         monitor_.emplace();
     if (cfg_.paranoidEvery > 0) {
-        checker_.emplace(directory_, caches_, stats_);
+        checker_.emplace(directory_, caches_, stats_,
+                         l2_ ? &*l2_ : nullptr, cfg_.l2Inclusive);
         refsUntilCheck_ = cfg_.paranoidEvery;
     }
 
@@ -283,13 +284,18 @@ Machine::access(uint32_t p, uint32_t tid, uint64_t block, bool isStore)
                             MissKind::Compulsory);
         }
         if (isStore) {
-            if (hit->state == CoherenceState::Shared) {
-                // Upgrade: gain ownership, invalidating remote copies.
+            if (hit->state == CoherenceState::Shared ||
+                hit->state == CoherenceState::Owned) {
+                // Upgrade: gain ownership, invalidating remote copies
+                // (a MOESI Owned copy has sharers too — same path).
                 auto txn = directory_.write(p, tid, block);
                 ++ps.upgrades;
                 applyInvalidations(p, tid, txn, block);
                 hit->state = CoherenceState::Modified;
                 hit->threadId = tid;
+                // An upgrade carries no data: a stall costs the full
+                // directory round-trip, never an L2 fill.
+                missFillCycles_ = cfg_.memoryLatency;
                 return cfg_.stallOnUpgrade && txn.anyInvalidate();
             }
             hit->state = CoherenceState::Modified;  // silent E/M -> M
@@ -316,10 +322,52 @@ Machine::access(uint32_t p, uint32_t tid, uint64_t block, bool isStore)
     // sharer sets stay exact), through the entry handle cached when
     // the frame was filled — no tag re-hash.
     if (frame.valid()) {
-        if (frame.dirty())
+        bool wasDirty = frame.dirty();
+        if (wasDirty)
             ++ps.writebacks;
         directory_.evictEntry(p, frameEntry);
         cache.recordEviction(frame.tag, tid);
+        if (l2_) {
+            if (cfg_.l2Inclusive) {
+                // The writeback lands in the L2 copy (inclusion
+                // guarantees it exists).
+                if (wasDirty)
+                    l2_->markDirty(frame.tag);
+            } else if (frameEntry->sharerCount() == 0) {
+                // Exclusive L2 is a victim cache: the block enters it
+                // only once the last L1 copy leaves.
+                SharedL2::Victim v = l2_->insert(frame.tag, wasDirty);
+                if (v.evicted && v.dirty)
+                    ++stats_.l2Writebacks;
+            }
+        }
+    }
+
+    // Fill latency: full memory unless the shared L2 has the block.
+    missFillCycles_ = cfg_.memoryLatency;
+    if (l2_) {
+        if (cfg_.l2Inclusive) {
+            if (l2_->lookup(block)) {
+                ++stats_.l2Hits;
+                missFillCycles_ = cfg_.l2HitLatency;
+            } else {
+                ++stats_.l2Misses;
+                SharedL2::Victim v = l2_->insert(block, false);
+                if (v.evicted)
+                    backInvalidateL1s(v.block, v.dirty, tid);
+            }
+        } else {
+            if (l2_->present(block)) {
+                ++stats_.l2Hits;
+                missFillCycles_ = cfg_.l2HitLatency;
+                // The L1 fill pulls the block out; a dirty victim-
+                // cache copy is flushed to memory on the way.
+                if (l2_->remove(block))
+                    ++stats_.l2Writebacks;
+            } else {
+                ++stats_.l2Misses;
+            }
+        }
     }
 
     Directory::Txn txn;
@@ -334,9 +382,21 @@ Machine::access(uint32_t p, uint32_t tid, uint64_t block, bool isStore)
                 caches_[txn.prevOwner].lookup(block);
             util::panicIf(ownerFrame == nullptr,
                           "directory owner does not hold the block");
-            if (ownerFrame->state == CoherenceState::Modified)
-                ++stats_.procs[txn.prevOwner].writebacks;
-            ownerFrame->state = CoherenceState::Shared;
+            if (cfg_.protocol == Protocol::Moesi &&
+                ownerFrame->state == CoherenceState::Modified) {
+                // MOESI: the dirty copy stays put (M -> O, no
+                // writeback); the directory entered SharedOwned.
+                ownerFrame->state = CoherenceState::Owned;
+            } else {
+                if (ownerFrame->state == CoherenceState::Modified)
+                    ++stats_.procs[txn.prevOwner].writebacks;
+                ownerFrame->state = CoherenceState::Shared;
+                if (cfg_.protocol == Protocol::Moesi) {
+                    // Clean owner: nothing to keep supplying —
+                    // collapse the tentative SharedOwned state.
+                    directory_.demoteToShared(txn.entry);
+                }
+            }
         }
         frame.state = txn.grantedExclusive ? CoherenceState::Exclusive
                                            : CoherenceState::Shared;
@@ -380,6 +440,36 @@ Machine::applyInvalidations(uint32_t causerProc, uint32_t causerTid,
                                       static_cast<uint32_t>(resident),
                                       1.0);
     });
+}
+
+void
+Machine::backInvalidateL1s(uint64_t vblock, bool l2Dirty,
+                           uint32_t causerTid)
+{
+    if (l2Dirty)
+        ++stats_.l2Writebacks;
+    const Directory::Entry *e = directory_.find(vblock);
+    if (!e || e->sharerCount() == 0)
+        return;
+    // Snapshot the sharer mask: each evict notification shrinks it.
+    std::array<uint64_t, Directory::kMaskWords> sharers = e->sharers;
+    for (uint32_t w = 0; w < Directory::kMaskWords; ++w) {
+        uint64_t m = sharers[w];
+        while (m != 0) {
+            uint32_t sp =
+                w * 64 + static_cast<uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            Cache::BackInval bi =
+                caches_[sp].backInvalidate(vblock, causerTid);
+            util::panicIf(!bi.present,
+                          "directory sharer does not hold the "
+                          "back-invalidated block");
+            if (bi.wasDirty)
+                ++stats_.procs[sp].writebacks;
+            directory_.evict(sp, vblock);
+            ++stats_.l2BackInvalidations;
+        }
+    }
 }
 
 SimStats
@@ -530,7 +620,10 @@ Machine::advance(uint64_t maxChains)
                 now += cfg_.hitLatency;
                 if (miss)
                     ctx.readyAt =
-                        now + interconnect_.transactionLatency(now);
+                        now +
+                        interconnect_.queueDelay(now,
+                                                 ctx.pendingBlock) +
+                        missFillCycles_;
                 if (ctx.cursor->done()) {
                     // The thread's last instruction retires when its
                     // final memory operation completes.
@@ -606,6 +699,7 @@ Machine::finish()
     stats_.networkTransactions = interconnect_.transactions();
     stats_.networkQueueingCycles = interconnect_.queueingCycles();
     stats_.networkMaxQueueing = interconnect_.maxQueueing();
+    // L2 counters accumulate directly into stats_ during access().
     return std::move(stats_);
 }
 
@@ -633,6 +727,9 @@ recordRunMetrics(const SimStats &stats, const Machine &machine,
         static_cast<double>(machine.directoryEntries()));
     obs::simHistoryEntries().set(
         static_cast<double>(machine.historyEntries()));
+    obs::simL2Hits().add(stats.l2Hits);
+    obs::simL2Misses().add(stats.l2Misses);
+    obs::simNetQueueDelay().add(stats.networkQueueingCycles);
 }
 
 SimStats

@@ -34,6 +34,7 @@
 #include "sim/directory.h"
 #include "sim/interconnect.h"
 #include "sim/invariant_checker.h"
+#include "sim/l2_cache.h"
 #include "sim/results.h"
 #include "sim/sharing_monitor.h"
 #include "trace/chunk_source.h"
@@ -212,6 +213,17 @@ class Machine
     void applyInvalidations(uint32_t causerProc, uint32_t causerTid,
                             const Directory::Txn &txn, uint64_t block);
 
+    /**
+     * Inclusion maintenance: the inclusive L2 evicted @p vblock
+     * (dirty if @p l2Dirty), so remove every L1 copy, in ascending
+     * processor order, notifying the directory and accounting dirty
+     * copies as writebacks. @p causerTid is the thread whose fill
+     * displaced the block (departure histories record it as the
+     * evictor).
+     */
+    void backInvalidateL1s(uint64_t vblock, bool l2Dirty,
+                           uint32_t causerTid);
+
     /** Record a barrier arrival; releases everyone on the last one. */
     void barrierArrive(uint32_t p, size_t c, uint64_t now);
 
@@ -256,6 +268,13 @@ class Machine
     size_t framesPerCache_ = 0;
     std::vector<Directory::Entry *> frameDir_;
     Interconnect interconnect_;
+    std::optional<SharedL2> l2_;  //!< present when cfg.l2Bytes > 0
+
+    // Fill cycles of the most recent stalling access() — the full
+    // memoryLatency, or l2HitLatency when the shared L2 had the block.
+    // The event loop adds the interconnect queueing delay on top, so
+    // the flat default reproduces wait-free memoryLatency exactly.
+    uint32_t missFillCycles_ = 0;
     std::optional<SharingMonitor> monitor_;
     AccessObserver accessObserver_;
     SimStats stats_;

@@ -103,6 +103,14 @@ struct SimStats
     uint64_t networkQueueingCycles = 0;
     uint64_t networkMaxQueueing = 0;
 
+    /** Shared L2 traffic (all zero when SimConfig::l2Bytes == 0). */
+    uint64_t l2Hits = 0;    //!< L1 misses served by the shared L2
+    uint64_t l2Misses = 0;  //!< L1 misses that also missed the L2
+    uint64_t l2Writebacks = 0;  //!< dirty L2 lines flushed to memory
+    uint64_t l2BackInvalidations = 0;  //!< L1 copies removed because
+                                       //!< the inclusive L2 evicted
+                                       //!< their block
+
     /** The paper's figure of merit: max finish time over processors. */
     uint64_t executionTime() const;
 

@@ -22,7 +22,9 @@ namespace codec = experiment::codec;
 namespace {
 
 constexpr char kMagic[4] = {'T', 'S', 'P', 'S'};
-constexpr uint32_t kVersion = 1;
+// v2: job keys carry the memory-system variant; RunResult payloads
+// carry the shared-L2 counters.
+constexpr uint32_t kVersion = 2;
 constexpr size_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint32_t);
 constexpr size_t kFrameBytes = 2 * sizeof(uint32_t);
 
@@ -59,6 +61,7 @@ ResultStore::keyBytes(const RunJob &job, uint32_t scale)
     key.u32(job.point.processors);
     key.u32(job.point.contexts);
     key.u8(job.infiniteCache ? 1 : 0);
+    key.u8(static_cast<uint8_t>(job.memSystem));
     return key.bytes();
 }
 

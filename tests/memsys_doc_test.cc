@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Doc-sync guard: the knob reference table in docs/memory_system.md
+ * must list exactly the memory-system knobs the simulator exposes
+ * (sim::memSystemKnobs()), with matching defaults and valid ranges.
+ * The catalog is built from a default-constructed SimConfig, so this
+ * test fails when a knob is added, a default changes, or a range
+ * tightens without the doc row moving with it.
+ *
+ * The table rows look like:
+ *   | `l2Bytes` | `0` | 0 (no L2) or a power of two ... | ... |
+ */
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+
+#ifndef TSP_SOURCE_DIR
+#error "memsys_doc_test needs TSP_SOURCE_DIR (set in tests/CMakeLists.txt)"
+#endif
+
+using namespace tsp;
+
+namespace {
+
+struct DocKnob
+{
+    std::string def;
+    std::string range;
+};
+
+/** Split a markdown table line into trimmed cells. */
+std::vector<std::string>
+splitRow(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    for (size_t i = 1; i < line.size(); ++i) {
+        if (line[i] == '|') {
+            cells.push_back(cell);
+            cell.clear();
+        } else {
+            cell.push_back(line[i]);
+        }
+    }
+    for (std::string &c : cells) {
+        size_t b = c.find_first_not_of(" \t");
+        size_t e = c.find_last_not_of(" \t");
+        c = (b == std::string::npos) ? "" : c.substr(b, e - b + 1);
+    }
+    return cells;
+}
+
+/** Whether @p s is backtick-wrapped code. */
+bool
+isCode(const std::string &s)
+{
+    return s.size() >= 2 && s.front() == '`' && s.back() == '`';
+}
+
+/** Strip surrounding backticks. */
+std::string
+stripCode(const std::string &s)
+{
+    if (isCode(s))
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+/**
+ * Parse every `| \`knob\` | \`default\` | range | ... |` row. The
+ * doc's other tables (the memory-system variants) have a backticked
+ * first cell but a plain-text second cell, so requiring both first
+ * cells to be code keeps them out.
+ */
+std::map<std::string, DocKnob>
+parseDocTable(const std::string &path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << "cannot open " << path;
+    std::map<std::string, DocKnob> rows;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("| `", 0) != 0)
+            continue;
+        auto cells = splitRow(line);
+        if (cells.size() < 4 || !isCode(cells[0]) || !isCode(cells[1]))
+            continue;
+        std::string name = stripCode(cells[0]);
+        EXPECT_EQ(rows.count(name), 0u)
+            << "duplicate doc row for " << name;
+        rows[name] = {stripCode(cells[1]), cells[2]};
+    }
+    return rows;
+}
+
+TEST(MemSysDocSync, DocTableMatchesKnobCatalogExactly)
+{
+    const std::string docPath =
+        std::string(TSP_SOURCE_DIR) + "/docs/memory_system.md";
+    auto doc = parseDocTable(docPath);
+    ASSERT_FALSE(doc.empty())
+        << "no knob rows parsed from " << docPath;
+
+    auto knobs = sim::memSystemKnobs();
+    std::map<std::string, DocKnob> catalog;
+    for (const auto &k : knobs)
+        catalog[k.name] = {k.def, k.range};
+    ASSERT_EQ(catalog.size(), knobs.size())
+        << "duplicate knob name in sim::memSystemKnobs()";
+
+    for (const auto &[name, knob] : catalog) {
+        auto it = doc.find(name);
+        ASSERT_NE(it, doc.end())
+            << "knob '" << name
+            << "' is in sim::memSystemKnobs() but missing from the "
+               "docs/memory_system.md reference table";
+        EXPECT_EQ(it->second.def, knob.def)
+            << "default mismatch for '" << name
+            << "' (the doc must match the default-constructed "
+               "SimConfig)";
+        EXPECT_EQ(it->second.range, knob.range)
+            << "valid-range mismatch for '" << name << "'";
+    }
+    for (const auto &[name, knob] : doc) {
+        EXPECT_EQ(catalog.count(name), 1u)
+            << "docs/memory_system.md documents '" << name
+            << "' but sim::memSystemKnobs() does not list it "
+               "(stale row?)";
+    }
+    EXPECT_EQ(doc.size(), catalog.size());
+}
+
+} // namespace

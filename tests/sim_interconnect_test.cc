@@ -116,6 +116,85 @@ TEST(Interconnect, ContentionNeverSpeedsExecution)
     EXPECT_GT(tightStats.networkQueueingCycles, 0u);
 }
 
+TEST(Interconnect, QueuedLinksInterleaveByBlockAddress)
+{
+    SimConfig cfg;
+    cfg.networkLinks = 2;
+    cfg.linkOccupancy = 10;
+    Interconnect net(cfg);
+
+    EXPECT_EQ(net.queueDelay(0, 0), 0u);   // link 0, busy until 10
+    EXPECT_EQ(net.queueDelay(0, 1), 0u);   // link 1, busy until 10
+    EXPECT_EQ(net.queueDelay(0, 2), 10u);  // queues behind block 0
+    EXPECT_EQ(net.queueDelay(0, 3), 10u);  // queues behind block 1
+    EXPECT_EQ(net.queueDelay(25, 4), 0u);  // link 0 long free again
+    EXPECT_EQ(net.transactions(), 5u);
+    EXPECT_EQ(net.queueingCycles(), 20u);
+    EXPECT_EQ(net.maxQueueing(), 10u);
+}
+
+TEST(Interconnect, HotBlockContendsWithItselfOnItsLink)
+{
+    // Three back-to-back transactions on the same block serialize on
+    // one link even though the other link stays idle.
+    SimConfig cfg;
+    cfg.networkLinks = 2;
+    cfg.linkOccupancy = 6;
+    Interconnect net(cfg);
+    EXPECT_EQ(net.queueDelay(0, 8), 0u);
+    EXPECT_EQ(net.queueDelay(0, 8), 6u);
+    EXPECT_EQ(net.queueDelay(0, 8), 12u);
+}
+
+TEST(Interconnect, ConfigCtorReproducesChannelsAndFreeModes)
+{
+    SimConfig free;
+    Interconnect netFree(free);
+    EXPECT_EQ(netFree.queueDelay(0, 0), 0u);
+    EXPECT_EQ(netFree.queueDelay(0, 0), 0u);
+
+    SimConfig chans;
+    chans.networkChannels = 1;
+    chans.channelOccupancy = 8;
+    chans.memoryLatency = 50;
+    Interconnect netChans(chans);
+    EXPECT_EQ(netChans.transactionLatency(0), 50u);
+    EXPECT_EQ(netChans.transactionLatency(0), 8u + 50u);
+}
+
+TEST(Interconnect, LinksAndChannelsAreMutuallyExclusive)
+{
+    SimConfig cfg;
+    cfg.networkLinks = 2;
+    cfg.networkChannels = 2;
+    EXPECT_THROW(cfg.validate(), util::FatalError);
+}
+
+TEST(Interconnect, MachineSerializesMissesOnOneLink)
+{
+    // Two processors miss on distinct blocks at the same cycle; one
+    // queued link serializes them, same shape as the channel test.
+    TraceSet ts("linkcontend");
+    for (uint32_t tid = 0; tid < 2; ++tid) {
+        ThreadTrace t(tid);
+        t.appendLoad(AddressSpace::sharedWord(64 * tid));
+        ts.addThread(std::move(t));
+    }
+    SimConfig cfg;
+    cfg.processors = 2;
+    cfg.contexts = 1;
+    cfg.cacheBytes = 4096;
+    cfg.networkLinks = 1;
+    cfg.linkOccupancy = 8;
+
+    SimStats s = simulate(cfg, ts, PlacementMap(2, {0, 1}));
+    EXPECT_EQ(s.networkTransactions, 2u);
+    EXPECT_EQ(s.networkQueueingCycles, 8u);
+    EXPECT_EQ(s.networkMaxQueueing, 8u);
+    uint64_t f0 = s.procs[0].finishTime, f1 = s.procs[1].finishTime;
+    EXPECT_EQ(std::max(f0, f1) - std::min(f0, f1), 8u);
+}
+
 TEST(Interconnect, DefaultConfigHasNoContention)
 {
     TraceSet ts("defaultnet");

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Protocol-axis tests (MSI / MESI / MOESI): hand-built sharing worlds
+ * with per-state assertions, run with the coherence InvariantChecker
+ * at every reference, plus parity properties on generated workloads
+ * (MESI and MOESI are cycle-identical in this model; MSI pays extra
+ * upgrades; MOESI defers migratory writebacks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/placement_map.h"
+#include "sim/machine.h"
+#include "trace/address_space.h"
+#include "trace/trace_set.h"
+#include "workload/app_profile.h"
+#include "workload/generator.h"
+
+namespace tsp::sim {
+namespace {
+
+using placement::PlacementMap;
+using trace::AddressSpace;
+using trace::ThreadTrace;
+using trace::TraceSet;
+
+/** Distinct shared-region block addresses (32 B blocks). */
+uint64_t
+sharedBlockAddr(uint64_t i)
+{
+    return AddressSpace::sharedBase + i * 32;
+}
+
+/** Base config: every reference invariant-checked. */
+SimConfig
+protoConfig(uint32_t procs, Protocol protocol)
+{
+    SimConfig cfg;
+    cfg.processors = procs;
+    cfg.contexts = 1;
+    cfg.cacheBytes = 1024;
+    cfg.blockBytes = 32;
+    cfg.protocol = protocol;
+    cfg.paranoidEvery = 1;
+    return cfg;
+}
+
+uint64_t
+totalWritebacks(const SimStats &s)
+{
+    uint64_t wb = 0;
+    for (const auto &p : s.procs)
+        wb += p.writebacks;
+    return wb;
+}
+
+// ------------------------------------------------------- MSI vs MESI
+
+TEST(Protocol, MsiPaysAnUpgradeOnPrivateDataMesiDoesNot)
+{
+    // One thread: load X then store X. MESI grants Exclusive on the
+    // sole read, so the store upgrades silently; MSI grants Shared,
+    // so the same store is an upgrade transaction.
+    TraceSet ts("private");
+    ThreadTrace t0(0);
+    t0.appendLoad(sharedBlockAddr(0));
+    t0.appendWork(5);
+    t0.appendStore(sharedBlockAddr(0));
+    ts.addThread(std::move(t0));
+    PlacementMap map(1, {0});
+
+    SimStats mesi = simulate(protoConfig(1, Protocol::Mesi), ts, map);
+    SimStats msi = simulate(protoConfig(1, Protocol::Msi), ts, map);
+
+    EXPECT_EQ(mesi.totalUpgrades(), 0u);
+    EXPECT_EQ(msi.totalUpgrades(), 1u);
+    // No remote copies exist, so the MSI upgrade invalidates nothing.
+    EXPECT_EQ(msi.totalInvalidationsSent(), 0u);
+    // Upgrades do not stall by default: cycle-identical runs.
+    EXPECT_EQ(msi.executionTime(), mesi.executionTime());
+}
+
+// -------------------------------------------------- MOESI migration
+
+TEST(Protocol, MoesiKeepsDirtyDataInPlaceOnAReadMesiWritesBack)
+{
+    // t0 writes X; later t1 reads it. MESI downgrades the owner M->S
+    // with a writeback; MOESI downgrades M->O and the dirty block
+    // stays put.
+    TraceSet ts("migrate");
+    ThreadTrace t0(0);
+    t0.appendStore(sharedBlockAddr(0));
+    t0.appendWork(300);
+    ThreadTrace t1(1);
+    t1.appendWork(100);
+    t1.appendLoad(sharedBlockAddr(0));
+    ts.addThread(std::move(t0));
+    ts.addThread(std::move(t1));
+    PlacementMap map(2, {0, 1});
+
+    SimStats mesi = simulate(protoConfig(2, Protocol::Mesi), ts, map);
+    SimStats moesi =
+        simulate(protoConfig(2, Protocol::Moesi), ts, map);
+
+    EXPECT_EQ(totalWritebacks(mesi), 1u);
+    EXPECT_EQ(totalWritebacks(moesi), 0u);
+    // The writeback is off the critical path in both protocols.
+    EXPECT_EQ(moesi.executionTime(), mesi.executionTime());
+    // Both serve t1's read as a sharing miss, not silent reuse.
+    EXPECT_EQ(moesi.procs[1].hits, mesi.procs[1].hits);
+}
+
+TEST(Protocol, MoesiOwnedCopyPaysItsWritebackOnEviction)
+{
+    // After M->O, t0 evicts the Owned copy with a conflicting load
+    // (same set, 1 KB direct-mapped): the deferred writeback happens
+    // then, so MOESI ends at the same writeback count as MESI.
+    TraceSet ts("deferred");
+    ThreadTrace t0(0);
+    t0.appendStore(sharedBlockAddr(0));
+    t0.appendWork(300);
+    t0.appendLoad(sharedBlockAddr(0) + 1024);  // same set as X
+    ThreadTrace t1(1);
+    t1.appendWork(100);
+    t1.appendLoad(sharedBlockAddr(0));
+    ts.addThread(std::move(t0));
+    ts.addThread(std::move(t1));
+    PlacementMap map(2, {0, 1});
+
+    SimStats moesi =
+        simulate(protoConfig(2, Protocol::Moesi), ts, map);
+    EXPECT_EQ(totalWritebacks(moesi), 1u);
+    EXPECT_EQ(moesi.procs[0].writebacks, 1u);
+}
+
+TEST(Protocol, MoesiWriteToSharedOwnedInvalidatesTheOwner)
+{
+    // t0 writes X (M); t1 reads it (t0: M->O, t1: S); t1 writes it.
+    // The upgrade must invalidate t0's Owned copy — ownership moves,
+    // no writeback to memory.
+    TraceSet ts("steal");
+    ThreadTrace t0(0);
+    t0.appendStore(sharedBlockAddr(0));
+    t0.appendWork(400);
+    ThreadTrace t1(1);
+    t1.appendWork(100);
+    t1.appendLoad(sharedBlockAddr(0));
+    t1.appendWork(100);
+    t1.appendStore(sharedBlockAddr(0));
+    ts.addThread(std::move(t0));
+    ts.addThread(std::move(t1));
+    PlacementMap map(2, {0, 1});
+
+    SimStats s = simulate(protoConfig(2, Protocol::Moesi), ts, map);
+    EXPECT_EQ(s.procs[1].upgrades, 1u);
+    EXPECT_EQ(s.procs[1].invalidationsSent, 1u);
+    EXPECT_EQ(s.procs[0].invalidationsReceived, 1u);
+    // Ownership migrated cache-to-cache: no memory writeback at all.
+    EXPECT_EQ(totalWritebacks(s), 0u);
+}
+
+// ------------------------------------------------- parity properties
+
+workload::AppProfile
+parityProfile()
+{
+    workload::AppProfile p;
+    p.name = "parity";
+    p.threads = 8;
+    p.meanLength = 20000;
+    p.sharedRefFrac = 0.5;
+    p.refsPerSharedAddr = 12.0;
+    p.globalFrac = 1.0;
+    p.globalWriteMode = workload::GlobalWriteMode::Migratory;
+    p.seed = 21;
+    return p;
+}
+
+TEST(Protocol, GeneratedWorkloadParityAcrossProtocols)
+{
+    auto traces = workload::generateTraces(parityProfile(), 1);
+    PlacementMap map(4, {0, 1, 2, 3, 0, 1, 2, 3});
+
+    SimStats msi = simulate(protoConfig(4, Protocol::Msi), traces, map);
+    SimStats mesi =
+        simulate(protoConfig(4, Protocol::Mesi), traces, map);
+    SimStats moesi =
+        simulate(protoConfig(4, Protocol::Moesi), traces, map);
+
+    // MESI and MOESI differ only in where dirty data lives; with
+    // writebacks off the critical path they are cycle-identical, and
+    // MOESI never writes back more.
+    EXPECT_EQ(moesi.executionTime(), mesi.executionTime());
+    EXPECT_EQ(moesi.totalMemRefs(), mesi.totalMemRefs());
+    EXPECT_EQ(moesi.totalHits(), mesi.totalHits());
+    EXPECT_LE(totalWritebacks(moesi), totalWritebacks(mesi));
+
+    // MSI lacks the E state: strictly more upgrade transactions on
+    // this store-heavy workload, same reference stream.
+    EXPECT_GT(msi.totalUpgrades(), mesi.totalUpgrades());
+    EXPECT_EQ(msi.totalMemRefs(), mesi.totalMemRefs());
+
+    // Conservation holds under every protocol.
+    for (const SimStats *s : {&msi, &mesi, &moesi}) {
+        uint64_t misses = 0;
+        for (const auto &p : s->procs)
+            for (uint64_t m : p.misses)
+                misses += m;
+        EXPECT_EQ(s->totalHits() + misses, s->totalMemRefs());
+    }
+}
+
+} // namespace
+} // namespace tsp::sim

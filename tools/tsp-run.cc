@@ -6,6 +6,7 @@
  *
  *   tsp_run <app> <algorithm> <processors> [options]
  *   tsp_run sweep <app> [options]
+ *   tsp_run hierarchy <app> [options]
  *   tsp_run chaos [options]
  *
  * options (single run):
@@ -47,6 +48,11 @@
  *                      (JSONL; open in chrome://tracing or Perfetto)
  *   --fault SPEC       arm one deterministic fault (site:nth[+]:kind)
  *   --paranoid N       invariant-check every N references
+ *
+ * options (hierarchy mode — placement sensitivity across the
+ * memory-system variants of docs/memory_system.md; takes the same
+ * flags as sweep mode, plus):
+ *   --csv PATH         write the full study as CSV to PATH
  *
  * options (chaos mode — run the fault-injection matrix, see
  * docs/robustness.md):
@@ -129,6 +135,8 @@ usage()
         "usage: tsp_run <app> <algorithm> <processors> [options]\n"
         "       tsp_run sweep <app> [--checkpoint PATH]"
         " [--deadline MS]\n"
+        "       tsp_run hierarchy <app> [--csv PATH]"
+        " [--checkpoint PATH]\n"
         "       tsp_run chaos [--scale N] [--app NAME]"
         " [--workdir PATH] [--verbose]\n"
         "  --contexts N  --cache BYTES  --assoc N  --latency N\n"
@@ -311,6 +319,181 @@ runSweep(int argc, char **argv)
 }
 
 /**
+ * `tsp_run hierarchy <app>`: the memory-system bridge study. Runs the
+ * figure algorithms at every standard machine point under each
+ * memory-system variant (flat-1994 -> shared-l2 -> moesi ->
+ * contended) and prints one normalized-to-RANDOM table per variant,
+ * plus the shared-L2 hit rate and interconnect queueing observed at
+ * the largest machine point. Same robustness surface as sweep mode
+ * (checkpoint, watchdog, cooperative cancel); --csv writes the full
+ * study for plotting.
+ */
+int
+runHierarchy(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    workload::AppId app = workload::appByName(argv[2]);
+
+    uint32_t scale = workload::defaultScale();
+    unsigned jobs = util::ThreadPool::defaultJobs();
+    unsigned batch = experiment::defaultBatchLanes();
+    std::string checkpointPath;
+    std::string metricsPath;
+    std::string csvPath;
+    uint64_t deadlineMs = 0;
+    for (int i = 3; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            util::fatalIf(i + 1 >= argc,
+                          std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--scale"))
+            scale = util::parseUnsigned32(next("--scale"), "--scale",
+                                          1);
+        else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = util::parseUnsigned32(next("--jobs"), "--jobs", 0,
+                                         4096);
+        else if (!std::strcmp(argv[i], "--batch"))
+            batch = util::parseUnsigned32(next("--batch"), "--batch",
+                                          1, 4096);
+        else if (!std::strcmp(argv[i], "--checkpoint"))
+            checkpointPath = next("--checkpoint");
+        else if (!std::strcmp(argv[i], "--deadline"))
+            deadlineMs = util::parseUnsigned(next("--deadline"),
+                                             "--deadline", 1);
+        else if (!std::strcmp(argv[i], "--metrics-out"))
+            metricsPath = next("--metrics-out");
+        else if (!std::strcmp(argv[i], "--csv"))
+            csvPath = next("--csv");
+        else if (!std::strcmp(argv[i], "--fault"))
+            fault::arm(next("--fault"));
+        else if (!std::strcmp(argv[i], "--paranoid"))
+            sim::setDefaultParanoidEvery(util::parseUnsigned(
+                next("--paranoid"), "--paranoid"));
+        else
+            return usage();
+    }
+
+    if (!metricsPath.empty())
+        obs::setMetricsEnabled(true);
+    installSignalHandlers();
+
+    experiment::Lab lab(scale);
+    std::optional<experiment::Checkpoint> checkpoint;
+    if (!checkpointPath.empty()) {
+        checkpoint.emplace(checkpointPath, scale);
+        if (checkpoint->size())
+            std::printf("checkpoint: %s holds %zu completed cells\n",
+                        checkpointPath.c_str(), checkpoint->size());
+    }
+
+    std::vector<experiment::JobFailure> failures;
+    experiment::SweepStats stats;
+    experiment::SweepOptions options;
+    options.jobs = jobs;
+    options.batch = batch;
+    options.checkpoint = checkpoint ? &*checkpoint : nullptr;
+    options.failures = &failures;
+    options.statsOut = &stats;
+    options.jobDeadline = std::chrono::milliseconds(deadlineMs);
+    options.cancel = &gCancel;
+
+    auto points = experiment::hierarchyStudy(
+        lab, app, placement::figureAlgorithms(), options);
+
+    // One table per memory system: rows are algorithms, columns are
+    // machine points, cells normalized to RANDOM under that system.
+    std::vector<std::string> cols;
+    for (const auto &pt : points) {
+        std::string label = pt.point.label();
+        if (std::find(cols.begin(), cols.end(), label) == cols.end())
+            cols.push_back(label);
+    }
+    for (experiment::MemSystem ms : experiment::allMemSystems()) {
+        util::TextTable table(
+            workload::appName(app) + " on " +
+            experiment::memSystemName(ms) +
+            " (normalized to RANDOM on the same memory system)");
+        std::vector<std::string> header{"algorithm"};
+        header.insert(header.end(), cols.begin(), cols.end());
+        table.setHeader(header);
+        for (placement::Algorithm alg :
+             placement::figureAlgorithms()) {
+            std::vector<std::string> row{
+                placement::algorithmName(alg)};
+            row.resize(1 + cols.size());
+            for (const auto &pt : points) {
+                if (pt.memSystem != ms || pt.alg != alg)
+                    continue;
+                auto it = std::find(cols.begin(), cols.end(),
+                                    pt.point.label());
+                row[1 + static_cast<size_t>(it - cols.begin())] =
+                    pt.failed
+                        ? "FAILED"
+                        : util::fmtFixed(pt.normalizedToRandom, 3);
+            }
+            table.addRow(row);
+        }
+        table.print();
+
+        // Memory-system behavior at the largest machine point, from
+        // the RANDOM cell (every algorithm sees the same hierarchy).
+        for (auto rit = points.rbegin(); rit != points.rend();
+             ++rit) {
+            if (rit->memSystem != ms ||
+                rit->alg != placement::Algorithm::Random ||
+                rit->failed)
+                continue;
+            uint64_t lookups = rit->l2Hits + rit->l2Misses;
+            if (lookups || rit->netQueueingCycles) {
+                std::printf("  at %s: L2 hit rate %s (%llu lookups), "
+                            "interconnect queueing %llu cycles\n",
+                            rit->point.label().c_str(),
+                            lookups
+                                ? util::fmtPercent(
+                                      static_cast<double>(
+                                          rit->l2Hits) /
+                                      static_cast<double>(lookups))
+                                      .c_str()
+                                : "n/a",
+                            static_cast<unsigned long long>(lookups),
+                            static_cast<unsigned long long>(
+                                rit->netQueueingCycles));
+            }
+            break;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("hierarchy: %zu cells (%zu unique), %zu replayed "
+                "from checkpoint, %zu simulated, %zu failed\n",
+                stats.total, stats.unique, stats.fromCheckpoint,
+                stats.executed, stats.failed);
+    if (stats.cancelled)
+        std::printf("cancelled: %zu cells skipped (signal %d)\n",
+                    stats.cancelled, static_cast<int>(gSignal));
+    std::string summary = experiment::renderFailureSummary(failures);
+    if (!summary.empty())
+        std::printf("%s", summary.c_str());
+
+    if (!csvPath.empty()) {
+        experiment::writeHierarchyCsv(csvPath, points);
+        std::printf("(wrote %s)\n", csvPath.c_str());
+    }
+    if (!metricsPath.empty()) {
+        obs::Registry::instance().writeJsonFile(metricsPath);
+        std::printf("(wrote %s)\n", metricsPath.c_str());
+    }
+    if (gCancel.cancelled()) {
+        std::printf("interrupted: resume with the same --checkpoint "
+                    "to finish the remaining cells\n");
+        return kExitInterrupted;
+    }
+    return failures.empty() ? 0 : kExitDegraded;
+}
+
+/**
  * `tsp_run chaos`: the full fault-site x failure-kind matrix (see
  * docs/robustness.md). Each cell arms one deterministic fault, runs a
  * checkpointed sweep + trace roundtrip + CSV report, and checks the
@@ -371,6 +554,8 @@ main(int argc, char **argv)
     try {
         if (!std::strcmp(argv[1], "sweep"))
             return runSweep(argc, argv);
+        if (!std::strcmp(argv[1], "hierarchy"))
+            return runHierarchy(argc, argv);
         if (!std::strcmp(argv[1], "chaos"))
             return runChaos(argc, argv);
         if (argc < 4)
