@@ -179,6 +179,16 @@ Registry::catalog()
          "persisting a result record to the store fails"},
         {"store.load", "svc::ResultStore",
          "opening or replaying the on-disk result store fails"},
+        {"store.lock", "svc::ResultStore",
+         "taking the store's advisory file lock fails"},
+        {"net.accept", "svc::Server",
+         "accepting a client connection fails"},
+        {"net.read", "svc::Server",
+         "reading request bytes from a client socket fails"},
+        {"net.write", "svc::Server",
+         "writing response bytes to a client socket fails"},
+        {"net.frame", "svc::Server",
+         "decoding a received wire frame fails"},
     };
     return sites;
 }

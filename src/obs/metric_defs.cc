@@ -167,12 +167,33 @@ TSP_OBS_COUNTER(svcRequestsCompleted, "svc.requests_completed",
 TSP_OBS_MS_HISTOGRAM(svcRequestMillis, "svc.request_ms", "svc::Daemon",
                      "admit-to-answer latency of admitted requests")
 
+TSP_OBS_COUNTER(netConnectionsAccepted, "net.accepted", "svc::Server",
+                "client connections accepted by the listener")
+TSP_OBS_GAUGE(netConnectionsOpen, "net.open", "svc::Server",
+              "connections currently open "
+              "(max = concurrency high water)")
+TSP_OBS_COUNTER(netConnectionsRejected, "net.rejected", "svc::Server",
+                "connections refused at accept (capacity or draining)")
+TSP_OBS_COUNTER(netFramesIn, "net.frames_in", "svc::Server",
+                "wire frames received from clients")
+TSP_OBS_COUNTER(netFramesOut, "net.frames_out", "svc::Server",
+                "wire frames sent to clients")
+TSP_OBS_COUNTER(netMalformedFrames, "net.malformed", "svc::Server",
+                "malformed wire streams rejected and dropped")
+TSP_OBS_COUNTER(netConnectionsReaped, "net.reaped", "svc::Server",
+                "connections reaped for idling or stalling mid-frame")
+TSP_OBS_COUNTER(netReconnects, "net.reconnects", "svc::Client",
+                "transport failures answered by reconnect-and-reissue")
+
 TSP_OBS_COUNTER(storeHits, "store.hits", "svc::ResultStore",
                 "result lookups served from the store")
 TSP_OBS_COUNTER(storeMisses, "store.misses", "svc::ResultStore",
                 "result lookups that missed the store")
 TSP_OBS_COUNTER(storePuts, "store.puts", "svc::ResultStore",
                 "result records persisted (atomic publishes)")
+TSP_OBS_COUNTER(storeLockWaits, "store.lock_waits", "svc::ResultStore",
+                "advisory-lock acquisitions that had to wait for "
+                "another process")
 
 TSP_OBS_COUNTER(faultInjected, "fault.injected", "fault::Registry",
                 "faults the injection framework actually fired")
@@ -234,9 +255,18 @@ allMetrics()
     svcExpired();
     svcRequestsCompleted();
     svcRequestMillis();
+    netConnectionsAccepted();
+    netConnectionsOpen();
+    netConnectionsRejected();
+    netFramesIn();
+    netFramesOut();
+    netMalformedFrames();
+    netConnectionsReaped();
+    netReconnects();
     storeHits();
     storeMisses();
     storePuts();
+    storeLockWaits();
     faultInjected();
     faultSitesRegistered();
     benchWallMillis();

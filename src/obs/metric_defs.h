@@ -85,10 +85,21 @@ Counter &svcExpired();            //!< requests expired in the queue
 Counter &svcRequestsCompleted();  //!< requests answered (any status)
 Histogram &svcRequestMillis();    //!< admit-to-answer request latency
 
+// ----------------------------------------------- svc::Server / Client
+Counter &netConnectionsAccepted(); //!< client connections accepted
+Gauge &netConnectionsOpen();       //!< connections currently open
+Counter &netConnectionsRejected(); //!< connections refused at accept
+Counter &netFramesIn();            //!< wire frames received (server)
+Counter &netFramesOut();           //!< wire frames sent (server)
+Counter &netMalformedFrames();     //!< malformed streams rejected
+Counter &netConnectionsReaped();   //!< idle/stalled connections reaped
+Counter &netReconnects();          //!< client reconnect-and-reissues
+
 // ---------------------------------------------------- svc::ResultStore
 Counter &storeHits();             //!< lookups served from the store
 Counter &storeMisses();           //!< lookups that missed the store
 Counter &storePuts();             //!< result records persisted
+Counter &storeLockWaits();        //!< contended advisory-lock waits
 
 // ----------------------------------------------------- fault::Registry
 Counter &faultInjected();         //!< faults actually injected

@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "experiment/configs.h"
+#include "svc/client.h"
 #include "svc/daemon.h"
+#include "svc/server.h"
 
 namespace tsp::svc {
 
@@ -64,6 +66,22 @@ runLeg(workload::AppId app, uint32_t scale,
     config.storePath = storePath(workDir);
     Daemon daemon(config);  // store.load fires here
 
+    // The requests travel over the wire so every net.* fault site is
+    // on the leg's path: accept, read, frame decode and write all
+    // fire per request, and the client's reconnect-and-reissue is
+    // the degradation under test.
+    Server::Config serverConfig;
+    serverConfig.port = 0;  // ephemeral
+    serverConfig.maxConnections = 4;
+    Server server(daemon, serverConfig);
+
+    Client::Config clientConfig;
+    clientConfig.port = server.port();
+    clientConfig.retryBudget = 5;
+    clientConfig.retryBackoff = std::chrono::milliseconds(1);
+    clientConfig.identity = "svc.chaos";
+    Client client(clientConfig);
+
     uint32_t threads =
         static_cast<uint32_t>(daemon.lab().traces(app).threadCount());
     std::vector<StudyRequest> requests = legRequests(app, threads);
@@ -71,16 +89,21 @@ runLeg(workload::AppId app, uint32_t scale,
     std::ostringstream os;
     for (size_t r = 0; r < requests.size(); ++r) {
         std::vector<RunJob> jobs = requests[r].jobs;
-        SubmitResult submitted =
-            daemon.submit(std::move(requests[r]));
+        Client::Result got = client.submit(requests[r]);
         os << "svc/req" << r << " => ";
-        if (!submitted.admitted()) {
+        if (got.rejected) {
             // Only an injected svc.admit fault sheds here (the queue
             // is never full); the faulted fingerprint is discarded.
-            os << "SHED(" << submitted.rejection << ")\n";
+            os << "SHED(" << got.rejection << ")\n";
             continue;
         }
-        StudyResponse response = submitted.accepted->get();
+        if (!got.answered) {
+            // Transport dead past the retry budget: survivable
+            // degradation; this fingerprint is discarded too.
+            os << "DEAD(transport)\n";
+            continue;
+        }
+        const StudyResponse &response = got.response;
         os << statusName(response.status);
         for (size_t i = 0; i < response.outcomes.size(); ++i) {
             const auto &outcome = response.outcomes[i];
@@ -97,7 +120,9 @@ runLeg(workload::AppId app, uint32_t scale,
         }
         os << '\n';
     }
+    server.beginDrain();
     daemon.drain();
+    server.stop();
     return os.str();
 }
 
@@ -113,6 +138,7 @@ chaosLeg(workload::AppId app, uint32_t scale)
     extension.reset = [](const std::string &workDir) {
         std::remove(storePath(workDir).c_str());
         std::remove((storePath(workDir) + ".tmp").c_str());
+        std::remove((storePath(workDir) + ".lock").c_str());
     };
     return extension;
 }

@@ -4,6 +4,7 @@
 
 #include "fault/fault.h"
 #include "obs/metric_defs.h"
+#include "obs/timer.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/watchdog.h"
@@ -24,6 +25,23 @@ millisBetween(Daemon::Clock::time_point from,
         .count();
 }
 
+/**
+ * Deliver a progress/completion callback with observer containment:
+ * a hook that throws is the observer's bug and never fails the study.
+ */
+template <typename Fn, typename Arg>
+void
+notify(const Fn &fn, const Arg &arg)
+{
+    if (!fn)
+        return;
+    try {
+        fn(arg);
+    } catch (...) {
+        // Swallowed by design; the transport owns its own errors.
+    }
+}
+
 } // namespace
 
 std::string
@@ -40,6 +58,20 @@ statusName(StudyStatus status)
         return "failed";
     }
     util::panic("unknown study status");
+}
+
+std::string
+stageName(StudyProgress::Stage stage)
+{
+    switch (stage) {
+    case StudyProgress::Stage::Queued:
+        return "queued";
+    case StudyProgress::Stage::Running:
+        return "running";
+    case StudyProgress::Stage::Done:
+        return "done";
+    }
+    util::panic("unknown study progress stage");
 }
 
 Daemon::Daemon(const Config &config) : config_(config), lab_(config.scale)
@@ -76,7 +108,11 @@ SubmitResult
 Daemon::submit(StudyRequest request)
 {
     Clock::time_point arrival = now();
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::function<void(const StudyProgress &)> onProgress =
+        request.onProgress;
+    uint32_t totalCells = static_cast<uint32_t>(request.jobs.size());
+
+    std::unique_lock<std::mutex> lock(mutex_);
 
     auto shed = [&](std::string reason) {
         ++counters_.shed;
@@ -113,6 +149,25 @@ Daemon::submit(StudyRequest request)
 
     SubmitResult result;
     result.accepted = pending.promise.get_future();
+
+    // The Queued heartbeat fires outside the daemon lock (a slow
+    // observer — a congested socket, say — cannot stall admission)
+    // and BEFORE the request becomes visible to workers, so
+    // observers see Queued strictly before any Running even when the
+    // study completes from cache in microseconds.
+    lock.unlock();
+    StudyProgress queued;
+    queued.stage = StudyProgress::Stage::Queued;
+    queued.totalCells = totalCells;
+    notify(onProgress, queued);
+
+    lock.lock();
+    // Drain may have begun while the heartbeat ran; re-check rather
+    // than enqueue work no worker will answer. The stray Queued
+    // heartbeat before a shed is harmless — rejection is definitive
+    // whenever it arrives.
+    if (draining_ || stopping_)
+        return shed("rejected: draining (not admitting new requests)");
     queue_.emplace(
         std::make_pair(-pending.request.priority, nextSeq_++),
         std::move(pending));
@@ -220,6 +275,17 @@ Daemon::workerLoop()
             millisBetween(pending.admitted, answered);
         obs::svcRequestMillis().observe(response.totalMillis);
         obs::svcRequestsCompleted().inc();
+
+        // Done heartbeat + completion hook fire before the future is
+        // fulfilled, covering the exception path above too (the
+        // transport sees Failed responses the same way).
+        StudyProgress done;
+        done.stage = StudyProgress::Stage::Done;
+        done.totalCells =
+            static_cast<uint32_t>(pending.request.jobs.size());
+        done.cellsDone = done.totalCells;
+        notify(pending.request.onProgress, done);
+        notify(pending.request.onComplete, response);
         pending.promise.set_value(std::move(response));
 
         lock.lock();
@@ -278,48 +344,65 @@ Daemon::execute(Pending &pending)
 
     for (size_t i = 0; i < n; ++i) {
         const RunJob &job = pending.request.jobs[i];
+        obs::StopWatch cellWatch;
         if (now() >= pending.expiry)
             cancel.requestCancel();
         if (cancel.cancelled()) {
             response.outcomes[i] = Outcome<RunResult>::failure(
                 "request deadline exceeded before this cell ran");
             ++response.cancelledCells;
-            continue;
-        }
-        try {
-            if (store_) {
-                if (std::optional<RunResult> cached =
-                        store_->lookup(job)) {
+        } else {
+            try {
+                if (store_) {
+                    if (std::optional<RunResult> cached =
+                            store_->lookup(job)) {
+                        response.outcomes[i] =
+                            Outcome<RunResult>::success(
+                                std::move(*cached));
+                        ++response.cacheHits;
+                    }
+                }
+                if (!response.outcomes[i].ok()) {
+                    RunResult result =
+                        lab_.run(job.app, job.alg, job.point,
+                                 job.infiniteCache, job.memSystem);
+                    ++response.executed;
+                    if (store_) {
+                        try {
+                            store_->put(job, result);
+                        } catch (const std::exception &e) {
+                            // The computed result is still good; it
+                            // stays resident in the store's memory
+                            // image and the next successful put
+                            // re-publishes it.
+                            util::warn(util::concat(
+                                "result store put failed "
+                                "(result kept): ",
+                                e.what()));
+                        }
+                    }
                     response.outcomes[i] =
                         Outcome<RunResult>::success(
-                            std::move(*cached));
-                    ++response.cacheHits;
-                    continue;
+                            std::move(result));
                 }
+            } catch (const std::exception &e) {
+                // Fault isolation, same policy as the sweep engine:
+                // one failed cell degrades, the rest of the study
+                // proceeds.
+                response.outcomes[i] =
+                    Outcome<RunResult>::failure(e.what());
             }
-            RunResult result = lab_.run(job.app, job.alg, job.point,
-                                        job.infiniteCache);
-            ++response.executed;
-            if (store_) {
-                try {
-                    store_->put(job, result);
-                } catch (const std::exception &e) {
-                    // The computed result is still good; it stays
-                    // resident in the store's memory image and the
-                    // next successful put re-publishes it.
-                    util::warn(util::concat(
-                        "result store put failed (result kept): ",
-                        e.what()));
-                }
-            }
-            response.outcomes[i] =
-                Outcome<RunResult>::success(std::move(result));
-        } catch (const std::exception &e) {
-            // Fault isolation, same policy as the sweep engine: one
-            // failed cell degrades, the rest of the study proceeds.
-            response.outcomes[i] =
-                Outcome<RunResult>::failure(e.what());
         }
+
+        // Running heartbeat after every cell disposition (run, hit,
+        // failure or cancellation), piggybacking the cell's wall
+        // time so remote clients see per-cell pacing.
+        StudyProgress running;
+        running.stage = StudyProgress::Stage::Running;
+        running.cellsDone = static_cast<uint32_t>(i + 1);
+        running.totalCells = static_cast<uint32_t>(n);
+        running.lastCellMillis = cellWatch.elapsedMs();
+        notify(pending.request.onProgress, running);
     }
 
     guard.reset();

@@ -62,6 +62,30 @@ enum class StudyStatus : uint8_t {
 /** Lowercase status name, e.g. "deadline-exceeded". */
 std::string statusName(StudyStatus status);
 
+/**
+ * A point-in-time progress report for an admitted request. Streamed
+ * to the request's onProgress hook as the study moves through the
+ * queue and its cells, so a remote client can tell slow from dead.
+ */
+struct StudyProgress
+{
+    enum class Stage : uint8_t {
+        Queued = 0,   //!< admitted; waiting for a worker
+        Running = 1,  //!< a worker is executing cells
+        Done = 2,     //!< the response is about to be delivered
+    };
+
+    Stage stage = Stage::Queued;
+    uint32_t cellsDone = 0;    //!< cells with a disposition so far
+    uint32_t totalCells = 0;   //!< jobs in the study
+    double lastCellMillis = 0.0;  //!< wall time of the latest cell
+};
+
+/** Lowercase stage name, e.g. "running". */
+std::string stageName(StudyProgress::Stage stage);
+
+struct StudyResponse;
+
 /** One study: a batch of simulation cells answered as a unit. */
 struct StudyRequest
 {
@@ -72,6 +96,23 @@ struct StudyRequest
 
     /** Answer-by budget from admission; 0 = the daemon's default. */
     std::chrono::milliseconds deadline{0};
+
+    /**
+     * Progress hook, invoked on daemon threads: once with Queued at
+     * admission, after every cell disposition with Running, and with
+     * Done just before the response future is fulfilled. Exceptions
+     * it throws are swallowed — a broken observer cannot fail the
+     * study. Empty = no streaming.
+     */
+    std::function<void(const StudyProgress &)> onProgress;
+
+    /**
+     * Completion hook, invoked on the answering worker thread just
+     * before the future is fulfilled (same containment as
+     * onProgress). Lets a transport deliver the response without
+     * parking a thread on the future.
+     */
+    std::function<void(const StudyResponse &)> onComplete;
 };
 
 /** The daemon's answer to an admitted request. */

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "experiment/configs.h"
+#include "svc/client.h"
 #include "util/checksum.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -60,6 +61,58 @@ struct ClientTally
     std::vector<double> latencies;
     std::string digestLines;
 };
+
+/**
+ * Graceful degradation: run the request's cells on the local Lab
+ * (consulting and feeding the store when one is attached). The
+ * simulation is deterministic, so the answer — and therefore the
+ * loadgen digest — is bit-identical to what the server would have
+ * returned.
+ */
+StudyResponse
+runLocally(Daemon &daemon, const StudyRequest &request)
+{
+    StudyResponse response;
+    response.outcomes.assign(request.jobs.size(),
+                             experiment::Outcome<RunResult>{});
+    for (size_t i = 0; i < request.jobs.size(); ++i) {
+        const RunJob &job = request.jobs[i];
+        try {
+            if (ResultStore *store = daemon.store()) {
+                if (std::optional<RunResult> cached =
+                        store->lookup(job)) {
+                    response.outcomes[i] =
+                        experiment::Outcome<RunResult>::success(
+                            std::move(*cached));
+                    ++response.cacheHits;
+                    continue;
+                }
+            }
+            RunResult result =
+                daemon.lab().run(job.app, job.alg, job.point,
+                                 job.infiniteCache, job.memSystem);
+            ++response.executed;
+            if (ResultStore *store = daemon.store()) {
+                try {
+                    store->put(job, result);
+                } catch (const std::exception &e) {
+                    util::warn(util::concat(
+                        "local-fallback store put failed (result "
+                        "kept): ",
+                        e.what()));
+                }
+            }
+            response.outcomes[i] =
+                experiment::Outcome<RunResult>::success(
+                    std::move(result));
+        } catch (const std::exception &e) {
+            response.outcomes[i] =
+                experiment::Outcome<RunResult>::failure(e.what());
+        }
+    }
+    response.status = StudyStatus::Completed;
+    return response;
+}
 
 } // namespace
 
@@ -118,6 +171,10 @@ LoadGenReport::summary() const
        << failed << " failed\n";
     os << "cells: " << cellsExecuted << " executed, " << cacheHits
        << " store hits (hit rate " << hitRate << "%)\n";
+    if (reconnects > 0 || degradedLocal > 0) {
+        os << "network: " << reconnects << " reconnects, "
+           << degradedLocal << " requests degraded to local runs\n";
+    }
     os << "latency ms: p50 " << p50Ms << ", p99 " << p99Ms << ", max "
        << maxMs << "\n";
     os << "result digest: " << resultDigest;
@@ -141,6 +198,19 @@ runLoadGen(Daemon &daemon, const LoadGenOptions &options)
         util::BackoffSchedule schedule(loadGenRetryPolicy(
             client, 1 + options.retryBudget, options.retryBackoff));
 
+        std::optional<Client> netClient;
+        if (options.serverPort != 0) {
+            Client::Config net;
+            net.host = options.serverHost;
+            net.port = options.serverPort;
+            net.recvTimeout = options.netTimeout;
+            net.retryBudget = options.netRetryBudget;
+            net.retryBackoff = options.retryBackoff;
+            net.identity =
+                util::concat("svc.loadgen/client-", client);
+            netClient.emplace(net);
+        }
+
         for (unsigned r = 0; r < options.requestsPerClient; ++r) {
             if (options.stop && options.stop->cancelled()) {
                 tally.counts.skipped +=
@@ -158,28 +228,48 @@ runLoadGen(Daemon &daemon, const LoadGenOptions &options)
 
             // Closed loop with retry-after-shed: every rejection
             // backs off on the client's deterministic jitter
-            // schedule, up to the capped budget.
-            std::optional<std::future<StudyResponse>> future;
+            // schedule, up to the capped budget. Socket-mode
+            // transport failures are retried inside the wire client;
+            // only a server that is alive-and-shedding reaches this
+            // loop's backoff.
+            std::optional<StudyResponse> answer;
             for (unsigned attempt = 0;
                  attempt <= options.retryBudget; ++attempt) {
                 ++tally.counts.attempts;
-                SubmitResult submitted = daemon.submit(request);
-                if (submitted.admitted()) {
-                    future = std::move(submitted.accepted);
-                    break;
+                if (netClient) {
+                    Client::Result got = netClient->submit(request);
+                    tally.counts.reconnects += got.reconnects;
+                    if (got.answered) {
+                        answer = std::move(got.response);
+                        break;
+                    }
+                    if (!got.alive()) {
+                        if (options.localFallback) {
+                            answer = runLocally(daemon, request);
+                            ++tally.counts.degradedLocal;
+                        }
+                        break;
+                    }
+                    ++tally.counts.shed;
+                } else {
+                    SubmitResult submitted = daemon.submit(request);
+                    if (submitted.admitted()) {
+                        answer = submitted.accepted->get();
+                        break;
+                    }
+                    ++tally.counts.shed;
                 }
-                ++tally.counts.shed;
                 if (attempt == options.retryBudget ||
                     (options.stop && options.stop->cancelled()))
                     break;
                 std::this_thread::sleep_for(schedule.next());
             }
-            if (!future) {
+            if (!answer) {
                 ++tally.counts.abandoned;
                 continue;
             }
 
-            StudyResponse response = future->get();
+            StudyResponse response = std::move(*answer);
             ++tally.counts.admitted;
             tally.latencies.push_back(response.totalMillis);
             switch (response.status) {
@@ -246,6 +336,8 @@ runLoadGen(Daemon &daemon, const LoadGenOptions &options)
         report.failed += tally.counts.failed;
         report.cacheHits += tally.counts.cacheHits;
         report.cellsExecuted += tally.counts.cellsExecuted;
+        report.reconnects += tally.counts.reconnects;
+        report.degradedLocal += tally.counts.degradedLocal;
         report.latenciesMs.insert(report.latenciesMs.end(),
                                   tally.latencies.begin(),
                                   tally.latencies.end());

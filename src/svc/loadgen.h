@@ -57,6 +57,32 @@ struct LoadGenOptions
 
     /** Stop issuing new requests once tripped (SIGTERM path). */
     const util::CancelToken *stop = nullptr;
+
+    // ------------------------------------------------- socket mode
+
+    /**
+     * When serverPort != 0, clients submit over the wire to
+     * serverHost:serverPort (one svc::Client per load thread)
+     * instead of calling Daemon::submit directly. The daemon
+     * argument is then only the degradation target. Socket and
+     * in-process runs over the same options produce the same
+     * resultDigest.
+     */
+    uint16_t serverPort = 0;
+    std::string serverHost = "127.0.0.1";
+
+    /** Per-frame silence budget of socket-mode clients. */
+    std::chrono::milliseconds netTimeout{10000};
+
+    /** Reconnect-and-reissue budget of socket-mode clients. */
+    unsigned netRetryBudget = 4;
+
+    /**
+     * When the transport stays dead past the reconnect budget, run
+     * the request's cells locally on the daemon's Lab (deterministic,
+     * so the digest is unchanged) instead of abandoning it.
+     */
+    bool localFallback = true;
 };
 
 /** Aggregated outcome of a load-generation run. */
@@ -75,6 +101,9 @@ struct LoadGenReport
 
     uint64_t cacheHits = 0;       //!< summed over responses
     uint64_t cellsExecuted = 0;   //!< summed over responses
+
+    uint64_t reconnects = 0;      //!< socket-mode transport retries
+    uint64_t degradedLocal = 0;   //!< requests served by local fallback
 
     /** Admit-to-answer latencies of answered requests, sorted. */
     std::vector<double> latenciesMs;

@@ -10,6 +10,7 @@
 #include "obs/metric_defs.h"
 #include "util/checksum.h"
 #include "util/error.h"
+#include "util/file_lock.h"
 #include "util/logging.h"
 #include "util/retry.h"
 
@@ -31,16 +32,31 @@ constexpr size_t kFrameBytes = 2 * sizeof(uint32_t);
 /** Keys are tiny fixed-layout configuration tuples. */
 constexpr uint32_t kMaxKeyBytes = 256;
 
+uint64_t
+fnv1a(const std::string &bytes)
+{
+    uint64_t hash = 1469598103934665603ull;
+    for (unsigned char c : bytes)
+        hash = (hash ^ c) * 1099511628211ull;
+    return hash;
+}
+
+std::string
+readWhole(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::string();
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
 } // namespace
 
 ResultStore::ResultStore(std::string path, uint32_t scale)
     : path_(std::move(path)), scale_(scale)
 {
-    codec::ByteWriter header;
-    header.raw(kMagic, sizeof(kMagic));
-    header.u32(kVersion);
-    header.u32(scale_);
-    image_ = header.bytes();
     load();
 }
 
@@ -70,24 +86,12 @@ ResultStore::digestOf(const RunJob &job, uint32_t scale)
 {
     // FNV-1a over the canonical key bytes: stable across runs and
     // processes, which is all a content address needs here.
-    std::string key = keyBytes(job, scale);
-    uint64_t hash = 1469598103934665603ull;
-    for (unsigned char c : key)
-        hash = (hash ^ c) * 1099511628211ull;
-    return hash;
+    return fnv1a(keyBytes(job, scale));
 }
 
-void
-ResultStore::load()
+size_t
+ResultStore::replay(const std::string &bytes)
 {
-    TSP_FAULT_POINT("store.load");
-    std::ifstream is(path_, std::ios::binary);
-    if (!is)
-        return;  // no store yet: start fresh
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    std::string bytes = buf.str();
-
     util::fatalIf(bytes.size() < kHeaderBytes ||
                       std::memcmp(bytes.data(), kMagic,
                                   sizeof(kMagic)) != 0,
@@ -134,19 +138,36 @@ ResultStore::load()
                           "result store record has trailing bytes");
             // Content-address self-check: a record whose digest does
             // not match its own key bytes is corrupt despite the CRC.
-            uint64_t expect = 1469598103934665603ull;
-            for (unsigned char c : key)
-                expect = (expect ^ c) * 1099511628211ull;
-            util::fatalIf(digest != expect,
+            util::fatalIf(digest != fnv1a(key),
                           "result store record digest mismatch");
-            results_[std::move(key)] = std::move(result);
+            // First writer wins: a record this process already holds
+            // (from its own puts or an earlier replay) is canonical —
+            // the simulation is deterministic, so any honest
+            // duplicate is bit-identical anyway.
+            results_.emplace(std::move(key), std::move(result));
         } catch (const util::FatalError &) {
             break;  // malformed payload despite a valid CRC frame
         }
         pos += kFrameBytes + len;
         good = pos;
     }
+    return good;
+}
 
+void
+ResultStore::load()
+{
+    TSP_FAULT_POINT("store.load");
+    // Shared advisory lock: many loaders may replay together, but
+    // none overlaps a writer's exclusive publish cycle.
+    util::FileLock flock(lockPath(), util::FileLock::Mode::Shared);
+    if (flock.waited())
+        obs::storeLockWaits().inc();
+    std::string bytes = readWhole(path_);
+    if (bytes.empty())
+        return;  // no store yet: start fresh
+
+    size_t good = replay(bytes);
     dropped_ = bytes.size() - good;
     if (dropped_ > 0) {
         util::warn(util::concat(
@@ -155,7 +176,30 @@ ResultStore::load()
             "killed daemon); ", results_.size(),
             " intact results recovered"));
     }
-    image_ = bytes.substr(0, good);
+}
+
+void
+ResultStore::mergeFromDisk()
+{
+    std::string bytes = readWhole(path_);
+    if (bytes.empty())
+        return;  // nothing published yet (or wiped between cycles)
+    size_t before = results_.size();
+    size_t good = replay(bytes);
+    size_t adopted = results_.size() - before;
+    if (adopted > 0) {
+        util::inform(util::concat("result store ", path_, ": adopted ",
+                                adopted,
+                                " records published by another "
+                                "process"));
+    }
+    if (bytes.size() != good) {
+        util::warn(util::concat(
+            "result store ", path_, ": ignoring ",
+            bytes.size() - good,
+            " corrupt trailing bytes while merging (they are "
+            "dropped by this publish)"));
+    }
 }
 
 std::optional<RunResult>
@@ -180,40 +224,68 @@ ResultStore::put(const RunJob &job, const RunResult &result)
     if (results_.count(key))
         return false;
 
-    codec::ByteWriter payload;
-    payload.u64(digestOf(job, scale_));
-    payload.u32(static_cast<uint32_t>(key.size()));
-    payload.raw(key.data(), key.size());
-    codec::writeRunResult(payload, result);
-
-    codec::ByteWriter frame;
-    frame.u32(static_cast<uint32_t>(payload.bytes().size()));
-    frame.u32(util::crc32(payload.bytes()));
-
-    image_ += frame.bytes();
-    image_ += payload.bytes();
+    // The record becomes resident before the publish is attempted:
+    // if persistence fails past its retry budget the result is still
+    // served from memory and rides along with the next put.
     results_[std::move(key)] = result;
     persist();
     obs::storePuts().inc();
     return true;
 }
 
-void
-ResultStore::persist() const
+std::string
+ResultStore::buildImage() const
 {
-    // Atomic publish, same discipline as the checkpoint journal:
-    // whole image to .tmp, rename over the real file, bounded
-    // jittered retry around the transient-failure seam.
+    codec::ByteWriter header;
+    header.raw(kMagic, sizeof(kMagic));
+    header.u32(kVersion);
+    header.u32(scale_);
+    std::string image = header.bytes();
+
+    for (const auto &[key, result] : results_) {
+        codec::ByteWriter payload;
+        payload.u64(fnv1a(key));
+        payload.u32(static_cast<uint32_t>(key.size()));
+        payload.raw(key.data(), key.size());
+        codec::writeRunResult(payload, result);
+
+        codec::ByteWriter frame;
+        frame.u32(static_cast<uint32_t>(payload.bytes().size()));
+        frame.u32(util::crc32(payload.bytes()));
+        image += frame.bytes();
+        image += payload.bytes();
+    }
+    return image;
+}
+
+void
+ResultStore::persist()
+{
+    // Read-merge-publish under the exclusive advisory lock, with the
+    // checkpoint journal's atomic-rename discipline: re-read the file
+    // (another process may have published since we last looked),
+    // adopt its records, then write the merged image to .tmp and
+    // rename it over the real file. Bounded jittered retry wraps the
+    // whole cycle, so a transient lock or I/O failure is retried with
+    // the merge re-run from scratch.
     std::string tmp = path_ + ".tmp";
     util::retry(
         [&] {
+            TSP_FAULT_POINT("store.lock");
+            util::FileLock flock(lockPath(),
+                                 util::FileLock::Mode::Exclusive);
+            if (flock.waited())
+                obs::storeLockWaits().inc();
+            mergeFromDisk();
+            std::string image = buildImage();
+
             TSP_FAULT_POINT("store.put");
             std::ofstream os(tmp,
                              std::ios::binary | std::ios::trunc);
             util::fatalIf(
                 !os, "cannot open result store for writing: " + tmp);
-            os.write(image_.data(),
-                     static_cast<std::streamsize>(image_.size()));
+            os.write(image.data(),
+                     static_cast<std::streamsize>(image.size()));
             os.flush();
             util::fatalIf(!os, "result store write failed: " + tmp);
             os.close();

@@ -15,8 +15,19 @@
  *    keeps every CRC-valid record before it, so a killed daemon
  *    loses at most the record being published.
  *
- * Fault sites: `store.load` (open/replay) and `store.put` (persist),
- * both in the chaos matrix.
+ * Multi-process model: several daemons — or a daemon plus a CLI —
+ * may share one TSPS file. An advisory flock on the sidecar
+ * `<path>.lock` file coordinates them: load() holds it shared, and
+ * put() holds it exclusive around a read-merge-publish cycle that
+ * re-reads the file and adopts records another process published
+ * before rewriting the whole image, so a racing writer never drops
+ * the other's results. The lock is advisory (cooperating processes
+ * only) and released by the kernel if the holder dies, so a kill -9
+ * never wedges the store.
+ *
+ * Fault sites: `store.load` (open/replay), `store.lock` (advisory
+ * lock acquisition) and `store.put` (persist), all in the chaos
+ * matrix.
  */
 
 #ifndef TSP_SVC_RESULT_STORE_H
@@ -59,6 +70,9 @@ class ResultStore
     /** The backing file path. */
     const std::string &path() const { return path_; }
 
+    /** The sidecar advisory-lock path (`<path>.lock`). */
+    std::string lockPath() const { return path_ + ".lock"; }
+
     /**
      * FNV-1a digest of the canonical configuration bytes of
      * (@p job, @p scale) — the store's content address.
@@ -75,11 +89,15 @@ class ResultStore
 
     /**
      * Persist @p result under @p job's content address. Returns false
-     * (and writes nothing) when the key is already present. On a
-     * persist failure that survives bounded retry the record stays
-     * resident in memory — served to lookups, and re-published by the
-     * next successful put (the image is rewritten whole) — and the
-     * error propagates so the caller can report it.
+     * (and writes nothing) when the key is already present. The
+     * publish runs under the exclusive advisory lock as a
+     * read-merge-publish cycle: records another process wrote since
+     * our last look at the file are adopted before the whole image is
+     * rewritten, so concurrent writers never drop each other's work.
+     * On a persist failure that survives bounded retry the record
+     * stays resident in memory — served to lookups, and re-published
+     * by the next successful put — and the error propagates so the
+     * caller can report it.
      */
     bool put(const experiment::RunJob &job,
              const experiment::RunResult &result);
@@ -90,14 +108,32 @@ class ResultStore
                                 uint32_t scale);
 
     void load();
-    void persist() const;
+
+    /**
+     * Adopt every intact record in the on-disk file that this process
+     * has not seen (caller holds mutex_ and the exclusive flock).
+     */
+    void mergeFromDisk();
+
+    /** Serialize header + every resident record, in key order. */
+    std::string buildImage() const;
+
+    /**
+     * Validate @p bytes' TSPS header and replay every intact record
+     * into results_ (first writer wins; resident records are never
+     * overwritten). Returns the byte count of the valid prefix;
+     * throws FatalError on a foreign, wrong-version or wrong-scale
+     * header.
+     */
+    size_t replay(const std::string &bytes);
+
+    void persist();
 
     std::string path_;
     uint32_t scale_;
 
     mutable std::mutex mutex_;
     std::map<std::string, experiment::RunResult> results_;
-    std::string image_;  //!< serialized file image (header + records)
     size_t dropped_ = 0;
 };
 

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Advisory file locking (BSD flock) for artifacts shared between
+ * processes. The result store takes a shared lock to load and an
+ * exclusive lock around its read-merge-publish cycle, so several
+ * daemons — or a daemon plus a CLI — can share one TSPS file without
+ * a racing writer dropping the other's records.
+ *
+ * The lock lives on a dedicated sidecar file (`<artifact>.lock`)
+ * rather than the artifact itself: the artifact is published by
+ * atomic rename, which replaces its inode, and a lock held on a
+ * replaced inode protects nothing.
+ *
+ * Advisory means cooperating: every writer must take the lock, and a
+ * process that bypasses it is not stopped. Locks are released by the
+ * destructor and — crucially for kill -9 robustness — by the kernel
+ * when the holder dies, so a crashed daemon never wedges the fleet.
+ */
+
+#ifndef TSP_UTIL_FILE_LOCK_H
+#define TSP_UTIL_FILE_LOCK_H
+
+#include <string>
+
+namespace tsp::util {
+
+/**
+ * RAII advisory flock on @p path (created if absent). Construction
+ * blocks until the lock is granted; destruction releases it. Throws
+ * FatalError when the lock file cannot be opened or locked.
+ */
+class FileLock
+{
+  public:
+    enum class Mode {
+        Shared,     //!< many readers may hold it together
+        Exclusive,  //!< one writer, excluding readers too
+    };
+
+    FileLock(const std::string &path, Mode mode);
+    ~FileLock();
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    /**
+     * True when the lock was contended — another process held a
+     * conflicting lock and this acquisition had to wait. Callers use
+     * this to count lock waits without the lock layer depending on
+     * the metrics layer.
+     */
+    bool waited() const { return waited_; }
+
+  private:
+    int fd_ = -1;
+    bool waited_ = false;
+};
+
+} // namespace tsp::util
+
+#endif // TSP_UTIL_FILE_LOCK_H

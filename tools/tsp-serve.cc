@@ -22,6 +22,15 @@
  *   --seed N             load-generator seed (default 1)
  *   --metrics-out PATH   write the metrics snapshot on exit
  *
+ * network modes:
+ *   --listen PORT        serve the wire protocol on --host:PORT
+ *                        (0 = ephemeral; the bound port is printed)
+ *                        instead of running the load generator
+ *   --connect PORT       the load generator submits over the wire to
+ *                        --host:PORT instead of in-process
+ *   --host ADDR          bind/connect address (default 127.0.0.1)
+ *   --max-connections N  listener admission limit (default 64)
+ *
  * SIGINT/SIGTERM begin a graceful drain: clients stop issuing, the
  * daemon stops admitting, queued and in-flight requests finish, the
  * report still prints, and the exit code is 0 — a clean drain is
@@ -38,9 +47,12 @@
 #include <cstring>
 #include <string>
 
+#include <thread>
+
 #include "obs/metrics.h"
 #include "svc/daemon.h"
 #include "svc/loadgen.h"
+#include "svc/server.h"
 #include "util/cancel.h"
 #include "util/error.h"
 #include "util/parse.h"
@@ -74,6 +86,8 @@ usage()
         "  --clients N    --requests N      --jobs-per-request N\n"
         "  --retry-budget N  --retry-backoff MS  --seed N\n"
         "  --metrics-out PATH\n"
+        "  --listen PORT  --connect PORT  --host ADDR\n"
+        "  --max-connections N\n"
         "see docs/service.md for semantics and capacity tuning\n");
     return 2;
 }
@@ -85,6 +99,9 @@ run(int argc, char **argv)
     svc::LoadGenOptions loadgen;
     workload::AppId app = workload::AppId::Water;
     std::string metricsOut;
+    std::string host = "127.0.0.1";
+    int listenPort = -1;  // -1 = load-generator mode
+    size_t maxConnections = 64;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) -> const char * {
@@ -130,6 +147,18 @@ run(int argc, char **argv)
                                                  "--seed");
         else if (!std::strcmp(argv[i], "--metrics-out"))
             metricsOut = next("--metrics-out");
+        else if (!std::strcmp(argv[i], "--listen"))
+            listenPort = static_cast<int>(util::parseUnsigned32(
+                next("--listen"), "--listen", 0, 65535));
+        else if (!std::strcmp(argv[i], "--connect"))
+            loadgen.serverPort =
+                static_cast<uint16_t>(util::parseUnsigned32(
+                    next("--connect"), "--connect", 1, 65535));
+        else if (!std::strcmp(argv[i], "--host"))
+            host = next("--host");
+        else if (!std::strcmp(argv[i], "--max-connections"))
+            maxConnections = util::parseUnsigned32(
+                next("--max-connections"), "--max-connections", 1);
         else
             return usage();
     }
@@ -139,6 +168,7 @@ run(int argc, char **argv)
     svc::Daemon daemon(config);
     loadgen.palette = svc::defaultPalette(daemon.lab(), app);
     loadgen.stop = &gStop;
+    loadgen.serverHost = host;
 
     std::printf("tsp-serve: %s scale %u, %u workers, capacity %zu, "
                 "store %s\n",
@@ -148,14 +178,52 @@ run(int argc, char **argv)
                                          : config.storePath.c_str());
     std::fflush(stdout);
 
-    svc::LoadGenReport report = svc::runLoadGen(daemon, loadgen);
+    if (listenPort >= 0) {
+        // Network serve mode: host the wire protocol until a signal
+        // begins the drain. tsp-client (or a socket-mode loadgen) is
+        // the traffic source.
+        svc::Server::Config serverConfig;
+        serverConfig.host = host;
+        serverConfig.port = static_cast<uint16_t>(listenPort);
+        serverConfig.maxConnections = maxConnections;
+        svc::Server server(daemon, serverConfig);
+        std::printf("listening on %s:%u\n", host.c_str(),
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
 
-    // Graceful drain: stop admitting, finish queued and in-flight
-    // requests, join the workers. Runs on the signal path too.
-    daemon.beginDrain();
-    daemon.drain();
+        while (!gStop.cancelled())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
 
-    std::printf("%s\n", report.summary().c_str());
+        // Drain order: refuse new network work, refuse new
+        // admissions, finish what was admitted, then flush the
+        // earned answers out of the sockets.
+        server.beginDrain();
+        daemon.beginDrain();
+        daemon.drain();
+        server.stop();
+
+        svc::Server::Counters net = server.counters();
+        std::printf(
+            "server: %llu accepted, %llu rejected, %llu malformed, "
+            "%llu reaped, %llu frames in, %llu frames out\n",
+            static_cast<unsigned long long>(net.accepted),
+            static_cast<unsigned long long>(net.rejected),
+            static_cast<unsigned long long>(net.malformed),
+            static_cast<unsigned long long>(net.reaped),
+            static_cast<unsigned long long>(net.framesIn),
+            static_cast<unsigned long long>(net.framesOut));
+    } else {
+        svc::LoadGenReport report = svc::runLoadGen(daemon, loadgen);
+
+        // Graceful drain: stop admitting, finish queued and
+        // in-flight requests, join the workers. Runs on the signal
+        // path too.
+        daemon.beginDrain();
+        daemon.drain();
+
+        std::printf("%s\n", report.summary().c_str());
+    }
     svc::Daemon::Counters counters = daemon.counters();
     std::printf("daemon: %llu admitted, %llu shed, %llu expired, "
                 "%llu completed\n",
