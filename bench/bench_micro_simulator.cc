@@ -13,17 +13,22 @@
 #include <thread>
 #include <vector>
 
+#include <numeric>
+
 #include "core/load_balance.h"
 #include "core/random_placement.h"
 #include "experiment/configs.h"
 #include "experiment/parallel.h"
+#include "experiment/sampling_study.h"
 #include "experiment/studies.h"
+#include "sample/sampler.h"
 #include "sim/machine.h"
 #include "trace/address_space.h"
 #include "util/format.h"
 #include "util/rng.h"
 #include "workload/app_profile.h"
 #include "workload/generator.h"
+#include "workload/stream.h"
 #include "workload/suite.h"
 
 namespace {
@@ -51,28 +56,109 @@ benchTraces()
     return set;
 }
 
+/** Identity placement: thread i on processor i. */
+placement::PlacementMap
+identityMap(uint32_t threads)
+{
+    std::vector<uint32_t> assign(threads);
+    std::iota(assign.begin(), assign.end(), 0u);
+    return placement::PlacementMap(threads, assign);
+}
+
+/**
+ * References per second across the whole machine-size range. Up to 16
+ * processors this is the historical microbench shape (16-thread
+ * materialized trace, random placement) so the recorded baselines
+ * stay comparable. From 64 processors up it switches to one thread
+ * per processor on the synthetic scalable workload through the
+ * bounded-memory streaming path (a materialized 1024-thread TraceSet
+ * would defeat the point); per-thread length shrinks with the machine
+ * so total references stay roughly constant, isolating the
+ * per-reference cost of wide sharer sets (SharerSet spill, broadcast
+ * invalidations), which is what grows past 128 processors.
+ */
 void
 BM_SimulateProcessors(benchmark::State &state)
 {
-    const auto &traces = benchTraces();
     uint32_t procs = static_cast<uint32_t>(state.range(0));
-    sim::SimConfig cfg;
-    cfg.processors = procs;
-    cfg.contexts = (16 + procs - 1) / procs;
-    cfg.cacheBytes = 32 * 1024;
-
-    util::Rng rng(1);
-    auto map = placement::randomPlacement(16, procs, rng);
     uint64_t refs = 0;
-    for (auto _ : state) {
-        auto stats = sim::simulate(cfg, traces, map);
-        refs += stats.totalMemRefs();
-        benchmark::DoNotOptimize(stats.executionTime());
+    if (procs >= 64) {
+        workload::AppProfile p = experiment::syntheticScaleProfile(
+            procs, /*meanLength=*/2'000'000 / procs);
+        sim::SimConfig cfg;
+        cfg.processors = procs;
+        cfg.contexts = 1;
+        cfg.cacheBytes = p.cacheBytes;
+        auto map = identityMap(procs);
+        for (auto _ : state) {
+            workload::AppStreamFactory factory(p, /*scale=*/1);
+            auto stats = sim::simulateStreaming(cfg, factory, map);
+            refs += stats.totalMemRefs();
+            benchmark::DoNotOptimize(stats.executionTime());
+        }
+    } else {
+        const auto &traces = benchTraces();
+        sim::SimConfig cfg;
+        cfg.processors = procs;
+        cfg.contexts = (16 + procs - 1) / procs;
+        cfg.cacheBytes = 32 * 1024;
+        util::Rng rng(1);
+        auto map = placement::randomPlacement(16, procs, rng);
+        for (auto _ : state) {
+            auto stats = sim::simulate(cfg, traces, map);
+            refs += stats.totalMemRefs();
+            benchmark::DoNotOptimize(stats.executionTime());
+        }
     }
     state.SetItemsProcessed(static_cast<int64_t>(refs));
     state.SetLabel("memory references/s");
 }
-BENCHMARK(BM_SimulateProcessors)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_SimulateProcessors)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Arg(64)->Arg(256)->Arg(1024);
+
+/**
+ * One phase-sampled run at 256 processors with the SamplePlan built
+ * outside the timed region, matching how a placement study amortizes
+ * the plan across its cells. Items are the *estimated-for* references
+ * (the full trace), so items/s is the effective throughput sampling
+ * buys; regressions here catch both the segment-seek machinery and
+ * the reconstruction arithmetic.
+ */
+void
+BM_SampledSimulate(benchmark::State &state)
+{
+    uint32_t procs = static_cast<uint32_t>(state.range(0));
+    workload::AppProfile p =
+        experiment::syntheticScaleProfile(procs, /*meanLength=*/60'000);
+    sim::SimConfig cfg;
+    cfg.processors = procs;
+    cfg.contexts = 1;
+    cfg.cacheBytes = p.cacheBytes;
+
+    sample::SampleOptions so;
+    so.windowRefs = 1'000;
+    so.clusters = 4;
+    so.warmupWindows = 1;
+
+    workload::AppStreamFactory factory(p, /*scale=*/1);
+    sample::SamplePlan plan =
+        sample::buildSamplePlan(factory, so, cfg.blockBytes);
+    auto map = identityMap(procs);
+
+    uint64_t effectiveRefs = 0;
+    for (auto _ : state) {
+        sample::SampleEstimate est =
+            sample::sampleSimulate(cfg, factory, map, plan);
+        effectiveRefs += est.fullRefs;
+        benchmark::DoNotOptimize(est.execTime);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(effectiveRefs));
+    state.SetLabel("effective references/s");
+}
+BENCHMARK(BM_SampledSimulate)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * BM_SimulateProcessors with the full modern memory system (the

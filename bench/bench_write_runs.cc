@@ -43,7 +43,7 @@ main()
             separated = true;
         }
         const auto &traces = lab.traces(app);
-        if (traces.threadCount() > 128)
+        if (traces.threadCount() > sim::kMaxProcessors)
             continue;
 
         sim::SimConfig cfg;

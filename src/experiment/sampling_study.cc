@@ -1,0 +1,172 @@
+#include "experiment/sampling_study.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/placement_map.h"
+#include "experiment/report.h"
+#include "obs/timer.h"
+#include "sim/machine.h"
+#include "util/format.h"
+#include "workload/stream.h"
+#include "workload/suite.h"
+
+namespace tsp::experiment {
+
+namespace {
+
+sim::SimConfig
+probeConfig(const workload::AppProfile &p, uint32_t scale)
+{
+    sim::SimConfig cfg;
+    cfg.processors = p.threads;
+    cfg.contexts = 1;
+    uint64_t cache = p.cacheBytes / scale;
+    cfg.cacheBytes = cache < 4096 ? 4096 : cache;
+    return cfg;
+}
+
+placement::PlacementMap
+identityPlacement(uint32_t threads)
+{
+    std::vector<uint32_t> assign(threads);
+    std::iota(assign.begin(), assign.end(), 0u);
+    return placement::PlacementMap(threads, assign);
+}
+
+double
+errorPct(uint64_t actual, uint64_t est)
+{
+    if (actual == 0)
+        return est == 0 ? 0.0 : 100.0;
+    double a = static_cast<double>(actual);
+    double e = static_cast<double>(est);
+    return std::fabs(e - a) / a * 100.0;
+}
+
+} // namespace
+
+SamplingStudy
+samplingStudy(const std::vector<workload::AppProfile> &profiles,
+              const SamplingStudyOptions &options)
+{
+    SamplingStudy study;
+    for (const workload::AppProfile &base : profiles) {
+        workload::AppProfile p = base;
+        p.meanLength = p.meanLength / options.scale *
+                       (options.lengthMult ? options.lengthMult : 1);
+        sim::SimConfig cfg = probeConfig(p, options.scale);
+        placement::PlacementMap place = identityPlacement(p.threads);
+
+        // Unsampled baseline, once per application (streaming, so
+        // even the largest machine stays in bounded memory).
+        workload::AppStreamFactory fullFactory(p, /*scale=*/1);
+        obs::StopWatch fullWatch;
+        sim::SimStats actual =
+            sim::simulateStreaming(cfg, fullFactory, place);
+        double fullWallMs = fullWatch.elapsedMs();
+
+        for (uint64_t window : options.windows) {
+            for (uint32_t k : options.clusters) {
+                sample::SampleOptions so;
+                so.windowRefs = window;
+                so.clusters = k;
+                so.warmupWindows = options.warmupWindows;
+
+                // Plan construction (fingerprints + clustering +
+                // snapshots) is timed apart from the sampled run: in
+                // a placement study the plan is built once per trace
+                // and reused for every algorithm/configuration cell.
+                workload::AppStreamFactory factory(p, /*scale=*/1);
+                obs::StopWatch planWatch;
+                sample::SamplePlan plan = sample::buildSamplePlan(
+                    factory, so, cfg.blockBytes);
+                double planWallMs = planWatch.elapsedMs();
+
+                obs::StopWatch watch;
+                sample::SampleEstimate est = sample::sampleSimulate(
+                    cfg, factory, place, plan);
+                double sampledWallMs = watch.elapsedMs();
+
+                SamplingCell cell;
+                cell.app = p.name;
+                cell.processors = cfg.processors;
+                cell.contexts = cfg.contexts;
+                cell.windowRefs = window;
+                cell.clustersRequested = k;
+                cell.clustersFound = est.clusters;
+                cell.windows = est.windows;
+                cell.actualExecTime = actual.executionTime();
+                cell.estExecTime = est.execTime;
+                cell.errorPct =
+                    errorPct(cell.actualExecTime, cell.estExecTime);
+                cell.fullRefs = est.fullRefs;
+                cell.sampledRefs = est.sampledRefs;
+                cell.refsRatio = est.sampledRefs
+                    ? static_cast<double>(est.fullRefs) /
+                        static_cast<double>(est.sampledRefs)
+                    : 0.0;
+                cell.fullWallMs = fullWallMs;
+                cell.planWallMs = planWallMs;
+                cell.sampledWallMs = sampledWallMs;
+                cell.speedup = sampledWallMs > 0
+                    ? fullWallMs / sampledWallMs
+                    : 0.0;
+                study.cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return study;
+}
+
+void
+writeSamplingCsv(const std::string &path, const SamplingStudy &study)
+{
+    CsvWriter csv(path);
+    csv.header({"app", "processors", "contexts", "window_refs",
+                "clusters_requested", "clusters_found", "windows",
+                "actual_cycles", "est_cycles", "error_pct",
+                "full_refs", "sampled_refs", "refs_ratio",
+                "full_wall_ms", "plan_wall_ms", "sampled_wall_ms",
+                "speedup"});
+    for (const SamplingCell &c : study.cells) {
+        csv.row({c.app, std::to_string(c.processors),
+                 std::to_string(c.contexts),
+                 std::to_string(c.windowRefs),
+                 std::to_string(c.clustersRequested),
+                 std::to_string(c.clustersFound),
+                 std::to_string(c.windows),
+                 std::to_string(c.actualExecTime),
+                 std::to_string(c.estExecTime),
+                 util::fmtFixed(c.errorPct, 3),
+                 std::to_string(c.fullRefs),
+                 std::to_string(c.sampledRefs),
+                 util::fmtFixed(c.refsRatio, 2),
+                 util::fmtFixed(c.fullWallMs, 3),
+                 util::fmtFixed(c.planWallMs, 3),
+                 util::fmtFixed(c.sampledWallMs, 3),
+                 util::fmtFixed(c.speedup, 2)});
+    }
+}
+
+workload::AppProfile
+syntheticScaleProfile(uint32_t threads, uint64_t meanLength)
+{
+    workload::AppProfile p;
+    p.name = "scale-" + std::to_string(threads);
+    p.threads = threads;
+    p.meanLength = meanLength;
+    p.lengthDevPct = 15.0;
+    p.phases = 4;
+    p.globalFrac = 0.5;
+    p.neighborFrac = 0.2;
+    p.mailboxFrac = 0.1;
+    p.sliceFrac = 0.2;
+    p.globalWriteMode = workload::GlobalWriteMode::Migratory;
+    p.cacheBytes = 16 * 1024;
+    p.seed = 41;
+    return p;
+}
+
+} // namespace tsp::experiment

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The error-vs-speed study for BBV phase sampling (`tsp-run sample`):
+ * for each application and each (window size, cluster count) setting,
+ * run the unsampled streaming simulation once and the phase-sampled
+ * estimate, and report the execution-time error, the fraction of
+ * references simulated, and the measured wall-clock speedup. The CSV
+ * is the artifact the sampling methodology's error bounds in
+ * docs/performance.md are derived from.
+ */
+
+#ifndef TSP_EXPERIMENT_SAMPLING_STUDY_H
+#define TSP_EXPERIMENT_SAMPLING_STUDY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sample/sampler.h"
+#include "workload/app_profile.h"
+
+namespace tsp::experiment {
+
+/** One (application, window, clusters) study cell. */
+struct SamplingCell
+{
+    std::string app;
+    uint32_t processors = 0;
+    uint32_t contexts = 0;
+    uint64_t windowRefs = 0;
+    uint32_t clustersRequested = 0;
+    uint32_t clustersFound = 0;
+    uint32_t windows = 0;
+
+    uint64_t actualExecTime = 0;  //!< unsampled run, cycles
+    uint64_t estExecTime = 0;     //!< sampled reconstruction, cycles
+    double errorPct = 0;          //!< |est - actual| / actual * 100
+
+    uint64_t fullRefs = 0;
+    uint64_t sampledRefs = 0;
+    double refsRatio = 0;  //!< fullRefs / sampledRefs (cost measure)
+
+    double fullWallMs = 0;
+
+    /**
+     * Wall cost of building the SamplePlan (fingerprint pass, k-means,
+     * producer snapshots). Paid once per (trace, window, k) and reused
+     * across every placement algorithm and machine configuration the
+     * plan serves — the study reports it separately so the one-time
+     * cost is visible but does not masquerade as per-run cost.
+     */
+    double planWallMs = 0;
+
+    /** Wall cost of one phase-sampled run with the plan in hand. */
+    double sampledWallMs = 0;
+
+    /** fullWallMs / sampledWallMs: per-run speedup, plan amortized. */
+    double speedup = 0;
+};
+
+/** Study output: one row per cell, in input order. */
+struct SamplingStudy
+{
+    std::vector<SamplingCell> cells;
+};
+
+/** Study parameters. */
+struct SamplingStudyOptions
+{
+    /** Window sizes to sweep (per-thread references). */
+    std::vector<uint64_t> windows = {20'000, 50'000};
+
+    /** Cluster counts to sweep. */
+    std::vector<uint32_t> clusters = {4, 8};
+
+    /** Warmup windows per representative. */
+    uint32_t warmupWindows = 1;
+
+    /** Workload scale divisor (1 = full Table 1/2 size). */
+    uint32_t scale = 1;
+
+    /**
+     * Thread-length multiplier applied after @ref scale. Sampling's
+     * payoff grows with trace length (the sampled cost is fixed at
+     * clusters x (1 + warmup) windows while the full cost is linear),
+     * so the >=20x demonstrations run the Table 1/2 profiles at 8-32x
+     * their default length rather than shrinking the windows, which
+     * would blow up the warmup-boundary error (docs/performance.md).
+     */
+    uint32_t lengthMult = 1;
+};
+
+/**
+ * Run the study over @p profiles. Each application is simulated with
+ * one thread per processor (processors = threads, contexts = 1, the
+ * coherence-probe shape) and identity placement; the unsampled
+ * baseline runs once per application and is shared by all cells.
+ */
+SamplingStudy samplingStudy(
+    const std::vector<workload::AppProfile> &profiles,
+    const SamplingStudyOptions &options);
+
+/** Write the study as CSV (schema fixed by tests/sample_test.cc). */
+void writeSamplingCsv(const std::string &path,
+                      const SamplingStudy &study);
+
+/**
+ * A synthetic scalable profile with @p threads threads for machine
+ * sizes beyond the suite's largest app (Gauss, 127 threads): the
+ * scale-smoke CI job and the 256-1024 processor studies use it.
+ */
+workload::AppProfile syntheticScaleProfile(uint32_t threads,
+                                           uint64_t meanLength);
+
+} // namespace tsp::experiment
+
+#endif // TSP_EXPERIMENT_SAMPLING_STUDY_H

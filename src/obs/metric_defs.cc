@@ -142,8 +142,9 @@ TSP_OBS_GAUGE(traceWindowEvents, "trace.window_events",
               "(max = streaming memory high water)")
 TSP_OBS_GAUGE(traceResidentBytes, "trace.resident_bytes",
               "workload::generateTraces",
-              "bytes held by materialized thread traces after "
-              "generation (max = largest application)")
+              "bytes held resident by trace generation: whole "
+              "materialized traces, or the chunk-window high water "
+              "of a streaming run (max = largest application)")
 
 TSP_OBS_GAUGE(batchLanes, "batch.lanes", "sim::BatchMachine",
               "lanes being advanced by the running batch "

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Basic-block-vector-style phase fingerprinting (SimPoint methodology,
+ * adapted to trace-driven memory simulation).
+ *
+ * SimPoint fingerprints fixed-size instruction intervals by the basic
+ * blocks they execute; intervals with similar vectors belong to the
+ * same program phase, and simulating one representative interval per
+ * phase reconstructs whole-program behavior at a fraction of the
+ * cost. Our traces carry no basic blocks, so the fingerprint is over
+ * the *memory* behavior that actually drives this simulator: window k
+ * covers every thread's data references [k*W, (k+1)*W), and its
+ * vector counts references per hashed block-address bucket, L1
+ * normalized. Two windows with close vectors touch the same blocks in
+ * the same proportions — the property that makes their cache and
+ * coherence behavior (and therefore their simulated cycles)
+ * interchangeable.
+ *
+ * Everything here is deterministic: the fingerprint pass replays the
+ * StreamFactory (replayable by contract), clustering seeds by
+ * farthest-point from window 0, and ties break toward the lowest
+ * index.
+ */
+
+#ifndef TSP_SAMPLE_BBV_H
+#define TSP_SAMPLE_BBV_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/chunk_source.h"
+
+namespace tsp::sample {
+
+/** Per-window fingerprints of one application trace. */
+struct BbvProfile
+{
+    uint64_t windowRefs = 0;  //!< window size, per-thread references
+    uint32_t dims = 0;        //!< fingerprint dimensionality
+
+    /** fingerprints[w][d]: L1-normalized block-bucket frequencies. */
+    std::vector<std::vector<double>> fingerprints;
+
+    /** Total references (all threads) falling in each window. */
+    std::vector<uint64_t> windowRefCounts;
+
+    /** Per-thread reference totals (window count = max / windowRefs). */
+    std::vector<uint64_t> threadRefs;
+
+    /** Number of windows. */
+    uint32_t windows() const
+    {
+        return static_cast<uint32_t>(fingerprints.size());
+    }
+
+    /** Total references across the whole trace. */
+    uint64_t totalRefs() const;
+};
+
+/**
+ * One replay pass over @p factory: bucket every data reference by
+ * hashed block address (at @p blockShift granularity) into its
+ * window's fingerprint.
+ */
+BbvProfile bbvProfile(trace::StreamFactory &factory,
+                      uint64_t windowRefs, uint32_t dims,
+                      unsigned blockShift);
+
+/** K-means result over a BbvProfile. */
+struct Clustering
+{
+    std::vector<uint32_t> assignment;      //!< window -> cluster
+    std::vector<uint32_t> representative;  //!< cluster -> window
+    std::vector<uint64_t> weightRefs;      //!< cluster -> total refs
+
+    uint32_t clusters() const
+    {
+        return static_cast<uint32_t>(representative.size());
+    }
+};
+
+/**
+ * Deterministic k-means over BBV (Euclidean) distance: farthest-point
+ * initialization from window 0, Lloyd iterations until a fixed point
+ * or @p maxIters, representative = the window nearest its cluster's
+ * final centroid. @p k is clamped to the window count.
+ *
+ * Windows below @p preferRepAtLeast are only chosen as representative
+ * when their cluster has no later member: the sampler simulates
+ * warmupWindows of prefix before each representative, and a window
+ * too early to have that prefix would charge its cold-start cost to
+ * the whole phase.
+ */
+Clustering clusterWindows(const BbvProfile &profile, uint32_t k,
+                          uint32_t maxIters,
+                          uint32_t preferRepAtLeast = 0);
+
+} // namespace tsp::sample
+
+#endif // TSP_SAMPLE_BBV_H

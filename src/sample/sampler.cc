@@ -1,0 +1,146 @@
+#include "sample/sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include "sample/segment.h"
+#include "sim/machine.h"
+#include "util/bits.h"
+#include "util/error.h"
+
+namespace tsp::sample {
+
+SamplePlan
+buildSamplePlan(trace::StreamFactory &factory,
+                const SampleOptions &options, uint64_t blockBytes)
+{
+    unsigned blockShift = util::log2Floor(blockBytes);
+
+    BbvProfile profile = bbvProfile(factory, options.windowRefs,
+                                    options.dims, blockShift);
+    util::fatalIf(profile.windows() == 0,
+                  "cannot sample an empty trace");
+
+    Clustering clustering =
+        clusterWindows(profile, options.clusters, options.kmeansIters,
+                       options.warmupWindows);
+
+    // Snapshot the producers at every segment start (one bounded
+    // generation pass), so each segment resumes near its window
+    // instead of regenerating the whole prefix — without this the
+    // prefix replays cost O(clusters x trace) and eat the speedup.
+    std::vector<uint64_t> boundaries;
+    for (uint32_t c = 0; c < clustering.clusters(); ++c) {
+        uint32_t rep = clustering.representative[c];
+        uint32_t warm = options.warmupWindows < rep
+            ? options.warmupWindows
+            : rep;
+        boundaries.push_back((rep - warm) * options.windowRefs);
+    }
+    SeekIndex seek(factory, std::move(boundaries));
+
+    return SamplePlan{options, std::move(profile),
+                      std::move(clustering), std::move(seek)};
+}
+
+SampleEstimate
+sampleSimulate(const sim::SimConfig &cfg,
+               trace::StreamFactory &factory,
+               const placement::PlacementMap &placement,
+               const SamplePlan &plan)
+{
+    cfg.validate();
+    const BbvProfile &profile = plan.profile;
+    const Clustering &clustering = plan.clustering;
+    const SampleOptions &options = plan.options;
+    const SeekIndex &seek = plan.seek;
+
+    SampleEstimate est;
+    est.fullRefs = profile.totalRefs();
+    est.windows = profile.windows();
+    est.clusters = clustering.clusters();
+
+    // Execution time is the max over processors of their cycle
+    // totals. Summing per-segment executionTime() values would sum
+    // per-window maxima — a systematic overestimate whenever the
+    // slowest processor differs across windows — so reconstruct each
+    // processor's cycles separately and take the max at the end.
+    std::vector<double> procCycles(cfg.processors, 0.0);
+    double misses = 0, invals = 0;
+    const uint64_t W = options.windowRefs;
+    for (uint32_t c = 0; c < clustering.clusters(); ++c) {
+        uint32_t rep = clustering.representative[c];
+        uint64_t weight = clustering.weightRefs[c];
+        uint64_t repRefs = profile.windowRefCounts[rep];
+        if (weight == 0 || repRefs == 0)
+            continue;
+
+        uint32_t warm = options.warmupWindows < rep
+            ? options.warmupWindows
+            : rep;
+        uint64_t segStart = (rep - warm) * W;
+
+        // Representative window with its warmup prefix...
+        SegmentFactory segFull(factory, segStart, (rep + 1) * W,
+                               &seek);
+        sim::SimStats full =
+            sim::simulateStreaming(cfg, segFull, placement);
+        est.sampledRefs += full.totalMemRefs();
+
+        std::vector<uint64_t> repProcCycles(cfg.processors);
+        for (uint32_t pr = 0; pr < cfg.processors; ++pr)
+            repProcCycles[pr] = full.procs[pr].finishTime;
+        uint64_t repMisses = full.totalMisses();
+        uint64_t repInvals = full.totalInvalidationsSent();
+        if (warm > 0) {
+            // ...minus the warmup alone: what the prefix cost from
+            // cold cancels out, leaving the representative's cycles
+            // as if its caches had history.
+            SegmentFactory segWarm(factory, segStart, rep * W, &seek);
+            sim::SimStats warmStats =
+                sim::simulateStreaming(cfg, segWarm, placement);
+            est.sampledRefs += warmStats.totalMemRefs();
+            for (uint32_t pr = 0; pr < cfg.processors; ++pr) {
+                uint64_t wc = warmStats.procs[pr].finishTime;
+                uint64_t &rc = repProcCycles[pr];
+                rc = rc > wc ? rc - wc : 0;
+            }
+            uint64_t wm = warmStats.totalMisses();
+            repMisses = repMisses > wm ? repMisses - wm : 0;
+            uint64_t wi = warmStats.totalInvalidationsSent();
+            repInvals = repInvals > wi ? repInvals - wi : 0;
+        }
+
+        // Scale by the phase's share of the trace, in references.
+        double scale = static_cast<double>(weight) /
+                       static_cast<double>(repRefs);
+        for (uint32_t pr = 0; pr < cfg.processors; ++pr)
+            procCycles[pr] +=
+                static_cast<double>(repProcCycles[pr]) * scale;
+        misses += static_cast<double>(repMisses) * scale;
+        invals += static_cast<double>(repInvals) * scale;
+    }
+
+    double execTime = 0;
+    for (double c : procCycles)
+        execTime = c > execTime ? c : execTime;
+    est.execTime = static_cast<uint64_t>(std::llround(execTime));
+    est.totalMisses = static_cast<uint64_t>(std::llround(misses));
+    est.invalidationsSent =
+        static_cast<uint64_t>(std::llround(invals));
+    return est;
+}
+
+SampleEstimate
+sampleSimulate(const sim::SimConfig &cfg,
+               trace::StreamFactory &factory,
+               const placement::PlacementMap &placement,
+               const SampleOptions &options)
+{
+    cfg.validate();
+    SamplePlan plan =
+        buildSamplePlan(factory, options, cfg.blockBytes);
+    return sampleSimulate(cfg, factory, placement, plan);
+}
+
+} // namespace tsp::sample

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Phase-sampled simulation: reconstruct full-run statistics from one
+ * simulated representative window per phase.
+ *
+ * Pipeline (all deterministic, see sample/bbv.h):
+ *  1. fingerprint fixed-size reference windows (bbvProfile);
+ *  2. cluster windows into phases (clusterWindows);
+ *  3. for each phase, simulate its representative window preceded by
+ *     a warmup prefix (SegmentFactory), and the warmup prefix alone;
+ *     the difference isolates the representative's cycles with warmed
+ *     caches and directory;
+ *  4. scale each representative's per-processor cycles and misses by
+ *     its cluster's reference weight, sum per processor across
+ *     phases, and take the slowest processor: the estimate of the
+ *     unsampled run's execution time.
+ *
+ * The win is the usual SimPoint trade: simulated references shrink to
+ * (clusters x (1 + warmup)) windows out of the whole trace, so cost
+ * falls as the trace grows while the estimate tracks execution time
+ * within a few percent (docs/performance.md, "Sampling methodology";
+ * the error-vs-speed study in EXPERIMENTS.md measures it).
+ */
+
+#ifndef TSP_SAMPLE_SAMPLER_H
+#define TSP_SAMPLE_SAMPLER_H
+
+#include <cstdint>
+
+#include "core/placement_map.h"
+#include "sample/bbv.h"
+#include "sample/segment.h"
+#include "sim/config.h"
+#include "trace/chunk_source.h"
+
+namespace tsp::sample {
+
+/** Sampling knobs; the defaults suit the Table 1/2 workloads. */
+struct SampleOptions
+{
+    /** Window size, in per-thread data references. */
+    uint64_t windowRefs = 50'000;
+
+    /** BBV fingerprint dimensionality (hashed block buckets). */
+    uint32_t dims = 32;
+
+    /** Phase count k (clamped to the window count). */
+    uint32_t clusters = 6;
+
+    /** Warmup windows simulated (and subtracted) before each rep. */
+    uint32_t warmupWindows = 1;
+
+    /** Lloyd iteration cap for k-means. */
+    uint32_t kmeansIters = 30;
+};
+
+/** Reconstructed statistics plus the sampling cost accounting. */
+struct SampleEstimate
+{
+    /** Estimated execution time of the unsampled run, in cycles. */
+    uint64_t execTime = 0;
+
+    /** Weighted miss / coherence estimates (same reconstruction). */
+    uint64_t totalMisses = 0;
+    uint64_t invalidationsSent = 0;
+
+    /** References the full trace contains (all threads). */
+    uint64_t fullRefs = 0;
+
+    /** References actually simulated (reps + warmups). */
+    uint64_t sampledRefs = 0;
+
+    /** Windows fingerprinted / phases found. */
+    uint32_t windows = 0;
+    uint32_t clusters = 0;
+
+    /** Fraction of the trace that was simulated (cost measure). */
+    double
+    sampledFraction() const
+    {
+        return fullRefs ? static_cast<double>(sampledRefs) /
+                              static_cast<double>(fullRefs)
+                        : 1.0;
+    }
+};
+
+/**
+ * The reusable (and expensive-to-build) half of phase sampling: the
+ * fingerprint profile, the clustering, and producer snapshots at
+ * every segment start. Building it costs one fingerprint pass plus
+ * one bounded snapshot pass at generation speed; once built, each
+ * sampled simulation costs only the segment simulations — which is
+ * what makes sampling pay off across an experiment matrix (many
+ * placement algorithms and machine configurations over one trace,
+ * the paper's Table 1/2 shape). Valid only with the factory it was
+ * built from.
+ */
+struct SamplePlan
+{
+    SampleOptions options;
+    BbvProfile profile;
+    Clustering clustering;
+    SeekIndex seek;
+};
+
+/**
+ * Build a SamplePlan for @p factory: fingerprint pass, k-means, and
+ * the snapshot pass. @p blockBytes sets fingerprint granularity and
+ * normally matches SimConfig::blockBytes of the runs to come (close
+ * is fine: the fingerprint only drives clustering).
+ */
+SamplePlan buildSamplePlan(trace::StreamFactory &factory,
+                           const SampleOptions &options,
+                           uint64_t blockBytes = 32);
+
+/**
+ * Phase-sample the application @p factory streams, simulating under
+ * @p cfg / @p placement with a prebuilt @p plan (which must have been
+ * built from the same factory).
+ */
+SampleEstimate sampleSimulate(const sim::SimConfig &cfg,
+                              trace::StreamFactory &factory,
+                              const placement::PlacementMap &placement,
+                              const SamplePlan &plan);
+
+/**
+ * One-shot convenience: buildSamplePlan + sampleSimulate. The factory
+ * is replayed several times (fingerprint and snapshot passes plus two
+ * short passes per phase); every simulation runs through the
+ * bounded-memory streaming path.
+ */
+SampleEstimate sampleSimulate(const sim::SimConfig &cfg,
+                              trace::StreamFactory &factory,
+                              const placement::PlacementMap &placement,
+                              const SampleOptions &options);
+
+} // namespace tsp::sample
+
+#endif // TSP_SAMPLE_SAMPLER_H

@@ -1,0 +1,201 @@
+#include "sample/segment.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tsp::sample {
+
+namespace {
+
+/** Clips one inner producer to the [start, end) reference window. */
+class SegmentProducer : public trace::ChunkProducer
+{
+  public:
+    /** @p refsAt: the inner producer's position, in references. */
+    SegmentProducer(std::unique_ptr<trace::ChunkProducer> inner,
+                    uint64_t start, uint64_t end, uint64_t refsAt)
+        : inner_(std::move(inner)), start_(start), end_(end),
+          refs_(refsAt)
+    {
+    }
+
+    bool
+    produce(std::vector<trace::TraceEvent> &out) override
+    {
+        if (done_)
+            return false;
+        size_t before = out.size();
+        // Keep pulling inner batches until something lands inside the
+        // window (the pre-window prefix is skimmed at generation
+        // speed, no simulation) or the trace/window ends.
+        while (out.size() == before && !done_) {
+            scratch_.clear();
+            if (!inner_->produce(scratch_)) {
+                done_ = true;
+                break;
+            }
+            for (const trace::TraceEvent &e : scratch_) {
+                switch (e.kind()) {
+                  case trace::EventKind::Load:
+                  case trace::EventKind::Store:
+                    if (refs_ >= end_) {
+                        done_ = true;
+                        break;
+                    }
+                    if (refs_ >= start_)
+                        out.push_back(e);
+                    ++refs_;
+                    break;
+                  case trace::EventKind::Work:
+                    // Work between in-window references carries the
+                    // segment's timing; pre/post-window work is
+                    // skipped along with its references.
+                    if (refs_ >= start_ && refs_ < end_)
+                        out.push_back(e);
+                    break;
+                  case trace::EventKind::Barrier:
+                    break;  // segments free-run
+                }
+                if (done_)
+                    break;
+            }
+        }
+        return out.size() != before;
+    }
+
+  private:
+    std::unique_ptr<trace::ChunkProducer> inner_;
+    std::vector<trace::TraceEvent> scratch_;
+    uint64_t start_;
+    uint64_t end_;
+    uint64_t refs_ = 0;
+    bool done_ = false;
+};
+
+/** A producer for a thread that ends before its segment starts. */
+class EmptyProducer : public trace::ChunkProducer
+{
+  public:
+    bool
+    produce(std::vector<trace::TraceEvent> &) override
+    {
+        return false;
+    }
+};
+
+} // namespace
+
+SeekIndex::SeekIndex(trace::StreamFactory &factory,
+                     std::vector<uint64_t> boundaries)
+    : factory_(&factory)
+{
+    std::sort(boundaries.begin(), boundaries.end());
+    boundaries.erase(
+        std::unique(boundaries.begin(), boundaries.end()),
+        boundaries.end());
+    while (!boundaries.empty() && boundaries.front() == 0)
+        boundaries.erase(boundaries.begin());
+    perThread_.resize(factory.threadCount());
+    endRefs_.assign(factory.threadCount(), UINT64_MAX);
+    if (boundaries.empty())
+        return;
+
+    std::vector<trace::TraceEvent> batch;
+    for (uint32_t tid = 0; tid < factory.threadCount(); ++tid) {
+        auto producer = factory.openProducer(tid);
+        size_t next = 0;
+        uint64_t refs = 0;
+        for (;;) {
+            // The snapshot must sit at or before the boundary, so
+            // clone before producing the batch that might cross it.
+            std::unique_ptr<trace::ChunkProducer> here =
+                producer->clone();
+            if (here == nullptr)
+                break;  // capability missing: open() falls back
+            batch.clear();
+            if (!producer->produce(batch)) {
+                endRefs_[tid] = refs;
+                break;
+            }
+            uint64_t batchRefs = 0;
+            for (const trace::TraceEvent &e : batch)
+                batchRefs += e.isMemRef() ? 1 : 0;
+            if (refs + batchRefs > boundaries[next]) {
+                perThread_[tid].push_back(
+                    Snapshot{refs, std::move(here)});
+                while (next < boundaries.size() &&
+                       refs + batchRefs > boundaries[next])
+                    ++next;
+                if (next == boundaries.size())
+                    break;  // nothing past the last boundary
+            }
+            refs += batchRefs;
+        }
+    }
+}
+
+std::unique_ptr<trace::ChunkProducer>
+SeekIndex::open(trace::ThreadId tid, uint64_t startRef,
+                uint64_t *refsAtOut) const
+{
+    *refsAtOut = 0;
+    if (tid < perThread_.size()) {
+        // A thread that ended before the segment starts contributes
+        // nothing; skimming it from its last snapshot to its end on
+        // every seek would re-generate most of a length-skewed trace.
+        if (startRef >= endRefs_[tid]) {
+            *refsAtOut = endRefs_[tid];
+            return std::make_unique<EmptyProducer>();
+        }
+        const std::vector<Snapshot> &snaps = perThread_[tid];
+        const Snapshot *best = nullptr;
+        for (const Snapshot &s : snaps)
+            if (s.refs <= startRef)
+                best = &s;
+        if (best != nullptr) {
+            std::unique_ptr<trace::ChunkProducer> producer =
+                best->producer->clone();
+            if (producer != nullptr) {
+                *refsAtOut = best->refs;
+                return producer;
+            }
+        }
+    }
+    return factory_->openProducer(tid);
+}
+
+SegmentFactory::SegmentFactory(trace::StreamFactory &inner,
+                               uint64_t startRef, uint64_t endRef,
+                               const SeekIndex *seek)
+    : inner_(inner), startRef_(startRef), endRef_(endRef), seek_(seek)
+{
+    util::fatalIf(startRef > endRef,
+                  "segment window start exceeds its end");
+}
+
+uint32_t
+SegmentFactory::threadCount() const
+{
+    return inner_.threadCount();
+}
+
+uint64_t
+SegmentFactory::barrierCount(trace::ThreadId) const
+{
+    return 0;
+}
+
+std::unique_ptr<trace::ChunkProducer>
+SegmentFactory::openProducer(trace::ThreadId tid)
+{
+    uint64_t refsAt = 0;
+    std::unique_ptr<trace::ChunkProducer> inner =
+        seek_ ? seek_->open(tid, startRef_, &refsAt)
+              : inner_.openProducer(tid);
+    return std::make_unique<SegmentProducer>(std::move(inner),
+                                             startRef_, endRef_,
+                                             refsAt);
+}
+
+} // namespace tsp::sample

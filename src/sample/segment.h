@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reference-windowed trace segments: a StreamFactory view that clips
+ * every thread to the data references [startRef, endRef), preserving
+ * the interleaved work events inside the window (they carry the
+ * timing) and dropping everything before and after.
+ *
+ * This is the extraction step of phase sampling: a representative
+ * window plus its warmup prefix becomes a short segment the machine
+ * can simulate from cold, and the warmup-only segment is simulated
+ * separately so its cycles can be subtracted out (sample/sampler.h).
+ *
+ * Barrier markers are stripped: sampling free-runs segments, matching
+ * the paper's trace-driven methodology (per-thread traces free-run;
+ * AppProfile::barriers is off by default), and a clipped segment
+ * could not satisfy a global barrier anyway — threads shorter than
+ * startRef contribute no events at all.
+ */
+
+#ifndef TSP_SAMPLE_SEGMENT_H
+#define TSP_SAMPLE_SEGMENT_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/chunk_source.h"
+
+namespace tsp::sample {
+
+/**
+ * Producer snapshots at known reference offsets, one bounded pass per
+ * thread: while walking a thread's batches, the producer is cloned
+ * (trace::ChunkProducer::clone) at the last batch boundary at or
+ * before each requested reference boundary, and the walk stops at the
+ * last boundary — nothing past it is generated. A seek then costs one
+ * snapshot clone plus at most a batch-and-a-window of skimming,
+ * instead of regenerating the whole prefix, which is what makes
+ * phase-sampled runs cheaper than unsampled ones in wall-clock terms
+ * and not just in simulated references.
+ *
+ * Producers without the clone capability degrade gracefully: open()
+ * falls back to a fresh pass from reference 0.
+ */
+class SeekIndex
+{
+  public:
+    /** Snapshot @p factory at each of @p boundaries (refs, sorted
+     * internally; 0 and duplicates are dropped — a fresh producer
+     * already sits at 0). */
+    SeekIndex(trace::StreamFactory &factory,
+              std::vector<uint64_t> boundaries);
+
+    /**
+     * A producer for @p tid positioned at the greatest snapshot at or
+     * before @p startRef; its reference offset is stored in
+     * @p refsAtOut. Falls back to a fresh producer at offset 0.
+     */
+    std::unique_ptr<trace::ChunkProducer>
+    open(trace::ThreadId tid, uint64_t startRef,
+         uint64_t *refsAtOut) const;
+
+  private:
+    struct Snapshot
+    {
+        uint64_t refs = 0;
+        std::unique_ptr<trace::ChunkProducer> producer;
+    };
+
+    trace::StreamFactory *factory_;
+    std::vector<std::vector<Snapshot>> perThread_;
+
+    /**
+     * Where each thread's trace ended, when the snapshot walk saw it
+     * end (UINT64_MAX when it stopped at the last boundary first).
+     * Threads shorter than a segment start would otherwise be skimmed
+     * from their last snapshot to their end on *every* seek — with
+     * length-skewed workloads (Gauss: 85% length deviation) that
+     * silently re-generates most of the trace per segment.
+     */
+    std::vector<uint64_t> endRefs_;
+};
+
+/** StreamFactory clipping each thread to refs [startRef, endRef). */
+class SegmentFactory : public trace::StreamFactory
+{
+  public:
+    /**
+     * @p inner must outlive this factory; so must @p seek when given
+     * (it positions producers near startRef instead of replaying the
+     * prefix).
+     */
+    SegmentFactory(trace::StreamFactory &inner, uint64_t startRef,
+                   uint64_t endRef, const SeekIndex *seek = nullptr);
+
+    uint32_t threadCount() const override;
+
+    /** Always 0: segments free-run (barriers are stripped). */
+    uint64_t barrierCount(trace::ThreadId tid) const override;
+
+    std::unique_ptr<trace::ChunkProducer>
+    openProducer(trace::ThreadId tid) override;
+
+  private:
+    trace::StreamFactory &inner_;
+    uint64_t startRef_;
+    uint64_t endRef_;
+    const SeekIndex *seek_;
+};
+
+} // namespace tsp::sample
+
+#endif // TSP_SAMPLE_SEGMENT_H

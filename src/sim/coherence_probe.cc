@@ -14,7 +14,9 @@ measureCoherenceTraffic(const trace::TraceSet &traces,
 {
     const size_t t = traces.threadCount();
     util::fatalIf(t == 0, "empty trace set");
-    util::fatalIf(t > 128, "coherence probe limited to 128 threads");
+    util::fatalIf(t > kMaxProcessors,
+                  "coherence probe thread count exceeds "
+                  "sim::kMaxProcessors");
 
     SimConfig cfg = base;
     cfg.processors = static_cast<uint32_t>(t);

@@ -31,8 +31,8 @@ struct CoherenceProbeResult
 /**
  * Run the measurement simulation. @p base supplies the cache and
  * latency parameters; processors and contexts are overridden to
- * (threads, 1). Thread counts above 128 are rejected (directory
- * width).
+ * (threads, 1). Thread counts above sim::kMaxProcessors are rejected
+ * (the machine-width cap of sim/config.h).
  */
 CoherenceProbeResult measureCoherenceTraffic(const trace::TraceSet &traces,
                                              const SimConfig &base);

@@ -53,19 +53,22 @@ uint64_t defaultParanoidEvery();
 void setDefaultParanoidEvery(uint64_t every);
 
 /**
- * Hard processor-count cap. The directory's sharer masks and the
- * sharing monitor's toucher masks are fixed-width bit vectors
- * (std::array<uint64_t, 2>, see sim/directory.h and
- * sim/sharing_monitor.h); both carry a static_assert against this
- * constant, so widening the machine means widening the masks in the
- * same change. validate() rejects anything larger with a clear error.
+ * Hard processor-count cap — the single place the machine width is
+ * bounded. The directory's sharer sets and the sharing monitor's
+ * toucher sets are dynamic-width bit vectors (sim::SharerSet,
+ * sim/sharer_set.h) that stay inline — allocation-free, pinned by
+ * tests/sim_alloc_test.cc — up to SharerSet::kInlineBits = 128
+ * processors and spill to a sized heap word array above that. The cap
+ * is therefore a sanity bound enforced once by validate() (and the
+ * constructors that take a processor count), not a storage limit:
+ * raising it requires no data-structure change.
  */
-inline constexpr uint32_t kMaxProcessors = 128;
+inline constexpr uint32_t kMaxProcessors = 1024;
 
 /** Complete architectural description consumed by the Machine. */
 struct SimConfig
 {
-    /** Number of processors. At most kMaxProcessors (mask width). */
+    /** Number of processors. At most kMaxProcessors. */
     uint32_t processors = 4;
 
     /** Hardware contexts per processor. */

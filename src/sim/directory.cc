@@ -9,33 +9,35 @@ namespace tsp::sim {
 bool
 Directory::Entry::isSharer(uint32_t proc) const
 {
-    return (sharers[proc >> 6] >> (proc & 63)) & 1;
+    return sharers.test(proc);
 }
 
 void
 Directory::Entry::addSharer(uint32_t proc)
 {
-    sharers[proc >> 6] |= 1ull << (proc & 63);
+    sharers.set(proc);
 }
 
 void
 Directory::Entry::dropSharer(uint32_t proc)
 {
-    sharers[proc >> 6] &= ~(1ull << (proc & 63));
+    sharers.reset(proc);
 }
 
 uint32_t
 Directory::Entry::sharerCount() const
 {
-    return static_cast<uint32_t>(std::popcount(sharers[0]) +
-                                 std::popcount(sharers[1]));
+    return sharers.count();
 }
 
 Directory::Directory(uint32_t processors, Protocol protocol)
     : processors_(processors), protocol_(protocol)
 {
-    util::fatalIf(processors == 0 || processors > 128,
-                  "directory supports 1..128 processors");
+    // The width cap lives in sim::kMaxProcessors alone; the sharer
+    // sets themselves size dynamically (sim/sharer_set.h).
+    util::fatalIf(processors == 0 || processors > kMaxProcessors,
+                  "directory processor count out of range "
+                  "(1..sim::kMaxProcessors)");
 }
 
 Directory::Txn
@@ -112,7 +114,7 @@ Directory::write(uint32_t proc, uint32_t tid, uint64_t block)
         util::panicIf(e->owner == proc,
                       "write transaction on a block this processor "
                       "already owns");
-        txn.invalidate[e->owner >> 6] |= 1ull << (e->owner & 63);
+        txn.invalidate.set(e->owner);
         break;
       case State::SharedOwned:
         util::panicIf(protocol_ != Protocol::Moesi,
@@ -120,12 +122,12 @@ Directory::write(uint32_t proc, uint32_t tid, uint64_t block)
         [[fallthrough]];
       case State::Shared:
         // Every current sharer except the writer loses its copy: the
-        // victim set is the sharer mask itself, no per-processor scan.
+        // victim set is the sharer set itself, no per-processor scan.
         txn.invalidate = e->sharers;
-        txn.invalidate[proc >> 6] &= ~(1ull << (proc & 63));
+        txn.invalidate.reset(proc);
         break;
     }
-    e->sharers = {0, 0};
+    e->sharers.clear();
     e->addSharer(proc);
     e->state = State::Owned;
     e->owner = proc;

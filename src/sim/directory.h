@@ -14,20 +14,22 @@
  * Hot-path notes: entries live in a util::FlatMap (open addressing, no
  * per-entry heap nodes) sized up front from the trace's touched-block
  * count via reserveBlocks(); a write transaction returns the victims
- * as a sharer *bitmask* rather than a heap vector, so the steady-state
- * transaction path never allocates (see docs/performance.md).
+ * as a sharer *bit set* (sim::SharerSet, inline up to 128 processors)
+ * rather than a heap vector, so the steady-state transaction path
+ * never allocates on machines up to 128 processors (see
+ * docs/performance.md).
  */
 
 #ifndef TSP_SIM_DIRECTORY_H
 #define TSP_SIM_DIRECTORY_H
 
-#include <array>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/sharer_set.h"
 #include "util/flat_map.h"
 
 namespace tsp::sim {
@@ -48,17 +50,10 @@ class Directory
                          //!< other sharers hold clean S copies
     };
 
-    /** Sharer/invalidation bitmask words; ties the mask to the cap. */
-    static constexpr size_t kMaskWords = 2;
-    static_assert(kMaxProcessors <= kMaskWords * 64,
-                  "directory sharer masks are narrower than the "
-                  "processor cap; widen kMaskWords with kMaxProcessors");
-
     /** Per-block directory entry. */
     struct Entry
     {
-        std::array<uint64_t, kMaskWords> sharers{};  //!< bitmask over
-                                                     //!< processors
+        SharerSet sharers;  //!< bit set over processors
         State state = State::Uncached;
         uint32_t owner = 0;       //!< valid when state is Owned or
                                   //!< SharedOwned
@@ -88,12 +83,13 @@ class Directory
         uint32_t prevOwner = 0;
 
         /**
-         * Processors whose copies a write must invalidate, as a bitmask
-         * over processors (same layout as Entry::sharers). A bitmask
-         * instead of a heap vector keeps every write transaction
-         * allocation-free; iterate with forEachInvalidate().
+         * Processors whose copies a write must invalidate, as a bit
+         * set over processors (same layout as Entry::sharers). A bit
+         * set instead of a heap vector keeps every write transaction
+         * allocation-free up to 128 processors (the SharerSet inline
+         * width); iterate with forEachInvalidate().
          */
-        std::array<uint64_t, kMaskWords> invalidate{};
+        SharerSet invalidate;
 
         /** Whether the block was granted Exclusive (read, no sharers). */
         bool grantedExclusive = false;
@@ -112,15 +108,14 @@ class Directory
         bool
         anyInvalidate() const
         {
-            return (invalidate[0] | invalidate[1]) != 0;
+            return invalidate.any();
         }
 
         /** Number of copies the write invalidates. */
         uint32_t
         invalidateCount() const
         {
-            return static_cast<uint32_t>(std::popcount(invalidate[0]) +
-                                         std::popcount(invalidate[1]));
+            return invalidate.count();
         }
 
         /** Visit each victim processor id, in ascending order. */
@@ -128,15 +123,7 @@ class Directory
         void
         forEachInvalidate(F &&fn) const
         {
-            for (uint32_t w = 0; w < 2; ++w) {
-                uint64_t m = invalidate[w];
-                while (m != 0) {
-                    uint32_t bit = static_cast<uint32_t>(
-                        std::countr_zero(m));
-                    m &= m - 1;
-                    fn(w * 64 + bit);
-                }
-            }
+            invalidate.forEach(std::forward<F>(fn));
         }
 
         /** The victims as an ascending vector (tests/diagnostics). */
@@ -151,7 +138,8 @@ class Directory
     };
 
     /**
-     * Construct for @p processors processors (<= 128) running
+     * Construct for @p processors processors (<= kMaxProcessors)
+     * running
      * @p protocol. The protocol decides what a read miss is granted
      * (MSI never grants Exclusive) and whether a read of an Owned
      * block evicts the dirty copy (MOESI keeps it, entering

@@ -451,25 +451,19 @@ Machine::backInvalidateL1s(uint64_t vblock, bool l2Dirty,
     const Directory::Entry *e = directory_.find(vblock);
     if (!e || e->sharerCount() == 0)
         return;
-    // Snapshot the sharer mask: each evict notification shrinks it.
-    std::array<uint64_t, Directory::kMaskWords> sharers = e->sharers;
-    for (uint32_t w = 0; w < Directory::kMaskWords; ++w) {
-        uint64_t m = sharers[w];
-        while (m != 0) {
-            uint32_t sp =
-                w * 64 + static_cast<uint32_t>(std::countr_zero(m));
-            m &= m - 1;
-            Cache::BackInval bi =
-                caches_[sp].backInvalidate(vblock, causerTid);
-            util::panicIf(!bi.present,
-                          "directory sharer does not hold the "
-                          "back-invalidated block");
-            if (bi.wasDirty)
-                ++stats_.procs[sp].writebacks;
-            directory_.evict(sp, vblock);
-            ++stats_.l2BackInvalidations;
-        }
-    }
+    // Snapshot the sharer set: each evict notification shrinks it.
+    SharerSet sharers = e->sharers;
+    sharers.forEach([&](uint32_t sp) {
+        Cache::BackInval bi =
+            caches_[sp].backInvalidate(vblock, causerTid);
+        util::panicIf(!bi.present,
+                      "directory sharer does not hold the "
+                      "back-invalidated block");
+        if (bi.wasDirty)
+            ++stats_.procs[sp].writebacks;
+        directory_.evict(sp, vblock);
+        ++stats_.l2BackInvalidations;
+    });
 }
 
 SimStats
@@ -741,6 +735,25 @@ simulate(const SimConfig &cfg, const trace::TraceSet &traces,
     SimStats stats = machine.run();
     // Per-run aggregation at the simulate() boundary: one batch of
     // counter adds per run, zero accounting in the event loop.
+    recordRunMetrics(stats, machine, watch.elapsedMs());
+    return stats;
+}
+
+SimStats
+simulateStreaming(const SimConfig &cfg, trace::StreamFactory &factory,
+                  const placement::PlacementMap &placement,
+                  size_t chunkEvents, size_t *residentBytesOut)
+{
+    obs::StopWatch watch;
+    trace::SharedTraceStream stream(factory, /*lanes=*/1, chunkEvents);
+    Machine machine(cfg, stream.lane(0), placement);
+    SimStats stats = machine.run();
+    size_t residentBytes =
+        stream.windowEventsHighWater() * sizeof(trace::TraceEvent);
+    obs::traceResidentBytes().set(
+        static_cast<int64_t>(residentBytes));
+    if (residentBytesOut)
+        *residentBytesOut = residentBytes;
     recordRunMetrics(stats, machine, watch.elapsedMs());
     return stats;
 }

@@ -290,10 +290,10 @@ class Machine
     uint64_t refsSeen_ = 0;
 
     // Event "queue": scheduledAt_[p] is processor p's next event time
-    // (kNoEvent when it has none). With at most 128 processors, the
-    // run() loop finds the earliest event with a linear argmin scan —
-    // cheaper than a binary heap at this size, and allocation-free by
-    // construction (see docs/performance.md).
+    // (kNoEvent when it has none). With at most kMaxProcessors
+    // processors, the run() loop finds the earliest event with a
+    // linear argmin scan — cheaper than a binary heap at these sizes,
+    // and allocation-free by construction (see docs/performance.md).
     // rescheduled_ flags a mid-chain schedule() (barrier release) so
     // run() recomputes its cached horizon only when it can change.
     std::vector<uint64_t> scheduledAt_;
@@ -308,6 +308,22 @@ class Machine
 /** Convenience wrapper: construct a Machine and run it. */
 SimStats simulate(const SimConfig &cfg, const trace::TraceSet &traces,
                   const placement::PlacementMap &placement);
+
+/**
+ * Streaming convenience wrapper: fan @p factory into a single-lane
+ * SharedTraceStream and simulate from it, so the trace is generated
+ * in bounded chunk windows instead of materialized whole — the path
+ * that makes 1024-processor billion-reference runs fit in RAM.
+ * Results are bit-identical to simulate() over the materialized
+ * equivalent (the cursor re-merges chunk boundaries). Sets the
+ * trace.resident_bytes gauge to the stream's chunk-window high water;
+ * @p residentBytesOut (optional) receives the same bound.
+ */
+SimStats simulateStreaming(
+    const SimConfig &cfg, trace::StreamFactory &factory,
+    const placement::PlacementMap &placement,
+    size_t chunkEvents = trace::SharedTraceStream::kDefaultChunkEvents,
+    size_t *residentBytesOut = nullptr);
 
 /**
  * Record the per-run obs metrics for a completed simulation (one

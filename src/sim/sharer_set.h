@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Dynamic-width sharer set: the bit vector behind the directory's
+ * sharer tracking, the write transaction's victim set and the sharing
+ * monitor's toucher sets.
+ *
+ * The seed model capped the machine at 128 processors because those
+ * sets were fixed std::array<uint64_t, 2> bitmasks. SharerSet keeps
+ * the same representation — one bit per processor, walked in ascending
+ * countr_zero order — but sizes it dynamically: the first two words
+ * live inline in the object (so every machine up to 128 processors is
+ * bit-for-bit the old mask, allocation-free on the simulate hot path,
+ * pinned by tests/sim_alloc_test.cc), and wider machines spill to a
+ * heap word array sized on first use. The processor cap therefore
+ * lives only in sim::kMaxProcessors / SimConfig::validate(), not in
+ * any storage type.
+ *
+ * Semantics notes the simulator relies on:
+ *  - set() grows capacity; test()/reset() beyond capacity are benign
+ *    (false / no-op), so narrow and wide sets interoperate;
+ *  - copy-assignment reuses existing capacity when it suffices (the
+ *    steady-state `txn.invalidate = entry.sharers` path never
+ *    reallocates once an entry has reached its widest sharer);
+ *  - forEach() visits members in ascending id order — invalidation
+ *    delivery order is part of the golden-digest contract.
+ */
+
+#ifndef TSP_SIM_SHARER_SET_H
+#define TSP_SIM_SHARER_SET_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace tsp::sim {
+
+/** Dynamic-width bit set over processor/thread ids. */
+class SharerSet
+{
+  public:
+    /** Words stored inline (no heap) — covers ids 0..127. */
+    static constexpr uint32_t kInlineWords = 2;
+
+    /** Largest id representable without spilling to the heap. */
+    static constexpr uint32_t kInlineBits = kInlineWords * 64;
+
+    SharerSet() = default;
+
+    ~SharerSet()
+    {
+        if (spilled())
+            delete[] heap_;
+    }
+
+    SharerSet(const SharerSet &o) { copyFrom(o); }
+
+    SharerSet(SharerSet &&o) noexcept
+        : words_(o.words_)
+    {
+        if (o.spilled()) {
+            heap_ = o.heap_;
+            o.words_ = kInlineWords;
+            o.buf_ = {0, 0};
+        } else {
+            buf_ = o.buf_;
+        }
+    }
+
+    SharerSet &
+    operator=(const SharerSet &o)
+    {
+        if (this != &o)
+            assignFrom(o);
+        return *this;
+    }
+
+    SharerSet &
+    operator=(SharerSet &&o) noexcept
+    {
+        if (this == &o)
+            return *this;
+        if (spilled())
+            delete[] heap_;
+        words_ = o.words_;
+        if (o.spilled()) {
+            heap_ = o.heap_;
+            o.words_ = kInlineWords;
+            o.buf_ = {0, 0};
+        } else {
+            buf_ = o.buf_;
+        }
+        return *this;
+    }
+
+    /** Membership test; ids beyond capacity are simply absent. */
+    bool
+    test(uint32_t id) const
+    {
+        uint32_t w = id >> 6;
+        return w < words_ && ((data()[w] >> (id & 63)) & 1) != 0;
+    }
+
+    /** Insert @p id, growing the word array when needed. */
+    void
+    set(uint32_t id)
+    {
+        uint32_t w = id >> 6;
+        if (w >= words_) [[unlikely]]
+            grow(w + 1);
+        data()[w] |= 1ull << (id & 63);
+    }
+
+    /** Remove @p id (no-op when beyond capacity). */
+    void
+    reset(uint32_t id)
+    {
+        uint32_t w = id >> 6;
+        if (w < words_)
+            data()[w] &= ~(1ull << (id & 63));
+    }
+
+    /** Remove every member; capacity is retained. */
+    void
+    clear()
+    {
+        uint64_t *p = data();
+        for (uint32_t w = 0; w < words_; ++w)
+            p[w] = 0;
+    }
+
+    /** True when the set is non-empty. */
+    bool
+    any() const
+    {
+        const uint64_t *p = data();
+        for (uint32_t w = 0; w < words_; ++w)
+            if (p[w] != 0)
+                return true;
+        return false;
+    }
+
+    /** Number of members. */
+    uint32_t
+    count() const
+    {
+        const uint64_t *p = data();
+        uint32_t n = 0;
+        for (uint32_t w = 0; w < words_; ++w)
+            n += static_cast<uint32_t>(std::popcount(p[w]));
+        return n;
+    }
+
+    /** Ids representable without growing. */
+    uint32_t capacityBits() const { return words_ * 64; }
+
+    /** True when the words live on the heap (capacity > 128 ids). */
+    bool spilled() const { return words_ > kInlineWords; }
+
+    /**
+     * Release heap storage when every member fits back in the inline
+     * words. Long-lived sets (sharing-monitor block states) call this
+     * after wide transients; hot-path sets never need to.
+     */
+    void
+    shrinkToFit()
+    {
+        if (!spilled())
+            return;
+        for (uint32_t w = kInlineWords; w < words_; ++w)
+            if (heap_[w] != 0)
+                return;
+        uint64_t *old = heap_;
+        buf_ = {old[0], old[1]};
+        words_ = kInlineWords;
+        delete[] old;
+    }
+
+    /** Visit members in ascending id order (countr_zero walk). */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        const uint64_t *p = data();
+        for (uint32_t w = 0; w < words_; ++w) {
+            uint64_t m = p[w];
+            while (m != 0) {
+                uint32_t bit =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                m &= m - 1;
+                fn(w * 64 + bit);
+            }
+        }
+    }
+
+    /** Members as an ascending vector (tests/diagnostics). */
+    std::vector<uint32_t>
+    toVector() const
+    {
+        std::vector<uint32_t> out;
+        out.reserve(count());
+        forEach([&](uint32_t id) { out.push_back(id); });
+        return out;
+    }
+
+    /** Width-agnostic equality: same members, any capacities. */
+    bool
+    operator==(const SharerSet &o) const
+    {
+        const uint64_t *a = data();
+        const uint64_t *b = o.data();
+        uint32_t lo = words_ < o.words_ ? words_ : o.words_;
+        for (uint32_t w = 0; w < lo; ++w)
+            if (a[w] != b[w])
+                return false;
+        for (uint32_t w = lo; w < words_; ++w)
+            if (a[w] != 0)
+                return false;
+        for (uint32_t w = lo; w < o.words_; ++w)
+            if (b[w] != 0)
+                return false;
+        return true;
+    }
+
+  private:
+    const uint64_t *
+    data() const
+    {
+        return spilled() ? heap_ : buf_.data();
+    }
+
+    uint64_t *
+    data()
+    {
+        return spilled() ? heap_ : buf_.data();
+    }
+
+    /** Widen to at least @p neededWords (doubling to amortize). */
+    void
+    grow(uint32_t neededWords)
+    {
+        uint32_t newWords =
+            neededWords > words_ * 2 ? neededWords : words_ * 2;
+        uint64_t *fresh = new uint64_t[newWords];
+        const uint64_t *src = data();
+        uint32_t w = 0;
+        for (; w < words_; ++w)
+            fresh[w] = src[w];
+        for (; w < newWords; ++w)
+            fresh[w] = 0;
+        if (spilled())
+            delete[] heap_;
+        heap_ = fresh;
+        words_ = newWords;
+    }
+
+    /** Fresh-object copy (copy constructor body). */
+    void
+    copyFrom(const SharerSet &o)
+    {
+        words_ = o.words_;
+        if (o.spilled()) {
+            heap_ = new uint64_t[words_];
+            for (uint32_t w = 0; w < words_; ++w)
+                heap_[w] = o.heap_[w];
+        } else {
+            buf_ = o.buf_;
+        }
+    }
+
+    /** Assignment: reuse capacity when it already suffices. */
+    void
+    assignFrom(const SharerSet &o)
+    {
+        if (o.words_ <= words_) {
+            uint64_t *dst = data();
+            const uint64_t *src = o.data();
+            uint32_t w = 0;
+            for (; w < o.words_; ++w)
+                dst[w] = src[w];
+            for (; w < words_; ++w)
+                dst[w] = 0;
+            return;
+        }
+        uint64_t *fresh = new uint64_t[o.words_];
+        for (uint32_t w = 0; w < o.words_; ++w)
+            fresh[w] = o.heap_[w];
+        if (spilled())
+            delete[] heap_;
+        heap_ = fresh;
+        words_ = o.words_;
+    }
+
+    uint32_t words_ = kInlineWords;
+    union {
+        std::array<uint64_t, kInlineWords> buf_{};
+        uint64_t *heap_;
+    };
+};
+
+} // namespace tsp::sim
+
+#endif // TSP_SIM_SHARER_SET_H

@@ -8,7 +8,7 @@ void
 SharingMonitor::onAccess(uint64_t block, uint32_t tid, bool isWrite)
 {
     BlockState &state = blocks_[block];
-    state.threads[(tid >> 6) & 1] |= 1ull << (tid & 63);
+    state.threads.set(tid);
     ++state.accesses;
     state.everWritten |= isWrite;
 
@@ -40,8 +40,7 @@ SharingMonitor::closeRun(BlockState &state)
 uint32_t
 SharingMonitor::toucherCount(const BlockState &state) const
 {
-    return static_cast<uint32_t>(std::popcount(state.threads[0]) +
-                                 std::popcount(state.threads[1]));
+    return state.threads.count();
 }
 
 SharingProfile

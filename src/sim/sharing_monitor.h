@@ -18,11 +18,11 @@
 #ifndef TSP_SIM_SHARING_MONITOR_H
 #define TSP_SIM_SHARING_MONITOR_H
 
-#include <array>
 #include <cstdint>
 #include <unordered_map>
 
 #include "sim/config.h"
+#include "sim/sharer_set.h"
 #include "stats/summary.h"
 
 namespace tsp::sim {
@@ -95,10 +95,8 @@ class SharingMonitor
   private:
     struct BlockState
     {
-        static_assert(kMaxProcessors <= 2 * 64,
-                      "toucher masks are narrower than the processor "
-                      "cap; widen them with kMaxProcessors");
-        std::array<uint64_t, 2> threads{};  //!< toucher bitmask (128)
+        SharerSet threads;  //!< toucher set (dynamic width; the
+                            //!< processor cap lives in kMaxProcessors)
         uint32_t runThread = 0;   //!< thread of the current run
         uint64_t runLength = 0;   //!< accesses in the current run
         bool runHasWrite = false;

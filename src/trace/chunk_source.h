@@ -49,6 +49,19 @@ class ChunkProducer
 
     /** Append the next batch; false at end of trace (none appended). */
     virtual bool produce(std::vector<TraceEvent> &out) = 0;
+
+    /**
+     * Optional capability: deep-copy this producer mid-pass, so the
+     * copy resumes from the same position independently. Snapshots
+     * taken at batch boundaries let consumers seek into long traces
+     * without replaying the prefix (sample::SeekIndex). Producers
+     * without the capability return nullptr (the default).
+     */
+    virtual std::unique_ptr<ChunkProducer>
+    clone() const
+    {
+        return nullptr;
+    }
 };
 
 /**

@@ -317,6 +317,14 @@ class ThreadStreamProducer : public trace::ChunkProducer
         return out.size() > before || !done_;
     }
 
+    /** ThreadStream is a value type: a copy resumes independently. */
+    std::unique_ptr<trace::ChunkProducer>
+    clone() const override
+    {
+        return std::unique_ptr<trace::ChunkProducer>(
+            new ThreadStreamProducer(*this));
+    }
+
   private:
     ThreadStream stream_;
     uint64_t steps_;

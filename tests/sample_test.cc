@@ -1,0 +1,363 @@
+/**
+ * @file
+ * BBV phase-sampling tests: fingerprint/cluster determinism, segment
+ * extraction correctness (the clipped stream is exactly the window's
+ * slice of the full trace, barriers stripped), and the end-to-end
+ * contract — the sampled estimate tracks the unsampled execution time
+ * while simulating a small fraction of the references.
+ *
+ * Accuracy thresholds here are deliberately loose (CI-sized traces
+ * have few windows); the calibrated error bounds come from the
+ * `tsp-run sample` study over the Table 1/2 apps (EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/placement_map.h"
+#include "experiment/sampling_study.h"
+#include "sample/bbv.h"
+#include "sample/sampler.h"
+#include "sample/segment.h"
+#include "sim/machine.h"
+#include "workload/stream.h"
+
+namespace tsp::sample {
+namespace {
+
+workload::AppProfile
+phasedProfile(uint32_t threads = 8)
+{
+    // Distinct per-phase sharing structure so the windows actually
+    // form phases worth clustering.
+    workload::AppProfile p;
+    p.name = "sample-test";
+    p.threads = threads;
+    p.meanLength = 120'000;
+    p.lengthDevPct = 10.0;
+    p.phases = 6;
+    p.globalFrac = 0.4;
+    p.neighborFrac = 0.2;
+    p.mailboxFrac = 0.2;
+    p.sliceFrac = 0.2;
+    p.globalWriteMode = workload::GlobalWriteMode::Migratory;
+    p.seed = 77;
+    return p;
+}
+
+sim::SimConfig
+sampleConfig(uint32_t procs)
+{
+    sim::SimConfig cfg;
+    cfg.processors = procs;
+    cfg.contexts = 1;
+    cfg.cacheBytes = 8 * 1024;
+    cfg.blockBytes = 32;
+    return cfg;
+}
+
+placement::PlacementMap
+identity(uint32_t threads)
+{
+    std::vector<uint32_t> assign(threads);
+    std::iota(assign.begin(), assign.end(), 0u);
+    return placement::PlacementMap(threads, assign);
+}
+
+std::vector<trace::TraceEvent>
+drainAll(trace::StreamFactory &f, uint32_t tid)
+{
+    std::vector<trace::TraceEvent> all, batch;
+    auto producer = f.openProducer(tid);
+    while (true) {
+        batch.clear();
+        if (!producer->produce(batch))
+            break;
+        all.insert(all.end(), batch.begin(), batch.end());
+    }
+    return all;
+}
+
+TEST(Bbv, FingerprintsAreDeterministicAndNormalized)
+{
+    workload::AppProfile p = phasedProfile();
+    workload::AppStreamFactory f1(p, 1), f2(p, 1);
+    BbvProfile a = bbvProfile(f1, 5'000, 16, 5);
+    BbvProfile b = bbvProfile(f2, 5'000, 16, 5);
+
+    ASSERT_GT(a.windows(), 2u);
+    ASSERT_EQ(a.windows(), b.windows());
+    EXPECT_EQ(a.totalRefs(), b.totalRefs());
+    for (uint32_t w = 0; w < a.windows(); ++w) {
+        EXPECT_EQ(a.fingerprints[w], b.fingerprints[w])
+            << "window " << w;
+        if (a.windowRefCounts[w] == 0)
+            continue;
+        double sum = 0;
+        for (double v : a.fingerprints[w])
+            sum += v;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << "window " << w;
+    }
+
+    uint64_t perThread = 0;
+    for (uint64_t r : a.threadRefs)
+        perThread += r;
+    EXPECT_EQ(perThread, a.totalRefs());
+}
+
+TEST(Bbv, ClusteringIsDeterministicAndCoversAllWindows)
+{
+    workload::AppProfile p = phasedProfile();
+    workload::AppStreamFactory f(p, 1);
+    BbvProfile profile = bbvProfile(f, 5'000, 16, 5);
+
+    Clustering c1 = clusterWindows(profile, 4, 30);
+    Clustering c2 = clusterWindows(profile, 4, 30);
+    EXPECT_EQ(c1.assignment, c2.assignment);
+    EXPECT_EQ(c1.representative, c2.representative);
+    EXPECT_EQ(c1.weightRefs, c2.weightRefs);
+
+    ASSERT_GE(c1.clusters(), 1u);
+    ASSERT_LE(c1.clusters(), 4u);
+    uint64_t weight = 0;
+    for (uint64_t wr : c1.weightRefs)
+        weight += wr;
+    EXPECT_EQ(weight, profile.totalRefs());
+    for (uint32_t w = 0; w < profile.windows(); ++w)
+        EXPECT_LT(c1.assignment[w], c1.clusters());
+    for (uint32_t rep : c1.representative)
+        EXPECT_LT(rep, profile.windows());
+
+    // More clusters than windows clamps instead of failing.
+    Clustering wide = clusterWindows(profile, 10'000, 5);
+    EXPECT_LE(wide.clusters(), profile.windows());
+}
+
+TEST(Segment, ClipsToExactReferenceWindowAndStripsBarriers)
+{
+    workload::AppProfile p = phasedProfile(4);
+    p.meanLength = 30'000;
+    p.barriers = true;  // inner trace has barriers; segments must not
+    workload::AppStreamFactory inner(p, 1);
+
+    const uint64_t start = 1'000, end = 3'500;
+    SegmentFactory seg(inner, start, end);
+    EXPECT_EQ(seg.threadCount(), inner.threadCount());
+    EXPECT_GT(inner.barrierCount(0), 0u);
+    EXPECT_EQ(seg.barrierCount(0), 0u);
+
+    for (uint32_t tid = 0; tid < seg.threadCount(); ++tid) {
+        std::vector<trace::TraceEvent> full = drainAll(inner, tid);
+        std::vector<trace::TraceEvent> clipped = drainAll(seg, tid);
+
+        // Expected: refs [start, end) of the full trace plus the work
+        // events between them, barriers dropped.
+        std::vector<trace::TraceEvent> expected;
+        uint64_t refs = 0;
+        for (const trace::TraceEvent &e : full) {
+            if (e.isMemRef()) {
+                if (refs >= end)
+                    break;
+                if (refs >= start)
+                    expected.push_back(e);
+                ++refs;
+            } else if (e.kind() == trace::EventKind::Work) {
+                if (refs >= start && refs < end)
+                    expected.push_back(e);
+            }
+        }
+        EXPECT_EQ(clipped, expected) << "tid " << tid;
+
+        uint64_t clippedRefs = 0;
+        for (const trace::TraceEvent &e : clipped) {
+            EXPECT_NE(e.kind(), trace::EventKind::Barrier);
+            clippedRefs += e.isMemRef() ? 1 : 0;
+        }
+        EXPECT_LE(clippedRefs, end - start);
+    }
+}
+
+// Seeking through producer snapshots must not change the extracted
+// segment: a seeked clip equals a replayed-from-zero clip, event for
+// event, including boundaries mid-batch and past the trace end.
+TEST(Segment, SeekIndexParityWithFullReplay)
+{
+    workload::AppProfile p = phasedProfile(4);
+    p.meanLength = 30'000;
+    workload::AppStreamFactory inner(p, 1);
+
+    const std::vector<std::pair<uint64_t, uint64_t>> windows = {
+        {0, 2'000},         // no snapshot needed
+        {1'000, 3'500},     // mid-batch start
+        {9'000, 12'000},    // deep window
+        {1'000'000, 1'001'000},  // past the trace end
+    };
+    std::vector<uint64_t> starts;
+    for (const auto &[s, e] : windows)
+        starts.push_back(s);
+    SeekIndex seek(inner, starts);
+
+    for (const auto &[s, e] : windows) {
+        SegmentFactory plain(inner, s, e);
+        SegmentFactory seeked(inner, s, e, &seek);
+        for (uint32_t tid = 0; tid < inner.threadCount(); ++tid)
+            EXPECT_EQ(drainAll(seeked, tid), drainAll(plain, tid))
+                << "window [" << s << "," << e << ") tid " << tid;
+    }
+}
+
+TEST(Segment, EmptyAndTailWindows)
+{
+    workload::AppProfile p = phasedProfile(2);
+    p.meanLength = 10'000;
+    workload::AppStreamFactory inner(p, 1);
+    std::vector<trace::TraceEvent> full = drainAll(inner, 0);
+    uint64_t totalRefs = 0;
+    for (const trace::TraceEvent &e : full)
+        totalRefs += e.isMemRef() ? 1 : 0;
+
+    // A window starting past the end of the trace yields nothing.
+    SegmentFactory past(inner, totalRefs + 100, totalRefs + 200);
+    EXPECT_TRUE(drainAll(past, 0).empty());
+
+    // A window covering the whole trace yields every ref.
+    SegmentFactory all(inner, 0, totalRefs + 1);
+    std::vector<trace::TraceEvent> everything = drainAll(all, 0);
+    uint64_t refs = 0;
+    for (const trace::TraceEvent &e : everything)
+        refs += e.isMemRef() ? 1 : 0;
+    EXPECT_EQ(refs, totalRefs);
+}
+
+// End to end: the estimate tracks the unsampled run within a loose
+// bound while simulating a fraction of the references, and repeated
+// runs are bit-identical.
+TEST(Sampler, EstimateTracksActualAtFractionalCost)
+{
+    workload::AppProfile p = phasedProfile();
+    p.meanLength = 400'000;  // many more windows than sampled segments
+    sim::SimConfig cfg = sampleConfig(p.threads);
+    placement::PlacementMap place = identity(p.threads);
+
+    workload::AppStreamFactory fullFactory(p, 1);
+    sim::SimStats actual =
+        sim::simulateStreaming(cfg, fullFactory, place);
+
+    SampleOptions so;
+    so.windowRefs = 8'000;
+    so.clusters = 5;
+    workload::AppStreamFactory f1(p, 1);
+    SampleEstimate est = sampleSimulate(cfg, f1, place, so);
+
+    EXPECT_GT(est.windows, 5u);
+    EXPECT_GE(est.clusters, 1u);
+    EXPECT_GT(est.fullRefs, 0u);
+    EXPECT_GT(est.sampledRefs, 0u);
+
+    // Cost: well under half the trace simulated (CI-sized traces;
+    // the ratio grows with trace length).
+    EXPECT_LT(est.sampledFraction(), 0.5);
+
+    // Accuracy: within 15% on this small phased workload.
+    double a = static_cast<double>(actual.executionTime());
+    double e = static_cast<double>(est.execTime);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LT(std::abs(e - a) / a, 0.15)
+        << "actual " << actual.executionTime() << " est "
+        << est.execTime;
+
+    // Determinism: same inputs, same estimate.
+    workload::AppStreamFactory f2(p, 1);
+    SampleEstimate again = sampleSimulate(cfg, f2, place, so);
+    EXPECT_EQ(est.execTime, again.execTime);
+    EXPECT_EQ(est.totalMisses, again.totalMisses);
+    EXPECT_EQ(est.sampledRefs, again.sampledRefs);
+}
+
+TEST(SamplingStudy, ProducesCellsAndCsv)
+{
+    workload::AppProfile p = phasedProfile(4);
+    p.meanLength = 40'000;
+
+    experiment::SamplingStudyOptions opt;
+    opt.windows = {1'500};
+    opt.clusters = {3};
+    experiment::SamplingStudy study =
+        experiment::samplingStudy({p}, opt);
+
+    ASSERT_EQ(study.cells.size(), 1u);
+    const experiment::SamplingCell &cell = study.cells[0];
+    EXPECT_EQ(cell.app, p.name);
+    EXPECT_EQ(cell.processors, p.threads);
+    EXPECT_GT(cell.actualExecTime, 0u);
+    EXPECT_GT(cell.estExecTime, 0u);
+    EXPECT_GT(cell.refsRatio, 1.0);
+    EXPECT_LT(cell.errorPct, 25.0);
+
+    std::string path = testing::TempDir() + "sampling_study.csv";
+    experiment::writeSamplingCsv(path, study);
+    FILE *f = fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char header[256] = {0};
+    ASSERT_NE(fgets(header, sizeof header, f), nullptr);
+    fclose(f);
+    EXPECT_TRUE(std::string(header).find("error_pct") !=
+                std::string::npos);
+    EXPECT_TRUE(std::string(header).find("speedup") !=
+                std::string::npos);
+    // The build-once plan cost is reported apart from the per-run
+    // sampled cost (a placement-study matrix amortizes the former).
+    EXPECT_TRUE(std::string(header).find("plan_wall_ms") !=
+                std::string::npos);
+}
+
+// The plan is the reusable half: building it once and running the
+// estimate twice must give the one-shot answer both times.
+TEST(SamplingStudy, PrebuiltPlanMatchesOneShot)
+{
+    workload::AppProfile p = phasedProfile(4);
+    p.meanLength = 40'000;
+    sim::SimConfig cfg = sampleConfig(4);
+    placement::PlacementMap place = identity(4);
+
+    SampleOptions so;
+    so.windowRefs = 1'500;
+    so.clusters = 3;
+    workload::AppStreamFactory f1(p, 1);
+    SampleEstimate oneShot = sampleSimulate(cfg, f1, place, so);
+
+    workload::AppStreamFactory f2(p, 1);
+    SamplePlan plan = buildSamplePlan(f2, so, cfg.blockBytes);
+    SampleEstimate first = sampleSimulate(cfg, f2, place, plan);
+    SampleEstimate second = sampleSimulate(cfg, f2, place, plan);
+    EXPECT_EQ(first.execTime, oneShot.execTime);
+    EXPECT_EQ(first.totalMisses, oneShot.totalMisses);
+    EXPECT_EQ(first.sampledRefs, oneShot.sampledRefs);
+    EXPECT_EQ(second.execTime, first.execTime);
+    EXPECT_EQ(second.totalMisses, first.totalMisses);
+}
+
+// The synthetic scale profile drives machines wider than any suite
+// app; make sure it samples at 256 threads/processors.
+TEST(SamplingStudy, SyntheticProfileSamplesAt256Procs)
+{
+    workload::AppProfile p =
+        experiment::syntheticScaleProfile(256, 12'000);
+    sim::SimConfig cfg = sampleConfig(256);
+    cfg.cacheBytes = 16 * 1024;
+    placement::PlacementMap place = identity(256);
+
+    SampleOptions so;
+    so.windowRefs = 500;
+    so.clusters = 3;
+    workload::AppStreamFactory f(p, 1);
+    SampleEstimate est = sampleSimulate(cfg, f, place, so);
+    EXPECT_GT(est.execTime, 0u);
+    EXPECT_GT(est.fullRefs, est.sampledRefs);
+}
+
+} // namespace
+} // namespace tsp::sample

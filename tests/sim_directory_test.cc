@@ -153,8 +153,33 @@ TEST(Directory, SharerBitsAboveSixtyFour)
 
 TEST(Directory, TooManyProcessorsIsFatal)
 {
-    EXPECT_THROW(Directory d(129), util::FatalError);
+    EXPECT_THROW(Directory d(sim::kMaxProcessors + 1),
+                 util::FatalError);
     EXPECT_THROW(Directory d(0), util::FatalError);
+}
+
+// Above the 128-proc inline width the sharer sets spill to the heap;
+// membership, invalidation order and eviction must be unchanged.
+TEST(Directory, SharerBitsAboveOneTwentyEight)
+{
+    Directory d(sim::kMaxProcessors);
+    d.read(5, 1, 7);
+    d.read(130, 2, 7);
+    d.read(sim::kMaxProcessors - 1, 3, 7);
+    const auto *e = d.find(7);
+    EXPECT_TRUE(e->isSharer(5));
+    EXPECT_TRUE(e->isSharer(130));
+    EXPECT_TRUE(e->isSharer(sim::kMaxProcessors - 1));
+    EXPECT_FALSE(e->isSharer(129));
+    EXPECT_EQ(e->sharerCount(), 3u);
+
+    auto txn = d.write(130, 2, 7);
+    EXPECT_TRUE(txn.anyInvalidate());
+    EXPECT_EQ(txn.invalidateList(),
+              (std::vector<uint32_t>{5, sim::kMaxProcessors - 1}));
+
+    d.evict(130, 7);
+    EXPECT_EQ(d.find(7)->sharerCount(), 0u);
 }
 
 TEST(Directory, FindUnknownBlockIsNull)

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * sim::SharerSet unit tests: randomized parity against a
+ * std::set<uint32_t> reference at widths spanning the inline/spill
+ * boundary (1, 64, 128, 129, 1024), iteration-order guarantees (the
+ * ascending countr_zero walk the golden digests depend on), and the
+ * spill/shrink boundary behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/sharer_set.h"
+#include "util/rng.h"
+
+namespace tsp::sim {
+namespace {
+
+std::vector<uint32_t>
+ascending(const std::set<uint32_t> &s)
+{
+    return std::vector<uint32_t>(s.begin(), s.end());
+}
+
+// Randomized insert/erase/query parity against the reference set, at
+// every interesting width. forEach order must equal std::set order
+// (ascending), which is the countr_zero walk the simulator's
+// invalidation delivery relies on.
+TEST(SharerSet, RandomizedParityAcrossWidths)
+{
+    for (uint32_t width : {1u, 64u, 128u, 129u, 1024u}) {
+        util::Rng rng(0xC0FFEEu + width);
+        SharerSet set;
+        std::set<uint32_t> ref;
+        for (int step = 0; step < 4000; ++step) {
+            uint32_t id = static_cast<uint32_t>(rng.nextBelow(width));
+            switch (rng.nextBelow(3)) {
+              case 0:
+                set.set(id);
+                ref.insert(id);
+                break;
+              case 1:
+                set.reset(id);
+                ref.erase(id);
+                break;
+              default:
+                EXPECT_EQ(set.test(id), ref.count(id) > 0)
+                    << "width " << width << " id " << id;
+                break;
+            }
+            if (step % 97 == 0) {
+                EXPECT_EQ(set.count(), ref.size()) << "width " << width;
+                EXPECT_EQ(set.any(), !ref.empty()) << "width " << width;
+                EXPECT_EQ(set.toVector(), ascending(ref))
+                    << "width " << width;
+            }
+        }
+        EXPECT_EQ(set.toVector(), ascending(ref)) << "width " << width;
+        set.clear();
+        EXPECT_FALSE(set.any());
+        EXPECT_EQ(set.count(), 0u);
+    }
+}
+
+// Copy/assign/move parity after randomized mutation, including narrow
+// <- wide and wide <- narrow assignments (capacity reuse path).
+TEST(SharerSet, CopyMoveAssignParity)
+{
+    util::Rng rng(0xBADF00Du);
+    SharerSet wide, narrow;
+    std::set<uint32_t> wideRef, narrowRef;
+    for (int step = 0; step < 1000; ++step) {
+        uint32_t w = static_cast<uint32_t>(rng.nextBelow(1024));
+        uint32_t n = static_cast<uint32_t>(rng.nextBelow(100));
+        wide.set(w);
+        wideRef.insert(w);
+        narrow.set(n);
+        narrowRef.insert(n);
+    }
+
+    SharerSet copy(wide);
+    EXPECT_EQ(copy.toVector(), ascending(wideRef));
+    EXPECT_TRUE(copy == wide);
+
+    // Narrow <- wide must grow; wide <- narrow must zero the tail.
+    SharerSet a = narrow;
+    a = wide;
+    EXPECT_EQ(a.toVector(), ascending(wideRef));
+    SharerSet b = wide;
+    b = narrow;
+    EXPECT_EQ(b.toVector(), ascending(narrowRef));
+    EXPECT_TRUE(b == narrow);
+
+    SharerSet moved(std::move(a));
+    EXPECT_EQ(moved.toVector(), ascending(wideRef));
+    SharerSet target;
+    target = std::move(moved);
+    EXPECT_EQ(target.toVector(), ascending(wideRef));
+}
+
+// The inline/spill boundary: ids < 128 never spill (the hot-path
+// allocation-free contract), id 128 spills, and shrinkToFit returns
+// to inline storage once the high words empty out.
+TEST(SharerSet, SpillAndShrinkBoundary)
+{
+    SharerSet s;
+    EXPECT_EQ(s.capacityBits(), SharerSet::kInlineBits);
+    for (uint32_t id = 0; id < SharerSet::kInlineBits; ++id)
+        s.set(id);
+    EXPECT_FALSE(s.spilled());
+    EXPECT_EQ(s.count(), SharerSet::kInlineBits);
+
+    s.set(SharerSet::kInlineBits);  // first id that cannot fit inline
+    EXPECT_TRUE(s.spilled());
+    EXPECT_EQ(s.count(), SharerSet::kInlineBits + 1);
+    EXPECT_TRUE(s.test(SharerSet::kInlineBits));
+    EXPECT_TRUE(s.test(0));
+
+    // Beyond-capacity queries are benign on narrow sets.
+    SharerSet narrow;
+    narrow.set(5);
+    EXPECT_FALSE(narrow.test(kMaxProcessors - 1));
+    narrow.reset(kMaxProcessors - 1);  // no-op, no growth
+    EXPECT_FALSE(narrow.spilled());
+
+    // Shrink: while any high bit is set shrinkToFit must refuse...
+    s.shrinkToFit();
+    EXPECT_TRUE(s.spilled());
+    // ...and once the high words are clear it returns to inline with
+    // the low bits intact.
+    s.reset(SharerSet::kInlineBits);
+    s.shrinkToFit();
+    EXPECT_FALSE(s.spilled());
+    EXPECT_EQ(s.count(), SharerSet::kInlineBits);
+    EXPECT_TRUE(s.test(0));
+    EXPECT_TRUE(s.test(SharerSet::kInlineBits - 1));
+
+    // A cleared spilled set keeps capacity until asked to shrink.
+    SharerSet t;
+    t.set(1000);
+    EXPECT_TRUE(t.spilled());
+    t.clear();
+    EXPECT_TRUE(t.spilled());
+    EXPECT_GE(t.capacityBits(), 1001u);
+    t.shrinkToFit();
+    EXPECT_FALSE(t.spilled());
+}
+
+// kMaxProcessors is the one and only cap: a set at the cap's width
+// works, and equality is width-agnostic.
+TEST(SharerSet, WidthAgnosticEquality)
+{
+    SharerSet a, b;
+    a.set(3);
+    b.set(3);
+    b.set(kMaxProcessors - 1);
+    EXPECT_FALSE(a == b);
+    b.reset(kMaxProcessors - 1);
+    EXPECT_TRUE(a == b);  // b is wide, a inline; same members
+    EXPECT_TRUE(b == a);
+}
+
+} // namespace
+} // namespace tsp::sim

@@ -8,6 +8,7 @@
  *   tsp_run sweep <app> [options]
  *   tsp_run hierarchy <app> [options]
  *   tsp_run chaos [options]
+ *   tsp_run sample [options]
  *
  * options (single run):
  *   --contexts N     hardware contexts/processor (default: fit all)
@@ -58,6 +59,22 @@
  * docs/robustness.md):
  *   --scale N   --jobs N   --app NAME   --workdir PATH   --verbose
  *
+ * options (sample mode — BBV phase-sampling error-vs-speed study,
+ * docs/performance.md "Sampling methodology"):
+ *   --app NAME       add a suite application (repeatable; default:
+ *                    all of them)
+ *   --threads N      add a synthetic scalable workload with N
+ *                    threads on N processors (up to 1024)
+ *   --mean N         synthetic workload mean thread length
+ *   --scale N        workload scale divisor
+ *   --length-mult N  thread-length multiplier (sampling pays off on
+ *                    long traces; 8-32x shows the >=20x regime)
+ *   --window LIST    comma-separated window sizes, in per-thread
+ *                    references (default 20000,50000)
+ *   --clusters LIST  comma-separated phase counts (default 4,8)
+ *   --warmup N       warmup windows per representative (default 1)
+ *   --csv PATH       write the study as CSV to PATH
+ *
  * Signals: a sweep receiving SIGINT/SIGTERM cancels cooperatively —
  * in-flight cells finish and are journaled, the checkpoint, metrics
  * export and trace timeline are flushed, and the process exits with
@@ -83,6 +100,7 @@
 #include "experiment/checkpoint.h"
 #include "experiment/lab.h"
 #include "experiment/report.h"
+#include "experiment/sampling_study.h"
 #include "experiment/studies.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
@@ -139,6 +157,11 @@ usage()
         " [--checkpoint PATH]\n"
         "       tsp_run chaos [--scale N] [--app NAME]"
         " [--workdir PATH] [--verbose]\n"
+        "       tsp_run sample [--app NAME ...] [--threads N]"
+        " [--mean N] [--scale N]\n"
+        "               [--length-mult N] [--window LIST]"
+        " [--clusters LIST]\n"
+        "               [--warmup N] [--csv PATH]\n"
         "  --contexts N  --cache BYTES  --assoc N  --latency N\n"
         "  --switch N    --scale N      --infinite --profile\n"
         "  --jobs N      --metrics-out PATH  --trace-out PATH\n"
@@ -544,6 +567,114 @@ runChaos(int argc, char **argv)
     return matrix.allPassed() ? 0 : kExitDegraded;
 }
 
+/** Comma-separated unsigned list, e.g. --window 20000,50000. */
+std::vector<uint64_t>
+parseList(const char *text, const char *flag)
+{
+    std::vector<uint64_t> out;
+    std::string item;
+    for (const char *p = text;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            out.push_back(util::parseUnsigned(item, flag, 1));
+            item.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            item += *p;
+        }
+    }
+    return out;
+}
+
+/**
+ * BBV phase-sampling error-vs-speed study: for each application and
+ * each (window, clusters) setting, compare the phase-sampled estimate
+ * against the unsampled streaming run and report the execution-time
+ * error, the fraction of references simulated, and the wall-clock
+ * speedup (docs/performance.md, "Sampling methodology").
+ */
+int
+runSample(int argc, char **argv)
+{
+    std::vector<workload::AppProfile> profiles;
+    experiment::SamplingStudyOptions options;
+    options.scale = workload::defaultScale();
+    options.windows.clear();
+    options.clusters.clear();
+    std::string csvPath;
+    uint32_t synthThreads = 0;
+    uint64_t synthMean = 50'000;
+    for (int i = 2; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            util::fatalIf(i + 1 >= argc,
+                          std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--app"))
+            profiles.push_back(
+                workload::profile(workload::appByName(next("--app"))));
+        else if (!std::strcmp(argv[i], "--threads"))
+            synthThreads = util::parseUnsigned32(
+                next("--threads"), "--threads", 2, sim::kMaxProcessors);
+        else if (!std::strcmp(argv[i], "--mean"))
+            synthMean =
+                util::parseUnsigned(next("--mean"), "--mean", 1);
+        else if (!std::strcmp(argv[i], "--scale"))
+            options.scale = util::parseUnsigned32(next("--scale"),
+                                                  "--scale", 1);
+        else if (!std::strcmp(argv[i], "--length-mult"))
+            options.lengthMult = util::parseUnsigned32(
+                next("--length-mult"), "--length-mult", 1, 1024);
+        else if (!std::strcmp(argv[i], "--window"))
+            options.windows = parseList(next("--window"), "--window");
+        else if (!std::strcmp(argv[i], "--clusters")) {
+            options.clusters.clear();
+            for (uint64_t k : parseList(next("--clusters"),
+                                        "--clusters"))
+                options.clusters.push_back(
+                    static_cast<uint32_t>(k));
+        }
+        else if (!std::strcmp(argv[i], "--warmup"))
+            options.warmupWindows = util::parseUnsigned32(
+                next("--warmup"), "--warmup", 0, 64);
+        else if (!std::strcmp(argv[i], "--csv"))
+            csvPath = next("--csv");
+        else if (!std::strcmp(argv[i], "--paranoid"))
+            sim::setDefaultParanoidEvery(util::parseUnsigned(
+                next("--paranoid"), "--paranoid"));
+        else
+            return usage();
+    }
+    if (synthThreads)
+        profiles.push_back(
+            experiment::syntheticScaleProfile(synthThreads, synthMean));
+    if (profiles.empty())
+        for (workload::AppId app : workload::allApps())
+            profiles.push_back(workload::profile(app));
+    if (options.windows.empty())
+        options.windows = {20'000, 50'000};
+    if (options.clusters.empty())
+        options.clusters = {4, 8};
+
+    experiment::SamplingStudy study =
+        experiment::samplingStudy(profiles, options);
+
+    std::printf("%-10s %5s %8s %4s %8s %7s %9s %8s\n", "app",
+                "procs", "window", "k", "err%", "refs/", "plan_ms",
+                "speedup");
+    for (const experiment::SamplingCell &c : study.cells)
+        std::printf("%-10s %5u %8llu %4u %8.3f %7.1f %9.1f %8.2f\n",
+                    c.app.c_str(), c.processors,
+                    static_cast<unsigned long long>(c.windowRefs),
+                    c.clustersRequested, c.errorPct, c.refsRatio,
+                    c.planWallMs, c.speedup);
+    if (!csvPath.empty()) {
+        experiment::writeSamplingCsv(csvPath, study);
+        std::printf("study written to %s\n", csvPath.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -558,6 +689,8 @@ main(int argc, char **argv)
             return runHierarchy(argc, argv);
         if (!std::strcmp(argv[1], "chaos"))
             return runChaos(argc, argv);
+        if (!std::strcmp(argv[1], "sample"))
+            return runSample(argc, argv);
         if (argc < 4)
             return usage();
 
@@ -567,8 +700,8 @@ main(int argc, char **argv)
             std::fprintf(stderr, "unknown algorithm: %s\n", argv[2]);
             return usage();
         }
-        uint32_t procs =
-            util::parseUnsigned32(argv[3], "processors", 1, 128);
+        uint32_t procs = util::parseUnsigned32(
+            argv[3], "processors", 1, sim::kMaxProcessors);
 
         uint32_t contexts = 0, assoc = 1, latency = 50, switchCy = 6;
         uint64_t cacheBytes = 0;
